@@ -1,0 +1,327 @@
+// Command rpxencode encodes and decodes frames with rhythmic pixel regions
+// from the command line.
+//
+// Encode a PGM/PPM frame into the packed container:
+//
+//	rpxencode -mode encode -in frame.pgm -out frame.rpx \
+//	    -regions "100,80,200,160,2,1;10,10,64,64,1,2" -frame 0
+//
+// Decode a container back to an image:
+//
+//	rpxencode -mode decode -in frame.rpx -out decoded.pgm
+//
+// Inspect a container:
+//
+//	rpxencode -mode info -in frame.rpx
+//
+// Regions are semicolon-separated x,y,w,h,stride,skip tuples, or "@file"
+// to read one tuple per line from a file.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/frame"
+	"repro/internal/region"
+	"repro/internal/viz"
+)
+
+func main() {
+	mode := flag.String("mode", "encode", "encode, decode, or info")
+	in := flag.String("in", "", "input file (PGM/PPM for encode; .rpx for decode/info)")
+	out := flag.String("out", "", "output file")
+	regionsSpec := flag.String("regions", "", "regions as x,y,w,h,stride,skip;... or @file")
+	frameIndex := flag.Int("frame", 0, "temporal frame index (affects skip rhythm)")
+	cycleLength := flag.Int("cl", 0, "encode-seq: insert a full-frame capture every N frames (0 disables)")
+	showViz := flag.Bool("viz", false, "info mode: render the EncMask as ASCII art")
+	flag.Parse()
+	vizFlag = *showViz
+
+	if *in == "" {
+		fail("missing -in")
+	}
+	var err error
+	switch *mode {
+	case "encode":
+		err = encode(*in, *out, *regionsSpec, *frameIndex)
+	case "decode":
+		err = decode(*in, *out)
+	case "info":
+		err = info(*in)
+	case "encode-seq":
+		err = encodeSeq(*in, *out, *regionsSpec, *cycleLength)
+	case "decode-seq":
+		err = decodeSeq(*in, *out)
+	default:
+		fail(fmt.Sprintf("unknown mode %q", *mode))
+	}
+	if err != nil {
+		fail(err.Error())
+	}
+}
+
+// encodeSeq encodes every PGM/PPM in a directory (sorted by name) into one
+// .rpxs stream. With -cl > 0 the given regions apply to intermediate frames
+// and a full-frame capture is inserted every cycleLength frames.
+func encodeSeq(dir, out, regionsSpec string, cycleLength int) error {
+	if out == "" {
+		return fmt.Errorf("missing -out")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var paths []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if strings.HasSuffix(name, ".pgm") || strings.HasSuffix(name, ".ppm") {
+			paths = append(paths, filepath.Join(dir, name))
+		}
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return fmt.Errorf("no .pgm/.ppm files in %s", dir)
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	sw := core.NewStreamWriter(bw)
+
+	var enc *core.Encoder
+	var labels region.List
+	var totalIn, totalOut int64
+	for i, path := range paths {
+		fr, err := frame.LoadPNM(path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if enc == nil {
+			enc = core.NewEncoder(fr.W, fr.H, fr.Format)
+			labels, err = parseRegions(regionsSpec, fr.W, fr.H)
+			if err != nil {
+				return err
+			}
+		}
+		frameLabels := labels
+		if cycleLength > 0 && i%cycleLength == 0 {
+			frameLabels = region.List{region.FullFrame(fr.W, fr.H)}
+		}
+		if err := enc.SetRegionLabels(frameLabels); err != nil {
+			return err
+		}
+		ef, err := enc.EncodeFrame(fr, i)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if err := sw.WriteFrame(ef); err != nil {
+			return err
+		}
+		totalIn += int64(fr.SizeBytes())
+		totalOut += int64(ef.TotalBytes())
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("encoded %d frames from %s into %s: %d -> %d bytes (%.2fx)\n",
+		len(paths), dir, out, totalIn, totalOut, float64(totalIn)/float64(totalOut))
+	return nil
+}
+
+// decodeSeq replays a .rpxs stream into numbered PGM/PPM files.
+func decodeSeq(in, outDir string) error {
+	if outDir == "" {
+		return fmt.Errorf("missing -out")
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	// Peek the header for the pixel format, then replay from the start.
+	sr, err := core.NewStreamReader(bufio.NewReader(f))
+	if err != nil {
+		return err
+	}
+	format := frame.Gray8
+	ext := "pgm"
+	if sr.BPP == 3 {
+		format, ext = frame.RGB24, "ppm"
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		return err
+	}
+	n := 0
+	err = core.DecodeStream(bufio.NewReader(f), format,
+		func(idx int, dec *frame.Frame) error {
+			n++
+			return dec.SavePNM(filepath.Join(outDir, fmt.Sprintf("frame%05d.%s", idx, ext)))
+		})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("decoded %d frames from %s into %s\n", n, in, outDir)
+	return nil
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "rpxencode:", msg)
+	os.Exit(1)
+}
+
+func parseRegions(spec string, w, h int) (region.List, error) {
+	if spec == "" {
+		return region.List{region.FullFrame(w, h)}, nil
+	}
+	if strings.HasPrefix(spec, "@") {
+		data, err := os.ReadFile(spec[1:])
+		if err != nil {
+			return nil, err
+		}
+		spec = strings.Join(strings.Fields(string(data)), ";")
+	}
+	var out region.List
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ",")
+		if len(fields) != 6 {
+			return nil, fmt.Errorf("region %q: want 6 comma-separated fields", part)
+		}
+		var vals [6]int
+		for i, f := range fields {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return nil, fmt.Errorf("region %q: %v", part, err)
+			}
+			vals[i] = v
+		}
+		l := region.Label{X: vals[0], Y: vals[1], W: vals[2], H: vals[3], Stride: vals[4], Skip: vals[5]}
+		if err := l.Validate(w, h); err != nil {
+			return nil, err
+		}
+		out = append(out, l)
+	}
+	return out, nil
+}
+
+func encode(in, out, regionsSpec string, frameIndex int) error {
+	if out == "" {
+		return fmt.Errorf("missing -out")
+	}
+	fr, err := frame.LoadPNM(in)
+	if err != nil {
+		return err
+	}
+	labels, err := parseRegions(regionsSpec, fr.W, fr.H)
+	if err != nil {
+		return err
+	}
+	enc := core.NewEncoder(fr.W, fr.H, fr.Format)
+	if err := enc.SetRegionLabels(labels); err != nil {
+		return err
+	}
+	ef, err := enc.EncodeFrame(fr, frameIndex)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if _, err := ef.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	orig := fr.SizeBytes()
+	fmt.Printf("encoded %s: %dx%d, %d regions, %d/%d pixels kept (%.1f%%), %d bytes total (%.2fx reduction)\n",
+		in, fr.W, fr.H, len(labels), ef.NumEncodedPixels(), fr.NumPixels(),
+		100*float64(ef.NumEncodedPixels())/float64(fr.NumPixels()),
+		ef.TotalBytes(), float64(orig)/float64(ef.TotalBytes()))
+	return nil
+}
+
+func decode(in, out string) error {
+	if out == "" {
+		return fmt.Errorf("missing -out")
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	ef, err := core.ReadEncodedFrame(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	format := frame.Gray8
+	if ef.BytesPerPixel == 3 {
+		format = frame.RGB24
+	}
+	dec := core.NewDecoder(ef.W, ef.H, format)
+	if err := dec.Push(ef); err != nil {
+		return err
+	}
+	fr, err := dec.DecodeFrame()
+	if err != nil {
+		return err
+	}
+	if err := fr.SavePNM(out); err != nil {
+		return err
+	}
+	fmt.Printf("decoded %s: %dx%d frame %d -> %s\n", in, ef.W, ef.H, ef.FrameIndex, out)
+	return nil
+}
+
+func info(in string) error {
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	ef, err := core.ReadEncodedFrame(f)
+	if err != nil {
+		return err
+	}
+	h := ef.Mask.Histogram()
+	total := ef.W * ef.H
+	fmt.Printf("%s: %dx%d, %d bytes/px, frame index %d\n", in, ef.W, ef.H, ef.BytesPerPixel, ef.FrameIndex)
+	fmt.Printf("  payload: %d pixels (%d bytes)\n", ef.NumEncodedPixels(), ef.PixelDataBytes())
+	fmt.Printf("  metadata: %d bytes (row offsets + EncMask)\n", ef.MetadataBytes())
+	fmt.Printf("  EncMask: R=%d (%.1f%%)  St=%d (%.1f%%)  Sk=%d (%.1f%%)  N=%d (%.1f%%)\n",
+		h[3], pct(h[3], total), h[1], pct(h[1], total), h[2], pct(h[2], total), h[0], pct(h[0], total))
+	fmt.Printf("  compression vs raw: %.2fx\n", ef.CompressionRatio())
+	if vizFlag {
+		fmt.Println(viz.Legend())
+		fmt.Print(viz.Mask(ef, 96))
+		fmt.Print(viz.CodeHistogramBar(ef, 40))
+	}
+	return nil
+}
+
+// vizFlag enables the ASCII EncMask rendering in info mode.
+var vizFlag bool
+
+func pct(n, total int) float64 { return 100 * float64(n) / float64(total) }

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/frame"
+)
+
+func TestParseRegions(t *testing.T) {
+	ls, err := parseRegions("10,20,30,40,2,3; 50,60,16,16,1,1", 200, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls) != 2 {
+		t.Fatalf("got %d regions", len(ls))
+	}
+	if ls[0].X != 10 || ls[0].Stride != 2 || ls[0].Skip != 3 {
+		t.Errorf("first region = %v", ls[0])
+	}
+	// Empty spec → full frame.
+	full, err := parseRegions("", 100, 80)
+	if err != nil || len(full) != 1 || full[0].W != 100 || full[0].H != 80 {
+		t.Errorf("empty spec = %v, %v", full, err)
+	}
+	// Errors.
+	for _, bad := range []string{
+		"1,2,3",          // wrong arity
+		"a,b,c,d,e,f",    // non-numeric
+		"0,0,500,10,1,1", // outside frame
+		"0,0,10,10,0,1",  // bad stride
+	} {
+		if _, err := parseRegions(bad, 200, 200); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestParseRegionsFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "regions.txt")
+	if err := os.WriteFile(path, []byte("1,2,10,10,1,1\n20,20,5,5,2,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ls, err := parseRegions("@"+path, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls) != 2 || ls[1].Stride != 2 {
+		t.Errorf("file regions = %v", ls)
+	}
+	if _, err := parseRegions("@/nonexistent", 100, 100); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestEncodeDecodeFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.pgm")
+	rpxPath := filepath.Join(dir, "f.rpx")
+	out := filepath.Join(dir, "out.pgm")
+
+	src := frame.New(32, 24, frame.Gray8)
+	for i := range src.Pix {
+		src.Pix[i] = uint8(i)
+	}
+	if err := src.SavePNM(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := encode(in, rpxPath, "4,4,16,12,1,1", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := info(rpxPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := decode(rpxPath, out); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := frame.LoadPNM(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Gray(10, 10) != src.Gray(10, 10) {
+		t.Error("in-region pixel lost")
+	}
+	if dec.Gray(0, 0) != 0 {
+		t.Error("out-of-region pixel not black")
+	}
+	// Error paths.
+	if err := encode(in, "", "", 0); err == nil {
+		t.Error("missing -out accepted")
+	}
+	if err := decode(rpxPath, ""); err == nil {
+		t.Error("missing -out accepted")
+	}
+	if err := info(filepath.Join(dir, "missing.rpx")); err == nil {
+		t.Error("missing input accepted")
+	}
+}
+
+func TestEncodeSeqDecodeSeq(t *testing.T) {
+	dir := t.TempDir()
+	seqDir := filepath.Join(dir, "seq")
+	if err := os.MkdirAll(seqDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		fr := frame.New(16, 16, frame.Gray8)
+		fr.Fill(uint8(40 * i))
+		if err := fr.SavePNM(filepath.Join(seqDir, "f"+string(rune('0'+i))+".pgm")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stream := filepath.Join(dir, "s.rpxs")
+	if err := encodeSeq(seqDir, stream, "2,2,8,8,1,1", 2); err != nil {
+		t.Fatal(err)
+	}
+	outDir := filepath.Join(dir, "out")
+	if err := decodeSeq(stream, outDir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(outDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Errorf("decoded %d frames", len(entries))
+	}
+	// Frame 0 was a full capture (cl=2): corner pixel survives.
+	f0, err := frame.LoadPNM(filepath.Join(outDir, "frame00000.pgm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f0.Gray(0, 0) != 0 { // fill(0) frame
+		t.Errorf("frame 0 corner = %d", f0.Gray(0, 0))
+	}
+	// Frame 1 (regions only): corner black, region value 40.
+	f1, err := frame.LoadPNM(filepath.Join(outDir, "frame00001.pgm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1.Gray(4, 4) != 40 {
+		t.Errorf("frame 1 region pixel = %d, want 40", f1.Gray(4, 4))
+	}
+	// Empty dir fails.
+	if err := encodeSeq(dir, stream, "", 0); err == nil {
+		t.Error("dir without images accepted")
+	}
+}

@@ -1,0 +1,142 @@
+// Command rpxtrace runs the throughput simulator over a region label trace
+// file and reports memory traffic and footprint per capture system, the
+// §5.3.1 methodology as a standalone tool.
+//
+// The trace file holds one frame per line: semicolon-separated
+// x,y,w,h,stride,skip tuples (empty line = no regions; the word "full" =
+// full-frame capture). Example:
+//
+//	full
+//	10,10,64,64,2,1;200,100,80,80,1,2
+//	10,12,64,64,2,1
+//
+// Usage:
+//
+//	rpxtrace -w 1920 -h 1080 -bpp 3 -fps 30 -trace trace.txt -systems FCH,RP10,Multi-ROI
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/region"
+	"repro/internal/trace"
+)
+
+func main() {
+	w := flag.Int("w", 1920, "frame width")
+	h := flag.Int("h", 1080, "frame height")
+	bpp := flag.Int("bpp", 3, "bytes per pixel")
+	fps := flag.Float64("fps", 30, "frame rate")
+	tracePath := flag.String("trace", "", "trace file (one frame of regions per line)")
+	systems := flag.String("systems", "FCH,FCL,RP10,Multi-ROI,H.264", "comma-separated capture systems")
+	flag.Parse()
+
+	if *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "rpxtrace: missing -trace")
+		os.Exit(2)
+	}
+	frames, err := loadTrace(*tracePath, *w, *h)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rpxtrace:", err)
+		os.Exit(1)
+	}
+	cfg := trace.Config{W: *w, H: *h, BytesPerPixel: *bpp, FPS: *fps}
+	fmt.Printf("%-10s %12s %12s %12s %14s %14s\n", "System", "Total MB/s", "Write MB/s", "Read MB/s", "Mean foot MB", "Peak foot MB")
+	for _, name := range strings.Split(*systems, ",") {
+		name = strings.TrimSpace(name)
+		model, err := modelFor(name, *w, *h, *bpp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rpxtrace:", err)
+			os.Exit(1)
+		}
+		res, err := trace.Run(cfg, model, frames)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rpxtrace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-10s %12.1f %12.1f %12.1f %14.1f %14.1f\n",
+			name, res.TotalMBps, res.WriteMBps, res.ReadMBps, res.MeanFootprintMB, res.PeakFootprintMB)
+	}
+}
+
+func modelFor(name string, w, h, bpp int) (baseline.Model, error) {
+	switch {
+	case name == "FCH":
+		return baseline.NewFCH(w, h, bpp), nil
+	case name == "FCL":
+		return baseline.NewFCL(w, h, bpp, 4), nil
+	case name == "Multi-ROI":
+		return baseline.NewMultiROI(w, h, bpp), nil
+	case name == "H.264":
+		return baseline.NewH264(w, h, bpp), nil
+	case strings.HasPrefix(name, "RP"):
+		cl, err := strconv.Atoi(name[2:])
+		if err != nil || cl < 1 {
+			return nil, fmt.Errorf("bad rhythmic system %q (want RP<cycle>)", name)
+		}
+		return baseline.NewRhythmic(cl, w, h, bpp), nil
+	}
+	return nil, fmt.Errorf("unknown system %q", name)
+}
+
+func loadTrace(path string, w, h int) ([]region.List, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var frames []region.List
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "#"):
+			if line == "" {
+				frames = append(frames, nil)
+			}
+		case line == "full":
+			frames = append(frames, region.List{region.FullFrame(w, h)})
+		default:
+			var ls region.List
+			for _, part := range strings.Split(line, ";") {
+				part = strings.TrimSpace(part)
+				if part == "" {
+					continue
+				}
+				fields := strings.Split(part, ",")
+				if len(fields) != 6 {
+					return nil, fmt.Errorf("%s:%d: region %q needs 6 fields", path, lineNo, part)
+				}
+				var vals [6]int
+				for i, fstr := range fields {
+					v, err := strconv.Atoi(strings.TrimSpace(fstr))
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: %v", path, lineNo, err)
+					}
+					vals[i] = v
+				}
+				l := region.Label{X: vals[0], Y: vals[1], W: vals[2], H: vals[3], Stride: vals[4], Skip: vals[5]}
+				if err := l.Validate(w, h); err != nil {
+					return nil, fmt.Errorf("%s:%d: %v", path, lineNo, err)
+				}
+				ls = append(ls, l)
+			}
+			frames = append(frames, ls.SortByY())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("%s: empty trace", path)
+	}
+	return frames, nil
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestModelFor(t *testing.T) {
+	for _, name := range []string{"FCH", "FCL", "Multi-ROI", "H.264", "RP10", "RP7"} {
+		m, err := modelFor(name, 640, 480, 1)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if name != "RP7" && m.Name() != name {
+			t.Errorf("Name = %q, want %q", m.Name(), name)
+		}
+	}
+	for _, bad := range []string{"RPx", "RP0", "bogus"} {
+		if _, err := modelFor(bad, 640, 480, 1); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestLoadTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.txt")
+	content := `# comment
+full
+10,10,64,64,2,1;200,100,80,80,1,2
+
+10,12,64,64,2,1
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	frames, err := loadTrace(path, 640, 480)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 4 {
+		t.Fatalf("got %d frames", len(frames))
+	}
+	if len(frames[0]) != 1 || frames[0][0].W != 640 {
+		t.Errorf("frame 0 = %v, want full", frames[0])
+	}
+	if len(frames[1]) != 2 {
+		t.Errorf("frame 1 = %v", frames[1])
+	}
+	if frames[2] != nil {
+		t.Errorf("blank line should be an empty frame, got %v", frames[2])
+	}
+	if !frames[1].IsSortedByY() {
+		t.Error("regions not sorted")
+	}
+}
+
+func TestLoadTraceErrors(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"badArity":  "1,2,3\n",
+		"badNumber": "a,b,c,d,e,f\n",
+		"outside":   "0,0,9999,10,1,1\n",
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := loadTrace(path, 640, 480); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	if _, err := loadTrace(filepath.Join(dir, "missing"), 640, 480); err == nil {
+		t.Error("missing file accepted")
+	}
+	empty := filepath.Join(dir, "empty")
+	if err := os.WriteFile(empty, []byte("# only a comment\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadTrace(empty, 640, 480); err == nil {
+		t.Error("empty trace accepted")
+	}
+}

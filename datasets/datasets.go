@@ -1,0 +1,58 @@
+// Package datasets exposes the synthetic benchmark generators so library
+// users can exercise the rhythmic pixel pipeline on realistic moving-scene
+// inputs with exact ground truth: a textured world with a free camera (the
+// V-SLAM setting), a portal scene with faces entering and leaving (the face
+// detection setting), and an articulated walking figure (the pose
+// estimation setting).
+package datasets
+
+import "repro/internal/synth"
+
+// World is a textured canvas a virtual camera pans across.
+type World = synth.World
+
+// Pose is a 2D camera pose over a World.
+type Pose = synth.Pose
+
+// MotionProfile shapes generated camera trajectories.
+type MotionProfile = synth.MotionProfile
+
+// Motion profiles from near-static to rapid.
+var (
+	ProfileStatic = synth.ProfileStatic
+	ProfileSlow   = synth.ProfileSlow
+	ProfileMedium = synth.ProfileMedium
+	ProfileFast   = synth.ProfileFast
+)
+
+// NewWorld generates a deterministic textured world.
+func NewWorld(w, h int, seed int64) *World { return synth.NewWorld(w, h, seed) }
+
+// Box is an axis-aligned ground-truth bounding box.
+type Box = synth.Box
+
+// FaceSequence is a synthetic face-detection benchmark.
+type FaceSequence = synth.FaceSequence
+
+// NewFaceSequence generates a face sequence with ground-truth boxes.
+func NewFaceSequence(w, h, frames, nFaces int, seed int64) *FaceSequence {
+	return synth.NewFaceSequence(w, h, frames, nFaces, seed)
+}
+
+// PoseSequence is a synthetic human-pose benchmark.
+type PoseSequence = synth.PoseSequence
+
+// Joints names the skeleton joints of PoseSequence ground truth.
+var Joints = synth.Joints
+
+// NewPoseSequence generates a walking-figure sequence.
+func NewPoseSequence(w, h, frames int, seed int64) *PoseSequence {
+	return synth.NewPoseSequence(w, h, frames, seed)
+}
+
+// NewMultiPoseSequence generates a sequence with several figures walking at
+// different depths, speeds, and gait phases (the multi-person PoseTrack
+// setting).
+func NewMultiPoseSequence(w, h, frames, nPeople int, seed int64) *PoseSequence {
+	return synth.NewMultiPoseSequence(w, h, frames, nPeople, seed)
+}

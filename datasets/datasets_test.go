@@ -1,0 +1,46 @@
+package datasets
+
+import "testing"
+
+func TestWorldAndTrajectory(t *testing.T) {
+	w := NewWorld(512, 512, 1)
+	poses := w.Trajectory(20, 128, 96, ProfileSlow, 2)
+	if len(poses) != 20 {
+		t.Fatalf("got %d poses", len(poses))
+	}
+	img := w.Render(poses[0], 128, 96)
+	if img.W != 128 || img.H != 96 {
+		t.Errorf("render %dx%d", img.W, img.H)
+	}
+	// All four profiles are usable.
+	for _, p := range []MotionProfile{ProfileStatic, ProfileSlow, ProfileMedium, ProfileFast} {
+		if p.SpeedPxPerFrame <= 0 {
+			t.Errorf("profile speed %v", p.SpeedPxPerFrame)
+		}
+	}
+}
+
+func TestFaceSequenceFacade(t *testing.T) {
+	s := NewFaceSequence(320, 240, 30, 2, 3)
+	if s.Frames != 30 || len(s.Truth) != 30 {
+		t.Fatal("face sequence shape wrong")
+	}
+	if s.RenderFrame(5) == nil {
+		t.Fatal("nil render")
+	}
+}
+
+func TestPoseSequenceFacade(t *testing.T) {
+	single := NewPoseSequence(320, 240, 20, 4)
+	if single.NumWalkers() != 1 || len(single.Truth[0]) != len(Joints) {
+		t.Error("single pose shape wrong")
+	}
+	multi := NewMultiPoseSequence(320, 240, 20, 3, 4)
+	if multi.NumWalkers() != 3 || len(multi.Truth[0]) != 3*len(Joints) {
+		t.Error("multi pose shape wrong")
+	}
+	var b Box = multi.Truth[0][0]
+	if b.W <= 0 {
+		t.Error("degenerate truth box")
+	}
+}

@@ -1,0 +1,106 @@
+// Policy-user example: the paper's two-tier developer model (§4.3.1).
+// Policy makers publish named policies; a policy user picks one from the
+// pool, feeds it per-frame task feedback, and lets it drive the capture —
+// no policy code written. The same loop runs here against every built-in
+// policy for comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/datasets"
+	"repro/rpx"
+)
+
+const (
+	width, height = 480, 360
+	frames        = 60
+	cycleLength   = 10
+)
+
+func main() {
+	fmt.Println("registered policies:")
+	for _, name := range rpx.PolicyNames() {
+		desc, _ := rpx.DescribePolicy(name)
+		fmt.Printf("  %-15s %s\n", name, desc)
+	}
+	fmt.Println()
+
+	fmt.Printf("%-15s %-14s %-12s\n", "Policy", "PixelsStored", "AvgRegions")
+	for _, name := range rpx.PolicyNames() {
+		stored, avgRegions, err := run(name)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("%-15s %-14s %-12.1f\n", name, fmt.Sprintf("%.1f%%", stored*100), avgRegions)
+	}
+}
+
+// run drives one policy over the face scene, feeding it ground-truth boxes
+// and feature detections as task feedback.
+func run(policyName string) (stored float64, avgRegions float64, err error) {
+	pol, err := rpx.BuildPolicy(policyName, width, height, cycleLength)
+	if err != nil {
+		return 0, 0, err
+	}
+	sys, err := rpx.NewSystem(width, height, rpx.Gray8)
+	if err != nil {
+		return 0, 0, err
+	}
+	seq := datasets.NewFaceSequence(width, height, frames, 4, 21)
+	detector := rpx.NewFeatureDetector()
+	detector.MaxFeatures = 120
+	detector.GridCell = 48
+
+	var regionSum float64
+	var prevBoxes []rpx.Box
+	for t := 0; t < frames; t++ {
+		labels := pol.Labels(t)
+		if len(labels) == 0 {
+			labels = rpx.RegionList{rpx.FullFrame(width, height)}
+		}
+		regionSum += float64(len(labels))
+		if err := sys.SetRegionLabels(labels); err != nil {
+			return 0, 0, err
+		}
+		if _, err := sys.Capture(seq.RenderFrame(t)); err != nil {
+			return 0, 0, err
+		}
+		decoded, err := sys.Decoded()
+		if err != nil {
+			return 0, 0, err
+		}
+
+		// Task feedback: feature detections for feature policies, the
+		// scene's boxes (a detector stand-in) for box policies.
+		kps := detector.Detect(decoded)
+		boxes := seq.Truth[t]
+		vels := make([]float64, len(boxes))
+		for i := range boxes {
+			if i < len(prevBoxes) {
+				cx, cy := boxes[i].Center()
+				px, py := prevBoxes[i].Center()
+				dx, dy := cx-px, cy-py
+				if dx < 0 {
+					dx = -dx
+				}
+				if dy < 0 {
+					dy = -dy
+				}
+				vels[i] = dx + dy
+			} else {
+				vels[i] = 5
+			}
+		}
+		prevBoxes = boxes
+		pol.Observe(rpx.PolicyFeedback{
+			KeyPoints:        kps,
+			MeanDisplacement: 3,
+			Boxes:            boxes,
+			BoxVelocities:    vels,
+		})
+	}
+	st := sys.Stats()
+	return float64(st.PixelsStored) / float64(st.PixelsIn), regionSum / frames, nil
+}

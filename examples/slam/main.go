@@ -1,0 +1,115 @@
+// SLAM example: the paper's §3.4 case study end to end. A virtual camera
+// pans across a textured world; an ORB-style feature frontend finds
+// keypoints on the decoded frames; a cycle-length policy turns the features
+// into region labels for the next frame (size → extent, octave → stride,
+// displacement → skip); and the rhythmic pixel system captures only those
+// regions between periodic full frames.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/datasets"
+	"repro/rpx"
+)
+
+const (
+	width, height = 480, 360
+	frames        = 60
+	cycleLength   = 10
+)
+
+func main() {
+	world := datasets.NewWorld(1536, 1536, 42)
+	trajectory := world.Trajectory(frames, width, height, datasets.ProfileMedium, 7)
+
+	sys, err := rpx.NewSystem(width, height, rpx.Gray8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	detector := rpx.NewFeatureDetector()
+	params := rpx.DefaultFeatureParams()
+
+	// The policy closes the loop: features from the last decoded frame
+	// define the regions for the next frame.
+	var featureLabels rpx.RegionList
+	policy := rpx.NewCyclePolicy(cycleLength, width, height,
+		rpx.PolicySourceFunc(func(int) rpx.RegionList { return featureLabels }))
+
+	var prev []rpx.KeyPoint
+	for t := 0; t < frames; t++ {
+		labels := policy.Labels(t)
+		if len(labels) == 0 {
+			labels = rpx.RegionList{rpx.FullFrame(width, height)}
+		}
+		if err := sys.SetRegionLabels(labels); err != nil {
+			log.Fatal(err)
+		}
+
+		input := world.Render(trajectory[t], width, height)
+		cs, err := sys.Capture(input)
+		if err != nil {
+			log.Fatal(err)
+		}
+		decoded, err := sys.Decoded()
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Vision side: detect features on the decoded frame, estimate
+		// per-feature motion against the previous frame.
+		kps := detector.Detect(decoded)
+		disp := meanDisplacement(prev, kps)
+		prev = kps
+		featureLabels = rpx.FeatureRegions(kps, disp, width, height, params)
+
+		kind := "regions"
+		if policy.IsFullCapture(t) {
+			kind = "FULL   "
+		}
+		if t%6 == 0 {
+			fmt.Printf("frame %2d [%s]: %4d labels in, %3d features out, stored %5.1f%% of pixels\n",
+				t, kind, len(labels), len(kps), cs.PixelFraction*100)
+		}
+	}
+
+	st := sys.Stats()
+	fmt.Printf("\nover %d frames: stored %.1f%% of the pixel stream, wrote %.2f MB (frame-based: %.2f MB)\n",
+		frames,
+		100*float64(st.PixelsStored)/float64(st.PixelsIn),
+		float64(st.BytesWritten)/1e6,
+		float64(st.PixelsIn)/1e6)
+	fmt.Printf("write-traffic reduction vs frame-based capture: %.0f%%\n",
+		st.ReductionVsFrameBased(1)*100)
+}
+
+// meanDisplacement estimates per-frame feature motion by nearest-neighbor
+// distance between consecutive keypoint sets (good enough to pick a skip
+// rate; the full system uses descriptor matching).
+func meanDisplacement(prev, cur []rpx.KeyPoint) float64 {
+	if len(prev) == 0 || len(cur) == 0 {
+		return 10 // unknown: assume fast so regions refresh every frame
+	}
+	var sum float64
+	n := 0
+	for i := 0; i < len(cur) && i < 60; i++ {
+		best := 1e18
+		for j := range prev {
+			dx := cur[i].X - prev[j].X
+			dy := cur[i].Y - prev[j].Y
+			if d := dx*dx + dy*dy; d < best {
+				best = d
+			}
+		}
+		if best < 40*40 {
+			sum += math.Sqrt(best)
+			n++
+		}
+	}
+	if n == 0 {
+		return 10
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,254 @@
+// Package baseline implements the per-frame memory traffic models of every
+// system the paper's evaluation compares (§5.3 "Baselines"):
+//
+//   - FCH/FCL: frame-based computing at high/low uniform resolution;
+//   - RPx: rhythmic pixel regions (driven by the real encoder's
+//     classification via core.CountCodes);
+//   - Multi-ROI: off-the-shelf multi-ROI cameras, limited to 16 rectangular
+//     regions merged by k-means, without stride/skip adaptation, storing
+//     each region as a grouped sequence (overlaps duplicated);
+//   - H.264: a datasheet-style codec model that moves multiple reference
+//     frames through memory per encoded frame.
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/bitpack"
+	"repro/internal/core"
+	"repro/internal/region"
+)
+
+// Traffic is the DRAM activity one frame induces under a model.
+type Traffic struct {
+	// WriteBytes is framebuffer write traffic for capturing the frame.
+	WriteBytes int64
+	// ReadBytes is read traffic for the application consuming the frame.
+	ReadBytes int64
+	// FootprintBytes is the live framebuffer allocation after this frame.
+	FootprintBytes int64
+	// PixelsStored is the number of pixels written (the paper's "fraction
+	// of pixels captured" metric divides this by W*H).
+	PixelsStored int64
+}
+
+// Model produces per-frame traffic for a capture system.
+type Model interface {
+	// Name identifies the model in reports (e.g. "FCH", "RP10").
+	Name() string
+	// FrameTraffic evaluates the traffic of one frame given the region
+	// labels the application requested for it. Frame-based models ignore
+	// the labels.
+	FrameTraffic(labels region.List, frameIndex int) Traffic
+}
+
+// RingDepth is the framebuffer ring depth every model buffers: the rhythmic
+// decoder needs its 4-frame metadata scratchpad window resident, and the
+// frame-based pipelines conventionally keep a matching ring in the camera
+// HAL.
+const RingDepth = 4
+
+// FrameBased models uniform full-frame capture at a fixed resolution: FCH
+// at the sensor's high resolution or FCL at a downscaled one.
+type FrameBased struct {
+	Label         string
+	W, H          int
+	BytesPerPixel int
+}
+
+// NewFCH returns the high-resolution frame-based baseline.
+func NewFCH(w, h, bpp int) FrameBased {
+	return FrameBased{Label: "FCH", W: w, H: h, BytesPerPixel: bpp}
+}
+
+// NewFCL returns a low-resolution frame-based baseline downscaled by factor.
+func NewFCL(w, h, bpp, factor int) FrameBased {
+	return FrameBased{Label: "FCL", W: w / factor, H: h / factor, BytesPerPixel: bpp}
+}
+
+// Name implements Model.
+func (m FrameBased) Name() string { return m.Label }
+
+// FrameTraffic implements Model: the whole frame is written once and read
+// once, and a RingDepth ring of full frames stays live.
+func (m FrameBased) FrameTraffic(_ region.List, _ int) Traffic {
+	size := int64(m.W) * int64(m.H) * int64(m.BytesPerPixel)
+	return Traffic{
+		WriteBytes:     size,
+		ReadBytes:      size,
+		FootprintBytes: size * RingDepth,
+		PixelsStored:   int64(m.W) * int64(m.H),
+	}
+}
+
+// Rhythmic models the rhythmic pixel region system with a given cycle
+// length naming convention (RP5, RP10, ...). Traffic is derived from the
+// exact EncMask classification the hardware encoder would produce.
+type Rhythmic struct {
+	Label         string
+	W, H          int
+	BytesPerPixel int
+	HistoryDepth  int
+
+	// ring holds the last HistoryDepth encoded-frame total sizes for the
+	// footprint model.
+	ring []int64
+}
+
+// NewRhythmic returns a rhythmic-pixel traffic model. cycleLength only
+// affects the display name; the actual rhythm comes from the per-frame
+// label lists the policy generates.
+func NewRhythmic(cycleLength, w, h, bpp int) *Rhythmic {
+	return &Rhythmic{
+		Label:         fmt.Sprintf("RP%d", cycleLength),
+		W:             w,
+		H:             h,
+		BytesPerPixel: bpp,
+		HistoryDepth:  core.DefaultHistoryDepth,
+	}
+}
+
+// Name implements Model.
+func (m *Rhythmic) Name() string { return m.Label }
+
+// metadataBytes is the per-frame metadata cost: a 2-bit EncMask per pixel
+// plus 4-byte per-row offsets.
+func (m *Rhythmic) metadataBytes() int64 {
+	return int64((m.W*m.H+3)/4) + int64(4*(m.H+1))
+}
+
+// FrameTraffic implements Model.
+func (m *Rhythmic) FrameTraffic(labels region.List, frameIndex int) Traffic {
+	counts := core.CountCodes(m.W, m.H, frameIndex, labels)
+	rPixels := int64(counts[bitpack.CodeR])
+	skPixels := int64(counts[bitpack.CodeSk])
+	payload := rPixels * int64(m.BytesPerPixel)
+	meta := m.metadataBytes()
+
+	// Write path: encoded payload plus metadata enter DRAM.
+	write := payload + meta
+	// Read path: the decoder fetches the current frame's payload and
+	// metadata once as the app consumes the frame, plus history fetches
+	// for temporally skipped pixels.
+	read := payload + meta + skPixels*int64(m.BytesPerPixel)
+
+	// Footprint: the scratchpad window of encoded frames stays live.
+	m.ring = append(m.ring, payload+meta)
+	if len(m.ring) > m.HistoryDepth {
+		m.ring = m.ring[1:]
+	}
+	var foot int64
+	for _, s := range m.ring {
+		foot += s
+	}
+	return Traffic{WriteBytes: write, ReadBytes: read, FootprintBytes: foot, PixelsStored: rPixels}
+}
+
+// MultiROI models an off-the-shelf multi-ROI camera: at most MaxRegions
+// rectangular windows, no stride or skip, regions stored as grouped
+// sequences so overlapping areas are duplicated.
+type MultiROI struct {
+	W, H          int
+	BytesPerPixel int
+	MaxRegions    int
+	Seed          int64
+
+	ring []int64
+}
+
+// MaxMultiROIRegions is the paper's observed commercial limit.
+const MaxMultiROIRegions = 16
+
+// NewMultiROI returns the multi-ROI camera model.
+func NewMultiROI(w, h, bpp int) *MultiROI {
+	return &MultiROI{W: w, H: h, BytesPerPixel: bpp, MaxRegions: MaxMultiROIRegions, Seed: 1}
+}
+
+// Name implements Model.
+func (m *MultiROI) Name() string { return "Multi-ROI" }
+
+// roiAlignX and roiAlignY are commercial multi-ROI window alignment
+// constraints: readout windows snap to coarse column granularity and even
+// rows (e.g. Ximea multi-ROI cameras align horizontal offsets/widths to
+// multiples of 16 and vertical ones to multiples of 2).
+const (
+	roiAlignX = 16
+	roiAlignY = 2
+)
+
+// alignROI expands a box to the sensor's window alignment grid, clipped to
+// the frame.
+func alignROI(b region.Label, w, h int) region.Label {
+	x0 := b.X / roiAlignX * roiAlignX
+	y0 := b.Y / roiAlignY * roiAlignY
+	x1 := (b.X + b.W + roiAlignX - 1) / roiAlignX * roiAlignX
+	y1 := (b.Y + b.H + roiAlignY - 1) / roiAlignY * roiAlignY
+	if x1 > w {
+		x1 = w
+	}
+	if y1 > h {
+		y1 = h
+	}
+	b.X, b.Y, b.W, b.H = x0, y0, x1-x0, y1-y0
+	return b
+}
+
+// FrameTraffic implements Model.
+func (m *MultiROI) FrameTraffic(labels region.List, _ int) Traffic {
+	boxes := region.ClusterKMeans(labels, m.MaxRegions, m.W, m.H, m.Seed)
+	var pixels int64
+	for _, b := range boxes {
+		pixels += int64(alignROI(b, m.W, m.H).Area()) // grouped storage duplicates overlaps
+	}
+	bytes := pixels * int64(m.BytesPerPixel)
+	m.ring = append(m.ring, bytes)
+	if len(m.ring) > RingDepth {
+		m.ring = m.ring[1:]
+	}
+	var foot int64
+	for _, s := range m.ring {
+		foot += s
+	}
+	return Traffic{WriteBytes: bytes, ReadBytes: bytes, FootprintBytes: foot, PixelsStored: pixels}
+}
+
+// H264 models a hardware H.264 encoder pipeline from datasheet behaviour:
+// each input frame is written raw to memory, read by the codec, motion
+// search reads reference frames, the reconstructed reference is written
+// back, and the compressed bitstream is written out. Compression reduces
+// the *bitstream*, not the pixel traffic — which is why the paper finds
+// H.264 generates substantially more memory traffic than every other
+// baseline.
+type H264 struct {
+	W, H          int
+	BytesPerPixel int
+	// RefFrames is the number of reference frames motion estimation reads.
+	RefFrames int
+	// CompressionRatio divides the frame size to estimate bitstream bytes
+	// (Baseline profile, level 5.2 per the paper's codec configuration).
+	CompressionRatio float64
+}
+
+// NewH264 returns the codec model with the paper's configuration: Baseline
+// profile (1 reference frame, plus the current reconstruction) at level 5.2.
+func NewH264(w, h, bpp int) H264 {
+	return H264{W: w, H: h, BytesPerPixel: bpp, RefFrames: 2, CompressionRatio: 20}
+}
+
+// Name implements Model.
+func (m H264) Name() string { return "H.264" }
+
+// FrameTraffic implements Model.
+func (m H264) FrameTraffic(_ region.List, _ int) Traffic {
+	size := int64(m.W) * int64(m.H) * int64(m.BytesPerPixel)
+	bitstream := int64(float64(size) / m.CompressionRatio)
+	write := size + size + bitstream              // raw capture + recon reference + bitstream
+	read := size + int64(m.RefFrames)*size        // codec input + motion search
+	foot := size*int64(2+m.RefFrames) + bitstream // current, recon, references, bitstream
+	return Traffic{
+		WriteBytes:     write,
+		ReadBytes:      read,
+		FootprintBytes: foot,
+		PixelsStored:   int64(m.W) * int64(m.H),
+	}
+}

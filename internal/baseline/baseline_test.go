@@ -1,0 +1,204 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/region"
+)
+
+func TestFrameBasedTraffic(t *testing.T) {
+	fch := NewFCH(3840, 2160, 1)
+	tr := fch.FrameTraffic(nil, 0)
+	size := int64(3840 * 2160)
+	if tr.WriteBytes != size || tr.ReadBytes != size || tr.PixelsStored != size {
+		t.Errorf("FCH traffic = %+v", tr)
+	}
+	if tr.FootprintBytes != size*RingDepth {
+		t.Errorf("FCH footprint = %d, want %d", tr.FootprintBytes, size*RingDepth)
+	}
+	if fch.Name() != "FCH" {
+		t.Errorf("Name = %q", fch.Name())
+	}
+	fcl := NewFCL(3840, 2160, 1, 4) // 960x540
+	trl := fcl.FrameTraffic(nil, 0)
+	if trl.WriteBytes != 960*540 {
+		t.Errorf("FCL write = %d", trl.WriteBytes)
+	}
+	if fcl.Name() != "FCL" {
+		t.Errorf("Name = %q", fcl.Name())
+	}
+}
+
+func TestRhythmicTrafficFullFrame(t *testing.T) {
+	m := NewRhythmic(10, 100, 100, 1)
+	if m.Name() != "RP10" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	full := region.List{region.FullFrame(100, 100)}
+	tr := m.FrameTraffic(full, 0)
+	if tr.PixelsStored != 100*100 {
+		t.Errorf("PixelsStored = %d", tr.PixelsStored)
+	}
+	// Payload + mask (2500 B) + offsets (404 B).
+	wantWrite := int64(10000 + 2500 + 404)
+	if tr.WriteBytes != wantWrite {
+		t.Errorf("WriteBytes = %d, want %d", tr.WriteBytes, wantWrite)
+	}
+	if tr.ReadBytes != wantWrite { // no Sk pixels
+		t.Errorf("ReadBytes = %d, want %d", tr.ReadBytes, wantWrite)
+	}
+}
+
+func TestRhythmicTrafficSparseAndSkip(t *testing.T) {
+	m := NewRhythmic(5, 100, 100, 1)
+	labels := region.List{{X: 10, Y: 10, W: 20, H: 20, Stride: 2, Skip: 2}}
+	// Frame 0: active, 10x10 lattice pixels stored.
+	tr0 := m.FrameTraffic(labels, 0)
+	if tr0.PixelsStored != 100 {
+		t.Errorf("frame 0 PixelsStored = %d, want 100", tr0.PixelsStored)
+	}
+	// Frame 1: skipped, nothing stored, but reads fetch Sk pixels from
+	// history (400 region pixels).
+	tr1 := m.FrameTraffic(labels, 1)
+	if tr1.PixelsStored != 0 {
+		t.Errorf("frame 1 PixelsStored = %d, want 0", tr1.PixelsStored)
+	}
+	meta := int64((100*100+3)/4 + 4*101)
+	if tr1.WriteBytes != meta {
+		t.Errorf("frame 1 WriteBytes = %d, want metadata only %d", tr1.WriteBytes, meta)
+	}
+	if tr1.ReadBytes != meta+400 {
+		t.Errorf("frame 1 ReadBytes = %d, want %d", tr1.ReadBytes, meta+400)
+	}
+}
+
+func TestRhythmicFootprintRing(t *testing.T) {
+	m := NewRhythmic(10, 64, 64, 1)
+	full := region.List{region.FullFrame(64, 64)}
+	var last Traffic
+	for i := 0; i < 6; i++ {
+		last = m.FrameTraffic(full, i)
+	}
+	perFrame := int64(64*64) + int64((64*64+3)/4) + int64(4*65)
+	if last.FootprintBytes != 4*perFrame {
+		t.Errorf("footprint = %d, want 4 frames x %d", last.FootprintBytes, perFrame)
+	}
+}
+
+func TestRhythmicLessTrafficThanFCH(t *testing.T) {
+	const w, h = 640, 480
+	rng := rand.New(rand.NewSource(1))
+	var labels region.List
+	for i := 0; i < 50; i++ {
+		l, ok := region.Clip(region.Label{
+			X: rng.Intn(w), Y: rng.Intn(h), W: 30 + rng.Intn(40), H: 30 + rng.Intn(40),
+			Stride: 1 + rng.Intn(3), Skip: 1 + rng.Intn(3),
+		}, w, h)
+		if ok {
+			labels = append(labels, l)
+		}
+	}
+	labels.SortByY()
+	rp := NewRhythmic(10, w, h, 1)
+	fch := NewFCH(w, h, 1)
+	rpT := rp.FrameTraffic(labels, 1)
+	fchT := fch.FrameTraffic(labels, 1)
+	if rpT.WriteBytes >= fchT.WriteBytes {
+		t.Errorf("RP write %d >= FCH write %d for sparse regions", rpT.WriteBytes, fchT.WriteBytes)
+	}
+}
+
+func TestMultiROITraffic(t *testing.T) {
+	m := NewMultiROI(640, 480, 1)
+	if m.Name() != "Multi-ROI" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	// Two disjoint boxes of 100x100: traffic = sum of areas at full res
+	// (stride/skip ignored), expanded to the sensor's window alignment:
+	// widths round up to multiples of 16 → 112x100 each.
+	labels := region.List{
+		{X: 0, Y: 0, W: 100, H: 100, Stride: 4, Skip: 4},
+		{X: 300, Y: 300, W: 100, H: 100, Stride: 4, Skip: 4},
+	}
+	tr := m.FrameTraffic(labels, 0)
+	want := int64(2 * 112 * 100)
+	if tr.PixelsStored != want {
+		t.Errorf("PixelsStored = %d, want %d (stride/skip ignored, 16px alignment)", tr.PixelsStored, want)
+	}
+	if tr.WriteBytes != want || tr.ReadBytes != want {
+		t.Errorf("traffic = %+v", tr)
+	}
+}
+
+func TestMultiROICapsRegions(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var labels region.List
+	for i := 0; i < 300; i++ {
+		l, ok := region.Clip(region.Label{
+			X: rng.Intn(1900), Y: rng.Intn(1060), W: 20, H: 20, Stride: 1, Skip: 1,
+		}, 1920, 1080)
+		if ok {
+			labels = append(labels, l)
+		}
+	}
+	labels.SortByY()
+	m := NewMultiROI(1920, 1080, 1)
+	tr := m.FrameTraffic(labels, 0)
+	// 300 scattered 20x20 regions merged into 16 boxes cover far more area
+	// than the regions themselves: the multi-ROI baseline overfetches.
+	var exact int64
+	for _, l := range labels {
+		exact += int64(l.Area())
+	}
+	if tr.PixelsStored <= exact {
+		t.Errorf("multi-ROI stored %d <= exact %d; clustering should overfetch", tr.PixelsStored, exact)
+	}
+}
+
+func TestH264Traffic(t *testing.T) {
+	m := NewH264(1920, 1080, 1)
+	if m.Name() != "H.264" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	size := int64(1920 * 1080)
+	tr := m.FrameTraffic(nil, 0)
+	// The codec moves several frame-sized buffers per frame: total traffic
+	// must substantially exceed frame-based computing's 2x.
+	if tr.WriteBytes+tr.ReadBytes <= 3*size {
+		t.Errorf("H.264 traffic = %d, want > 3x frame size", tr.WriteBytes+tr.ReadBytes)
+	}
+	// Footprint holds multiple frames.
+	if tr.FootprintBytes <= 2*size {
+		t.Errorf("H.264 footprint = %d, want multi-frame", tr.FootprintBytes)
+	}
+}
+
+func TestBaselineOrdering(t *testing.T) {
+	// The paper's Fig. 8 ordering for sparse-region workloads:
+	// RPx < Multi-ROI < FCH < H.264 in total traffic.
+	const w, h = 1280, 720
+	rng := rand.New(rand.NewSource(3))
+	var labels region.List
+	for i := 0; i < 100; i++ {
+		l, ok := region.Clip(region.Label{
+			X: rng.Intn(w), Y: rng.Intn(h), W: 40 + rng.Intn(40), H: 40 + rng.Intn(40),
+			Stride: 1 + rng.Intn(4), Skip: 1 + rng.Intn(3),
+		}, w, h)
+		if ok {
+			labels = append(labels, l)
+		}
+	}
+	labels.SortByY()
+	total := func(m Model) int64 {
+		tr := m.FrameTraffic(labels, 1)
+		return tr.WriteBytes + tr.ReadBytes
+	}
+	rp := total(NewRhythmic(10, w, h, 1))
+	mr := total(NewMultiROI(w, h, 1))
+	fch := total(NewFCH(w, h, 1))
+	h264 := total(NewH264(w, h, 1))
+	if !(rp < mr && fch < h264) {
+		t.Errorf("ordering violated: RP=%d MultiROI=%d FCH=%d H264=%d", rp, mr, fch, h264)
+	}
+}

@@ -1,0 +1,50 @@
+package bitpack
+
+// Cursor walks a Mask2 sequentially while tracking the running count of
+// CodeR elements seen so far. The decoder's FIFO sampling unit uses a cursor
+// per row so that translating consecutive pixel requests is O(1) each instead
+// of O(x) popcounts.
+type Cursor struct {
+	m    *Mask2
+	pos  int
+	rSum int
+}
+
+// NewCursor returns a cursor at element 0 of m.
+func NewCursor(m *Mask2) *Cursor { return &Cursor{m: m} }
+
+// Pos returns the current element index.
+func (c *Cursor) Pos() int { return c.pos }
+
+// RBefore returns the number of CodeR elements strictly before the current
+// position.
+func (c *Cursor) RBefore() int { return c.rSum }
+
+// Next returns the code at the current position and advances by one.
+// It panics when advanced past the end of the mask.
+func (c *Cursor) Next() Code {
+	code := c.m.Get(c.pos)
+	c.pos++
+	if code == CodeR {
+		c.rSum++
+	}
+	return code
+}
+
+// Seek repositions the cursor to element i, recomputing the running R count.
+// Seeking forward from the current position costs O(delta/4); seeking
+// backward costs O(i/4).
+func (c *Cursor) Seek(i int) {
+	switch {
+	case i == c.pos:
+		return
+	case i > c.pos:
+		c.rSum += c.m.CountRRange(c.pos, i)
+	default:
+		c.rSum = c.m.CountR(i)
+	}
+	c.pos = i
+}
+
+// Done reports whether the cursor has consumed every element.
+func (c *Cursor) Done() bool { return c.pos >= c.m.Len() }

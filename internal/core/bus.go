@@ -1,0 +1,70 @@
+package core
+
+import "fmt"
+
+// Bus models the decoder's integration with the DDR controller (§4.2.3):
+// "we integrate the decoder module with the existing DDR controller inside
+// the SoC. By doing so, the decoder can intercept memory traffic coming
+// from any processing element and service requests." Read transactions
+// whose addresses fall inside the decoded framebuffer window are translated
+// and served from encoded data; every other access bypasses to the backing
+// memory, exactly the Out-of-Frame Handler split of Fig. 6.
+type Bus struct {
+	dec  *Decoder
+	base uint64
+	// backing is the standard DRAM the bypass path reads (byte-addressed
+	// from address 0).
+	backing []byte
+
+	pixelTxns  int64
+	bypassTxns int64
+}
+
+// NewBus maps the decoder's framebuffer at base over the backing memory.
+func NewBus(dec *Decoder, base uint64, backing []byte) *Bus {
+	return &Bus{dec: dec, base: base, backing: backing}
+}
+
+// PixelTxns returns the number of transactions served from encoded data.
+func (b *Bus) PixelTxns() int64 { return b.pixelTxns }
+
+// BypassTxns returns the number of standard memory accesses.
+func (b *Bus) BypassTxns() int64 { return b.bypassTxns }
+
+// Read services a byte-addressed read of n bytes. Requests inside the
+// decoded framebuffer window must be pixel-aligned and stay within one row
+// (the constraint a burst-oriented requester naturally satisfies).
+func (b *Bus) Read(addr uint64, n int) ([]byte, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: non-positive read length %d", n)
+	}
+	end := b.base + uint64(b.dec.w*b.dec.h*b.dec.bpp)
+	if addr >= b.base && addr+uint64(n) <= end {
+		// Pixel transaction: translate decoded-space bytes to a window
+		// decode of the covered pixel run.
+		rel := int(addr - b.base)
+		if rel%b.dec.bpp != 0 || n%b.dec.bpp != 0 {
+			return nil, fmt.Errorf("core: misaligned pixel read addr=%#x len=%d bpp=%d", addr, n, b.dec.bpp)
+		}
+		pixIdx := rel / b.dec.bpp
+		x, y := pixIdx%b.dec.w, pixIdx/b.dec.w
+		count := n / b.dec.bpp
+		if x+count > b.dec.w {
+			return nil, fmt.Errorf("core: pixel read crosses row boundary (x=%d count=%d w=%d)", x, count, b.dec.w)
+		}
+		win, err := b.dec.DecodeWindow(x, y, count, 1)
+		if err != nil {
+			return nil, err
+		}
+		b.pixelTxns++
+		return win.Pix, nil
+	}
+	// Standard memory access.
+	if addr+uint64(n) > uint64(len(b.backing)) {
+		return nil, fmt.Errorf("core: bypass read [%#x,%#x) outside %d-byte backing memory", addr, addr+uint64(n), len(b.backing))
+	}
+	b.bypassTxns++
+	out := make([]byte, n)
+	copy(out, b.backing[addr:addr+uint64(n)])
+	return out, nil
+}

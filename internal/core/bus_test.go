@@ -1,0 +1,108 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/region"
+)
+
+func busFixture(t *testing.T) (*Bus, *frame.Frame) {
+	t.Helper()
+	const w, h = 16, 8
+	fr := testFrame(w, h, frame.Gray8, 1000)
+	enc := NewEncoder(w, h, frame.Gray8)
+	if err := enc.SetRegionLabels(region.List{{X: 4, Y: 2, W: 8, H: 4, Stride: 1, Skip: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	ef := mustEncode(t, enc, fr, 0)
+	dec := NewDecoder(w, h, frame.Gray8)
+	if err := dec.Push(ef); err != nil {
+		t.Fatal(err)
+	}
+	backing := make([]byte, 4096)
+	for i := range backing {
+		backing[i] = byte(i)
+	}
+	return NewBus(dec, 0x800, backing), fr
+}
+
+func TestBusPixelRead(t *testing.T) {
+	bus, fr := busFixture(t)
+	// Row 3, columns 4..12 — inside the region: decoded pixels.
+	addr := uint64(0x800 + 3*16 + 4)
+	got, err := bus.Read(addr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fr.Pix[3*16+4 : 3*16+12]
+	if !bytes.Equal(got, want) {
+		t.Errorf("pixel read = %v, want %v", got, want)
+	}
+	// Outside the region but inside the framebuffer: black.
+	got2, err := bus.Read(0x800, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range got2 {
+		if v != 0 {
+			t.Errorf("non-regional read = %v, want black", got2)
+			break
+		}
+	}
+	if bus.PixelTxns() != 2 || bus.BypassTxns() != 0 {
+		t.Errorf("txn counts: pixel=%d bypass=%d", bus.PixelTxns(), bus.BypassTxns())
+	}
+}
+
+func TestBusBypassRead(t *testing.T) {
+	bus, _ := busFixture(t)
+	got, err := bus.Read(0x100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{0x00, 0x01, 0x02, 0x03}) {
+		t.Errorf("bypass read = %v", got)
+	}
+	// Above the framebuffer window: also bypass.
+	if _, err := bus.Read(0x900, 4); err != nil {
+		t.Fatal(err)
+	}
+	if bus.BypassTxns() != 2 || bus.PixelTxns() != 0 {
+		t.Errorf("txn counts: pixel=%d bypass=%d", bus.PixelTxns(), bus.BypassTxns())
+	}
+}
+
+func TestBusErrors(t *testing.T) {
+	bus, _ := busFixture(t)
+	if _, err := bus.Read(0x800, 0); err == nil {
+		t.Error("zero-length read accepted")
+	}
+	// Row-crossing pixel read.
+	if _, err := bus.Read(0x800+14, 4); err == nil {
+		t.Error("row-crossing pixel read accepted")
+	}
+	// Beyond backing memory.
+	if _, err := bus.Read(5000, 4); err == nil {
+		t.Error("out-of-backing read accepted")
+	}
+}
+
+func TestBusMatchesFullDecode(t *testing.T) {
+	bus, _ := busFixture(t)
+	full, err := bus.dec.DecodeFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reading every row through the bus reproduces the full decode.
+	for y := 0; y < 8; y++ {
+		got, err := bus.Read(uint64(0x800+y*16), 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, full.Pix[y*16:(y+1)*16]) {
+			t.Fatalf("row %d bus read differs from full decode", y)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitpack"
+	"repro/internal/region"
+)
+
+// Design selects a comparison-engine microarchitecture for the ablation
+// study behind Table 5. All designs compute identical EncMask codes; they
+// differ in how many region comparisons they perform per pixel and in the
+// hardware resources they would occupy (modeled in internal/hwmodel).
+type Design uint8
+
+const (
+	// DesignHybrid is the paper's design: an RoI Selector shortlists
+	// regions once per row, the per-pixel engine compares only against the
+	// sublist, and a run-length optimization reuses an in-region match for
+	// the remaining width of the matched region.
+	DesignHybrid Design = iota
+	// DesignParallel compares every pixel against every region label with
+	// one comparator per region (1 cycle, N comparators). Comparison count
+	// equals pixels x regions.
+	DesignParallel
+	// DesignNaive sequentially compares each pixel against region labels
+	// until the strongest possible code is established, with early exit on
+	// a CodeR match.
+	DesignNaive
+)
+
+// String names the design.
+func (d Design) String() string {
+	switch d {
+	case DesignHybrid:
+		return "hybrid"
+	case DesignParallel:
+		return "parallel"
+	case DesignNaive:
+		return "naive-sequential"
+	}
+	return fmt.Sprintf("Design(%d)", uint8(d))
+}
+
+// CompareStats reports the work a comparison engine performed on a frame.
+type CompareStats struct {
+	Design Design
+	// RowSelectorCompares counts per-row y-range examinations (hybrid only).
+	RowSelectorCompares int
+	// PixelCompares counts per-pixel region comparisons.
+	PixelCompares int
+	// RunSkippedPixels counts pixels classified by run-length reuse without
+	// any comparison (hybrid only).
+	RunSkippedPixels int
+}
+
+// TotalCompares returns selector plus pixel comparisons.
+func (s CompareStats) TotalCompares() int { return s.RowSelectorCompares + s.PixelCompares }
+
+// ClassifyFrame computes the EncMask for a whole frame with the chosen
+// design, returning the mask and exact work counters. It is the reference
+// ("golden") classification the streaming Encoder is tested against.
+//
+// Labels must be validated against (w, h) and, for DesignHybrid, y-sorted.
+func ClassifyFrame(w, h, frameIndex int, labels region.List, d Design) (*bitpack.Mask2, CompareStats) {
+	mask := bitpack.NewMask2(w * h)
+	stats := CompareStats{Design: d}
+	switch d {
+	case DesignParallel, DesignNaive:
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				code := bitpack.CodeN
+				for _, l := range labels {
+					stats.PixelCompares++
+					c := classify(l, x, y, frameIndex)
+					if c > code {
+						code = c
+					}
+					if code == bitpack.CodeR && d == DesignNaive {
+						break // sequential engine can stop at the strongest code
+					}
+				}
+				if code != bitpack.CodeN {
+					mask.Set(y*w+x, code)
+				}
+			}
+		}
+	case DesignHybrid:
+		var sublist []region.Label
+		for y := 0; y < h; y++ {
+			sublist = sublist[:0]
+			for _, l := range labels {
+				stats.RowSelectorCompares++
+				if l.Y > y {
+					break
+				}
+				if l.RowInYRange(y) {
+					sublist = append(sublist, l)
+				}
+			}
+			if len(sublist) == 0 {
+				continue
+			}
+			x := 0
+			for x < w {
+				code := bitpack.CodeN
+				// runEnd is the furthest x (exclusive) through which the
+				// in-region membership result can be reused: the min right
+				// edge among matching regions, or the next region start
+				// among non-matching ones.
+				runEnd := w
+				for _, l := range sublist {
+					stats.PixelCompares++
+					if l.Contains(x, y) {
+						c := classify(l, x, y, frameIndex)
+						if c > code {
+							code = c
+						}
+						if e := l.X + l.W; e < runEnd {
+							runEnd = e
+						}
+					} else if l.X > x && l.X < runEnd {
+						runEnd = l.X
+					}
+				}
+				if code == bitpack.CodeN {
+					// No region covers [x, runEnd): skip the whole gap.
+					stats.RunSkippedPixels += runEnd - x - 1
+					x = runEnd
+					continue
+				}
+				mask.Set(y*w+x, code)
+				// Membership holds through runEnd; only the cheap stride
+				// lattice check is redone per pixel. Recompute codes for
+				// the run without counting comparisons.
+				for rx := x + 1; rx < runEnd; rx++ {
+					stats.RunSkippedPixels++
+					rcode := bitpack.CodeN
+					for _, l := range sublist {
+						if l.Contains(rx, y) {
+							c := classify(l, rx, y, frameIndex)
+							if c > rcode {
+								rcode = c
+							}
+						}
+					}
+					if rcode != bitpack.CodeN {
+						mask.Set(y*w+rx, rcode)
+					}
+				}
+				x = runEnd
+			}
+		}
+	default:
+		panic("core: unknown design")
+	}
+	return mask, stats
+}
+
+// classify returns the EncMask code region l assigns to pixel (x, y) at the
+// given frame index, or CodeN when the pixel is outside l.
+func classify(l region.Label, x, y, frameIndex int) bitpack.Code {
+	if !l.Contains(x, y) {
+		return bitpack.CodeN
+	}
+	if !l.ActiveAt(frameIndex) {
+		return bitpack.CodeSk
+	}
+	if l.OnStride(x, y) {
+		return bitpack.CodeR
+	}
+	return bitpack.CodeSt
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitpack"
+	"repro/internal/frame"
+)
+
+// DefaultHistoryDepth is the number of recent encoded frames whose metadata
+// the decoder's scratchpad holds, matching the paper's "four most recent
+// encoded frames" (§4.2.1).
+const DefaultHistoryDepth = 4
+
+// strideLookbackRows bounds how many rows above a requested window the
+// decoder pre-decodes to prime its line buffer, so that vertically strided
+// pixels at the top of a mid-frame window reconstruct correctly. The paper's
+// workloads use strides up to 4 (Table 4); 8 gives margin.
+const strideLookbackRows = 8
+
+// DecoderStats counts decode work and traffic for the evaluation harness.
+type DecoderStats struct {
+	// PixelsRequested is the number of decoded-space pixels serviced.
+	PixelsRequested int
+	// DirectR counts pixels fetched from the newest encoded frame.
+	DirectR int
+	// HeldSt counts strided pixels serviced from the resampling buffer or
+	// line buffer.
+	HeldSt int
+	// FetchedSk counts pixels fetched from older history frames.
+	FetchedSk int
+	// Black counts pixels emitted as black (non-regional or unresolvable).
+	Black int
+	// EncodedBytesRead counts payload bytes fetched from encoded frames.
+	EncodedBytesRead int
+	// SubRequests counts PMMU sub-requests issued.
+	SubRequests int
+}
+
+// Decoder is the rhythmic pixel decoder (§4.2). It accumulates encoded
+// frames in a bounded history window and services pixel requests in the
+// original decoded address space: the PMMU translates requests to encoded
+// space, and the FIFO Sampling Unit reconstructs values — dequeuing fetched
+// pixels, re-sampling the previous pixel (horizontally, or the previous row
+// through a one-line buffer for vertically strided rows), fetching
+// temporally skipped pixels from history, and emitting black for
+// non-regional positions.
+//
+// A Decoder is not safe for concurrent use.
+type Decoder struct {
+	w, h   int
+	format frame.Format
+	bpp    int
+	depth  int
+
+	history []*EncodedFrame // newest first
+	stats   DecoderStats
+}
+
+// DecoderOption configures a Decoder.
+type DecoderOption func(*Decoder)
+
+// WithHistoryDepth sets the metadata scratchpad depth (>= 1). Depth 1
+// disables temporal-skip resolution: Sk pixels decode black.
+func WithHistoryDepth(depth int) DecoderOption {
+	return func(d *Decoder) {
+		if depth < 1 {
+			panic("core: history depth must be >= 1")
+		}
+		d.depth = depth
+	}
+}
+
+// NewDecoder returns a decoder for w x h frames of the given format.
+func NewDecoder(w, h int, format frame.Format, opts ...DecoderOption) *Decoder {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("core: invalid decoder dimensions %dx%d", w, h))
+	}
+	d := &Decoder{w: w, h: h, format: format, bpp: formatBPP(format), depth: DefaultHistoryDepth}
+	for _, opt := range opts {
+		opt(d)
+	}
+	return d
+}
+
+// Push appends an encoded frame as the newest history entry, evicting the
+// oldest beyond the scratchpad depth. The frame must match the decoder's
+// geometry.
+func (d *Decoder) Push(ef *EncodedFrame) error {
+	if ef.W != d.w || ef.H != d.h || ef.BytesPerPixel != d.bpp {
+		return fmt.Errorf("core: encoded frame %dx%d bpp=%d does not match decoder %dx%d bpp=%d",
+			ef.W, ef.H, ef.BytesPerPixel, d.w, d.h, d.bpp)
+	}
+	d.history = append([]*EncodedFrame{ef}, d.history...)
+	if len(d.history) > d.depth {
+		d.history = d.history[:d.depth]
+	}
+	return nil
+}
+
+// HistoryLen returns the number of buffered encoded frames.
+func (d *Decoder) HistoryLen() int { return len(d.history) }
+
+// HistoryDepth returns the configured scratchpad depth.
+func (d *Decoder) HistoryDepth() int { return d.depth }
+
+// Stats returns the accumulated decode counters.
+func (d *Decoder) Stats() DecoderStats { return d.stats }
+
+// ResetStats zeroes the counters.
+func (d *Decoder) ResetStats() { d.stats = DecoderStats{} }
+
+// DecodeFrame reconstructs the full decoded frame for the newest pushed
+// encoded frame.
+func (d *Decoder) DecodeFrame() (*frame.Frame, error) {
+	return d.DecodeWindow(0, 0, d.w, d.h)
+}
+
+// DecodeWindow reconstructs the rectangle [x0, x0+w) x [y0, y0+h) in decoded
+// space, the request shape a vision accelerator issues when reading a frame
+// tile. At least one encoded frame must have been pushed.
+//
+// Rows are reconstructed at full width internally and the window columns
+// copied out — the same row-burst behaviour a DRAM-backed decoder has, and
+// the property that makes any window decode agree exactly with the
+// corresponding crop of a full-frame decode (strided pixels may hold values
+// that originate left of the window). When the window starts below the
+// frame top, up to strideLookbackRows rows above it are decoded into the
+// line buffer first (and discarded) so vertically strided pixels on the
+// window's first rows reconstruct from their source row; warm-up rows are
+// excluded from Stats.
+func (d *Decoder) DecodeWindow(x0, y0, w, h int) (*frame.Frame, error) {
+	if len(d.history) == 0 {
+		return nil, fmt.Errorf("core: decode before any encoded frame was pushed")
+	}
+	if x0 < 0 || y0 < 0 || w <= 0 || h <= 0 || x0+w > d.w || y0+h > d.h {
+		return nil, fmt.Errorf("core: window (%d,%d %dx%d) outside %dx%d frame", x0, y0, w, h, d.w, d.h)
+	}
+	out := frame.New(w, h, d.format)
+	pmmu := NewPMMU(d.history, 0)
+	fifo := newFIFOSampler(d.bpp, d.w)
+
+	warmup := min(y0, strideLookbackRows)
+	var discard DecoderStats
+	rowBuf := make([]byte, d.w*d.bpp)
+	for row := -warmup; row < h; row++ {
+		y := y0 + row
+		subs, err := pmmu.TranslateRow(y, 0, d.w)
+		if err != nil {
+			return nil, err
+		}
+		stats := &d.stats
+		if row < 0 {
+			stats = &discard
+		}
+		stats.SubRequests += len(subs)
+		fifo.beginRow()
+		if err := fifo.serviceRow(subs, d.history, 0, rowBuf, stats); err != nil {
+			return nil, err
+		}
+		fifo.commitRow(rowBuf)
+		if row >= 0 {
+			copy(out.Pix[row*out.Stride():(row+1)*out.Stride()], rowBuf[x0*d.bpp:(x0+w)*d.bpp])
+		}
+	}
+	return out, nil
+}
+
+// fifoSampler is the FIFO Sampling Unit (§4.2.2): it consumes sub-request
+// response data and produces decoded pixel values. A strided position
+// re-samples the previous pixel when one was fetched earlier in the row
+// (horizontal stride) or the pixel directly above from a one-row line buffer
+// (vertical stride); the line buffer corresponds to the decoder's 2x18Kb
+// BRAM budget reported in §6.3.
+type fifoSampler struct {
+	bpp      int
+	resample []byte // last fetched pixel value in the current row
+	hasValue bool
+	black    []byte
+	lineBuf  []byte // previous decoded row
+	lineOK   bool
+}
+
+func newFIFOSampler(bpp, w int) *fifoSampler {
+	return &fifoSampler{
+		bpp:      bpp,
+		resample: make([]byte, bpp),
+		black:    make([]byte, bpp),
+		lineBuf:  make([]byte, w*bpp),
+	}
+}
+
+// beginRow resets the resampling buffer at a row boundary.
+func (f *fifoSampler) beginRow() {
+	f.hasValue = false
+}
+
+// commitRow stores the decoded row into the line buffer for the next row's
+// vertical-stride resolution.
+func (f *fifoSampler) commitRow(row []byte) {
+	copy(f.lineBuf, row)
+	f.lineOK = true
+}
+
+// serviceRow materializes one row's sub-requests into dst (w*bpp bytes,
+// starting at decoded column x0).
+func (f *fifoSampler) serviceRow(subs []SubRequest, history []*EncodedFrame, x0 int, dst []byte, stats *DecoderStats) error {
+	for _, s := range subs {
+		dstOff := (s.X - x0) * f.bpp
+		switch {
+		case s.Source != SourceNone:
+			src := history[s.Source]
+			start := s.EncIndex * f.bpp
+			end := start + s.Count*f.bpp
+			if start < 0 || end > len(src.Pix) {
+				return fmt.Errorf("core: sub-request [%d:%d) outside %d-byte payload of frame tag %d",
+					start, end, len(src.Pix), s.Source)
+			}
+			copy(dst[dstOff:dstOff+s.Count*f.bpp], src.Pix[start:end])
+			copy(f.resample, src.Pix[end-f.bpp:end])
+			f.hasValue = true
+			stats.EncodedBytesRead += s.Count * f.bpp
+			stats.PixelsRequested += s.Count
+			if s.Code == bitpack.CodeR {
+				stats.DirectR += s.Count
+			} else {
+				stats.FetchedSk += s.Count
+			}
+		case s.Code == bitpack.CodeSt && f.hasValue:
+			// Horizontal stride: hold the last fetched value.
+			if f.bpp == 1 {
+				fillBytes(dst[dstOff:dstOff+s.Count], f.resample[0])
+			} else {
+				for i := 0; i < s.Count; i++ {
+					copy(dst[dstOff+i*f.bpp:dstOff+(i+1)*f.bpp], f.resample)
+				}
+			}
+			stats.HeldSt += s.Count
+			stats.PixelsRequested += s.Count
+		case s.Code == bitpack.CodeSt && f.lineOK:
+			// Vertical stride (no fetch yet this row): copy from the line
+			// buffer, i.e. the decoded row above, per pixel.
+			copy(dst[dstOff:dstOff+s.Count*f.bpp], f.lineBuf[dstOff:dstOff+s.Count*f.bpp])
+			stats.HeldSt += s.Count
+			stats.PixelsRequested += s.Count
+		default:
+			// Non-regional, unresolvable skip, or stride with neither a
+			// held value nor a line buffer: black.
+			fillBytes(dst[dstOff:dstOff+s.Count*f.bpp], 0)
+			stats.Black += s.Count
+			stats.PixelsRequested += s.Count
+		}
+	}
+	return nil
+}
+
+// fillBytes sets every byte of b to v (the compiler lowers the loop to a
+// memset-style fill).
+func fillBytes(b []byte, v byte) {
+	for i := range b {
+		b[i] = v
+	}
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitpack"
+	"repro/internal/frame"
+	"repro/internal/region"
+)
+
+// Encoder is the rhythmic pixel encoder (§4.1): a streaming block that
+// intercepts the raster-scan pixel stream at the ISP output and forwards
+// only pixels matching the stride and skip specification of some region.
+//
+// Architecture, mirroring Fig. 5:
+//
+//   - memory-mapped registers hold the y-sorted region label list
+//     (SetRegionLabels);
+//   - a Sequencer tracks the (row, pixel) location — here the PushRow /
+//     per-pixel loop;
+//   - once per row, the RoI Selector reduces the label list to the sublist
+//     whose y-range covers the row;
+//   - once per pixel, the Comparison Engine classifies the pixel into one of
+//     the four EncMask codes;
+//   - the Sampler forwards CodeR pixels to the packed output and the
+//     metadata generators count per-row offsets and append EncMask codes.
+//
+// Pixels are classified with code precedence R > Sk > St > N (the numeric
+// order of the 2-bit codes): a pixel covered by several regions takes the
+// strongest classification any of them gives it.
+//
+// An Encoder is not safe for concurrent use.
+type Encoder struct {
+	w, h   int
+	format frame.Format
+	bpp    int
+
+	labels region.List // y-sorted; the "memory-mapped register" contents
+
+	// Per-frame streaming state.
+	cur      *EncodedFrame
+	row      int
+	rowCodes []bitpack.Code // scratch: classification of the current row
+	sublist  []int          // scratch: RoI Selector output (indices into labels)
+
+	stats EncoderStats
+}
+
+// EncoderStats counts the work the encoder performed, used by the scaling
+// and ablation experiments (Table 5 discussion).
+type EncoderStats struct {
+	// FramesEncoded is the number of completed frames.
+	FramesEncoded int
+	// RowsProcessed is the number of raster rows consumed.
+	RowsProcessed int
+	// PixelsIn is the number of pixels consumed from the stream.
+	PixelsIn int
+	// PixelsOut is the number of pixels forwarded to the encoded frame.
+	PixelsOut int
+	// RoISelectorCompares counts y-range label examinations (once per row
+	// per examined label; the sorted list allows early termination).
+	RoISelectorCompares int
+	// RegionPaintOps counts per-pixel classification writes while painting
+	// row sublist regions (proportional to regional coverage, not W·regions).
+	RegionPaintOps int
+	// RowsWithNoRegions counts rows where the RoI selector emitted an empty
+	// sublist and per-pixel comparison was skipped entirely.
+	RowsWithNoRegions int
+}
+
+// NewEncoder returns an encoder for w x h frames of the given format.
+func NewEncoder(w, h int, format frame.Format) *Encoder {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("core: invalid encoder dimensions %dx%d", w, h))
+	}
+	return &Encoder{
+		w:        w,
+		h:        h,
+		format:   format,
+		bpp:      formatBPP(format),
+		rowCodes: make([]bitpack.Code, w),
+	}
+}
+
+// SetRegionLabels installs a capture workload. The list is validated,
+// cloned, and sorted by Y (the paper performs this pre-sort in the app
+// runtime so the hardware RoI Selector can shortlist rows cheaply). Labels
+// persist across frames until replaced.
+func (e *Encoder) SetRegionLabels(ls region.List) error {
+	if err := ls.Validate(e.w, e.h); err != nil {
+		return err
+	}
+	e.labels = ls.Clone().SortByY()
+	return nil
+}
+
+// Labels returns the installed y-sorted label list (shared storage; callers
+// must not mutate it).
+func (e *Encoder) Labels() region.List { return e.labels }
+
+// Stats returns the accumulated work counters.
+func (e *Encoder) Stats() EncoderStats { return e.stats }
+
+// ResetStats zeroes the work counters.
+func (e *Encoder) ResetStats() { e.stats = EncoderStats{} }
+
+// BeginFrame starts streaming a new frame with the given temporal index.
+// Any partially streamed frame is discarded.
+func (e *Encoder) BeginFrame(frameIndex int) {
+	e.cur = &EncodedFrame{
+		W:             e.w,
+		H:             e.h,
+		BytesPerPixel: e.bpp,
+		FrameIndex:    frameIndex,
+		RowOffsets:    make([]uint32, 1, e.h+1),
+		Mask:          bitpack.NewMask2(e.w * e.h),
+	}
+	e.row = 0
+}
+
+// PushRow consumes one raster line of w*bpp bytes. Rows must arrive in
+// order; pushing more than h rows or a missized row panics, as a hardware
+// stream mismatch would be a wiring bug rather than a runtime condition.
+func (e *Encoder) PushRow(line []byte) {
+	if e.cur == nil {
+		panic("core: PushRow before BeginFrame")
+	}
+	if e.row >= e.h {
+		panic(fmt.Sprintf("core: row %d pushed to %d-row frame", e.row, e.h))
+	}
+	if len(line) != e.w*e.bpp {
+		panic(fmt.Sprintf("core: row is %d bytes, want %d", len(line), e.w*e.bpp))
+	}
+	y := e.row
+	e.stats.RowsProcessed++
+	e.stats.PixelsIn += e.w
+
+	// RoI Selector: shortlist labels whose y-range covers this row. The
+	// list is y-sorted, so scanning stops at the first label starting
+	// below the row.
+	e.sublist = e.sublist[:0]
+	for i, l := range e.labels {
+		e.stats.RoISelectorCompares++
+		if l.Y > y {
+			break
+		}
+		if l.RowInYRange(y) {
+			e.sublist = append(e.sublist, i)
+		}
+	}
+
+	maskBase := y * e.w
+	if len(e.sublist) == 0 {
+		// Entire row is non-regional: skip per-pixel comparison entirely
+		// (the paper's "the encoder saves work by skipping region
+		// comparison entirely for those rows where there are no regions").
+		e.stats.RowsWithNoRegions++
+		e.cur.RowOffsets = append(e.cur.RowOffsets, e.cur.RowOffsets[y])
+		e.row++
+		return
+	}
+
+	// Comparison Engine: paint the row classification from the sublist.
+	// Painting per region interval costs O(sum of region widths) rather
+	// than O(W x regions); the R/St lattice distinction is a cheap modulo.
+	codes := e.rowCodes
+	for i := range codes {
+		codes[i] = bitpack.CodeN
+	}
+	fi := e.cur.FrameIndex
+	for _, li := range e.sublist {
+		l := e.labels[li]
+		x1 := l.X + l.W
+		switch {
+		case !l.ActiveAt(fi):
+			for x := l.X; x < x1; x++ {
+				e.stats.RegionPaintOps++
+				if codes[x] < bitpack.CodeSk {
+					codes[x] = bitpack.CodeSk
+				}
+			}
+		case l.Stride > 1 && (y-l.Y)%l.Stride != 0:
+			// Row off the vertical stride lattice: all pixels strided.
+			for x := l.X; x < x1; x++ {
+				e.stats.RegionPaintOps++
+				if codes[x] < bitpack.CodeSt {
+					codes[x] = bitpack.CodeSt
+				}
+			}
+		default:
+			for x := l.X; x < x1; x++ {
+				e.stats.RegionPaintOps++
+				if l.Stride <= 1 || (x-l.X)%l.Stride == 0 {
+					codes[x] = bitpack.CodeR
+				} else if codes[x] < bitpack.CodeSt {
+					codes[x] = bitpack.CodeSt
+				}
+			}
+		}
+	}
+
+	// Sampler: forward CodeR pixels and emit metadata.
+	count := 0
+	for x := 0; x < e.w; x++ {
+		c := codes[x]
+		if c != bitpack.CodeN {
+			e.cur.Mask.Set(maskBase+x, c)
+		}
+		if c == bitpack.CodeR {
+			e.cur.Pix = append(e.cur.Pix, line[x*e.bpp:(x+1)*e.bpp]...)
+			count++
+		}
+	}
+	e.stats.PixelsOut += count
+	e.cur.RowOffsets = append(e.cur.RowOffsets, e.cur.RowOffsets[y]+uint32(count))
+	e.row++
+}
+
+// EndFrame completes the stream and returns the encoded frame. It panics if
+// fewer than h rows were pushed.
+func (e *Encoder) EndFrame() *EncodedFrame {
+	if e.cur == nil {
+		panic("core: EndFrame before BeginFrame")
+	}
+	if e.row != e.h {
+		panic(fmt.Sprintf("core: EndFrame after %d of %d rows", e.row, e.h))
+	}
+	ef := e.cur
+	e.cur = nil
+	e.stats.FramesEncoded++
+	return ef
+}
+
+// EncodeFrame streams an entire frame through the encoder and returns the
+// encoded result. The frame must match the encoder's dimensions and format.
+func (e *Encoder) EncodeFrame(fr *frame.Frame, frameIndex int) (*EncodedFrame, error) {
+	if fr.W != e.w || fr.H != e.h {
+		return nil, fmt.Errorf("core: frame is %dx%d, encoder expects %dx%d", fr.W, fr.H, e.w, e.h)
+	}
+	if fr.Format != e.format {
+		return nil, fmt.Errorf("core: frame format %v, encoder expects %v", fr.Format, e.format)
+	}
+	e.BeginFrame(frameIndex)
+	stride := fr.Stride()
+	for y := 0; y < e.h; y++ {
+		e.PushRow(fr.Pix[y*stride : (y+1)*stride])
+	}
+	return e.EndFrame(), nil
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitpack"
+)
+
+// This file implements the Pixel Memory Management Unit (§4.2.1): the
+// request-path half of the rhythmic pixel decoder. The PMMU receives pixel
+// transactions addressed in the *decoded* frame address space and translates
+// them into sub-requests against the packed *encoded* frames, using only the
+// per-row offsets and EncMask metadata — never the region labels, which is
+// what makes the decoder agnostic to the number of regions.
+
+// SourceNone marks a sub-request that needs no memory fetch (hold or black).
+const SourceNone = -1
+
+// SubRequest is one translated unit of a pixel transaction: a run of
+// consecutive decoded-space pixels that share a resolution strategy.
+//
+// Mirroring the paper, a sub-request is "characterized by a base address (of
+// the encoded frame), offset (row and column), and a tag index of which
+// frame hosts the desired pixels": here Source is the frame tag (0 = most
+// recent, 1..depth-1 = older history), EncIndex the pixel offset into that
+// frame's packed stream, and (X, Y, Count) the decoded-space run.
+type SubRequest struct {
+	// X, Y, Count identify the decoded-space pixel run [X, X+Count) in row Y.
+	X, Y, Count int
+	// Code is the EncMask classification that produced this sub-request:
+	// CodeR and CodeSk runs carry a memory fetch; CodeSt runs are serviced
+	// from the resampling buffer; CodeN runs emit black.
+	Code bitpack.Code
+	// Source is the history tag of the encoded frame to fetch from, or
+	// SourceNone when no fetch is needed.
+	Source int
+	// EncIndex is the starting pixel index within the source frame's packed
+	// stream; valid only when Source != SourceNone.
+	EncIndex int
+}
+
+// PMMU translates decoded-space pixel transactions against a window of
+// recent encoded frames. Frame tag 0 is the newest frame.
+type PMMU struct {
+	history []*EncodedFrame // newest first; the Metadata Scratchpad contents
+	base    uint64          // decoded framebuffer base address (Out-of-Frame handler)
+
+	stats PMMUStats
+}
+
+// PMMUStats counts translation work.
+type PMMUStats struct {
+	// Transactions is the number of pixel transactions translated.
+	Transactions int
+	// SubRequests is the number of generated sub-requests.
+	SubRequests int
+	// Bypassed counts transactions forwarded as standard memory accesses by
+	// the Out-of-Frame handler.
+	Bypassed int
+	// MetadataBitsRead counts EncMask bits examined during translation.
+	MetadataBitsRead int
+}
+
+// NewPMMU returns a PMMU over the given history window (newest first) with
+// the decoded framebuffer mapped at base.
+func NewPMMU(history []*EncodedFrame, base uint64) *PMMU {
+	return &PMMU{history: history, base: base}
+}
+
+// Stats returns the accumulated counters.
+func (p *PMMU) Stats() PMMUStats { return p.stats }
+
+// newest returns the most recent encoded frame.
+func (p *PMMU) newest() *EncodedFrame { return p.history[0] }
+
+// InFrame implements the Out-of-Frame Handler check: it reports whether a
+// byte address falls inside the decoded framebuffer address space.
+func (p *PMMU) InFrame(addr uint64, length int) bool {
+	if len(p.history) == 0 {
+		return false
+	}
+	f := p.newest()
+	end := p.base + uint64(f.W*f.H*f.BytesPerPixel)
+	return addr >= p.base && addr+uint64(length) <= end
+}
+
+// TranslateAddr translates a byte-addressed transaction. Transactions
+// outside the decoded framebuffer are bypassed (nil, false, nil). Pixel
+// transactions must be pixel-aligned and must not cross a row boundary;
+// higher-level code splits multi-row requests.
+func (p *PMMU) TranslateAddr(addr uint64, length int) (subs []SubRequest, pixel bool, err error) {
+	p.stats.Transactions++
+	if !p.InFrame(addr, length) {
+		p.stats.Bypassed++
+		return nil, false, nil
+	}
+	f := p.newest()
+	bpp := f.BytesPerPixel
+	rel := int(addr - p.base)
+	if rel%bpp != 0 || length%bpp != 0 {
+		return nil, true, fmt.Errorf("core: misaligned pixel transaction addr=%d len=%d bpp=%d", addr, length, bpp)
+	}
+	pixIdx := rel / bpp
+	x, y := pixIdx%f.W, pixIdx/f.W
+	n := length / bpp
+	if x+n > f.W {
+		return nil, true, fmt.Errorf("core: pixel transaction crosses row boundary (x=%d n=%d w=%d)", x, n, f.W)
+	}
+	subs, err = p.TranslateRow(y, x, x+n)
+	return subs, true, err
+}
+
+// TranslateRow translates the decoded-space pixel run [x0, x1) of row y into
+// sub-requests. This is the Transaction Analyzer + translator: it reads the
+// EncMask codes of the run, resolves each pixel's hosting frame, and merges
+// consecutive pixels with the same resolution into a single sub-request.
+func (p *PMMU) TranslateRow(y, x0, x1 int) ([]SubRequest, error) {
+	f := p.newest()
+	if y < 0 || y >= f.H || x0 < 0 || x1 > f.W || x0 >= x1 {
+		return nil, fmt.Errorf("core: run [%d,%d) of row %d outside %dx%d frame", x0, x1, y, f.W, f.H)
+	}
+	base := y * f.W
+
+	// Incremental R-count cursor per history frame, so that translating a
+	// full row costs O(W) rather than O(W^2) popcounts. rCount[i] is the
+	// number of R codes in frame i's row y strictly before column `at[i]`.
+	nf := len(p.history)
+	rCount := make([]int, nf)
+	at := make([]int, nf)
+	for i, hf := range p.history {
+		rCount[i] = hf.Mask.CountRRange(base, base+x0)
+		at[i] = x0
+		p.stats.MetadataBitsRead += 2 * (x0 - 0) // scratchpad row prefix scan
+	}
+	advance := func(i, x int) int { // returns R-count before column x in frame i
+		hf := p.history[i]
+		if x > at[i] {
+			rCount[i] += hf.Mask.CountRRange(base+at[i], base+x)
+			at[i] = x
+		}
+		return rCount[i]
+	}
+
+	var subs []SubRequest
+	emit := func(s SubRequest) {
+		// Merge with the previous sub-request when the run is contiguous in
+		// both decoded and encoded space.
+		if n := len(subs); n > 0 {
+			prev := &subs[n-1]
+			if prev.Code == s.Code && prev.Source == s.Source && prev.Y == s.Y &&
+				prev.X+prev.Count == s.X &&
+				(s.Source == SourceNone || prev.EncIndex+prev.Count == s.EncIndex) {
+				prev.Count += s.Count
+				return
+			}
+		}
+		subs = append(subs, s)
+		p.stats.SubRequests++
+	}
+
+	maskBytes := f.Mask.Bytes()
+	for x := x0; x < x1; {
+		// Fast path: a byte-aligned group of four identical N or R codes is
+		// translated as one run without per-pixel work. Frames are mostly
+		// uniform runs of non-regional or fully captured pixels, so this is
+		// what makes software decode scale with the regional share.
+		if (base+x)&3 == 0 && x+4 <= x1 {
+			switch maskBytes[(base+x)>>2] {
+			case 0x00: // N N N N
+				p.stats.MetadataBitsRead += 8
+				emit(SubRequest{X: x, Y: y, Count: 4, Code: bitpack.CodeN, Source: SourceNone})
+				x += 4
+				continue
+			case 0xFF: // R R R R
+				p.stats.MetadataBitsRead += 8
+				enc := int(f.RowOffsets[y]) + advance(0, x)
+				emit(SubRequest{X: x, Y: y, Count: 4, Code: bitpack.CodeR, Source: 0, EncIndex: enc})
+				x += 4
+				continue
+			}
+		}
+		code := f.Mask.Get(base + x)
+		p.stats.MetadataBitsRead += 2
+		switch code {
+		case bitpack.CodeR:
+			enc := int(f.RowOffsets[y]) + advance(0, x)
+			emit(SubRequest{X: x, Y: y, Count: 1, Code: bitpack.CodeR, Source: 0, EncIndex: enc})
+		case bitpack.CodeSt:
+			emit(SubRequest{X: x, Y: y, Count: 1, Code: bitpack.CodeSt, Source: SourceNone})
+		case bitpack.CodeSk:
+			// Resolve against history: the most recent older frame where
+			// this pixel was captured (CodeR).
+			resolved := false
+			for i := 1; i < nf; i++ {
+				hf := p.history[i]
+				hcode := hf.Mask.Get(base + x)
+				p.stats.MetadataBitsRead += 2
+				if hcode == bitpack.CodeR {
+					enc := int(hf.RowOffsets[y]) + advance(i, x)
+					emit(SubRequest{X: x, Y: y, Count: 1, Code: bitpack.CodeSk, Source: i, EncIndex: enc})
+					resolved = true
+					break
+				}
+				if hcode == bitpack.CodeSt {
+					// The hosting frame strided this pixel out; fall back to
+					// the resampling buffer, as the hosting frame's own
+					// decode would have.
+					emit(SubRequest{X: x, Y: y, Count: 1, Code: bitpack.CodeSt, Source: SourceNone})
+					resolved = true
+					break
+				}
+			}
+			if !resolved {
+				// Not present in the metadata scratchpad window: black.
+				emit(SubRequest{X: x, Y: y, Count: 1, Code: bitpack.CodeN, Source: SourceNone})
+			}
+		default: // CodeN
+			emit(SubRequest{X: x, Y: y, Count: 1, Code: bitpack.CodeN, Source: SourceNone})
+		}
+		x++
+	}
+	return subs, nil
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bitpack"
+	"repro/internal/frame"
+	"repro/internal/region"
+)
+
+func pmmuFixture(t *testing.T) (*EncodedFrame, *PMMU) {
+	t.Helper()
+	const w, h = 16, 8
+	fr := testFrame(w, h, frame.Gray8, 70)
+	e := NewEncoder(w, h, frame.Gray8)
+	// Region covering columns 4..11 of rows 2..5 at full density.
+	if err := e.SetRegionLabels(region.List{{X: 4, Y: 2, W: 8, H: 4, Stride: 1, Skip: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	ef := mustEncode(t, e, fr, 0)
+	return ef, NewPMMU([]*EncodedFrame{ef}, 0x1000)
+}
+
+func TestPMMUOutOfFrameBypass(t *testing.T) {
+	_, p := pmmuFixture(t)
+	// Below the framebuffer base: bypass.
+	subs, pixel, err := p.TranslateAddr(0x500, 4)
+	if err != nil || pixel || subs != nil {
+		t.Errorf("below-base access: subs=%v pixel=%v err=%v, want bypass", subs, pixel, err)
+	}
+	// Beyond the framebuffer end (16*8 bytes at base 0x1000): bypass.
+	if _, pixel, _ := p.TranslateAddr(0x1000+16*8, 4); pixel {
+		t.Error("past-end access treated as pixel transaction")
+	}
+	// Straddling the end: bypass.
+	if _, pixel, _ := p.TranslateAddr(0x1000+16*8-2, 4); pixel {
+		t.Error("straddling access treated as pixel transaction")
+	}
+	if p.Stats().Bypassed != 3 {
+		t.Errorf("Bypassed = %d, want 3", p.Stats().Bypassed)
+	}
+}
+
+func TestPMMUPixelTransaction(t *testing.T) {
+	ef, p := pmmuFixture(t)
+	// Row 3, columns 4..11 — the full regional span.
+	addr := uint64(0x1000 + 3*16 + 4)
+	subs, pixel, err := p.TranslateAddr(addr, 8)
+	if err != nil || !pixel {
+		t.Fatalf("pixel transaction failed: pixel=%v err=%v", pixel, err)
+	}
+	if len(subs) != 1 {
+		t.Fatalf("got %d sub-requests, want 1 merged run: %+v", len(subs), subs)
+	}
+	s := subs[0]
+	if s.Code != bitpack.CodeR || s.Source != 0 || s.Count != 8 || s.X != 4 || s.Y != 3 {
+		t.Errorf("sub-request = %+v", s)
+	}
+	// EncIndex should be row 3's offset (row 2 contributed 8 pixels).
+	if s.EncIndex != int(ef.RowOffsets[3]) {
+		t.Errorf("EncIndex = %d, want %d", s.EncIndex, ef.RowOffsets[3])
+	}
+}
+
+func TestPMMUMixedRun(t *testing.T) {
+	_, p := pmmuFixture(t)
+	// Row 3, columns 0..16: N(0..4) R(4..12) N(12..16) → 3 sub-requests.
+	subs, err := p.TranslateRow(3, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 3 {
+		t.Fatalf("got %d sub-requests: %+v", len(subs), subs)
+	}
+	if subs[0].Code != bitpack.CodeN || subs[0].Count != 4 ||
+		subs[1].Code != bitpack.CodeR || subs[1].Count != 8 ||
+		subs[2].Code != bitpack.CodeN || subs[2].Count != 4 {
+		t.Errorf("sub-requests = %+v", subs)
+	}
+}
+
+func TestPMMUErrors(t *testing.T) {
+	_, p := pmmuFixture(t)
+	if _, _, err := p.TranslateAddr(0x1000+3*16+14, 4); err == nil {
+		t.Error("row-crossing transaction accepted")
+	}
+	if _, err := p.TranslateRow(99, 0, 4); err == nil {
+		t.Error("bad row accepted")
+	}
+	if _, err := p.TranslateRow(0, 8, 4); err == nil {
+		t.Error("inverted run accepted")
+	}
+	// Misalignment only possible with bpp > 1.
+	fr := testFrame(8, 4, frame.RGB24, 71)
+	e := NewEncoder(8, 4, frame.RGB24)
+	if err := e.SetRegionLabels(region.List{region.FullFrame(8, 4)}); err != nil {
+		t.Fatal(err)
+	}
+	ef := mustEncode(t, e, fr, 0)
+	p3 := NewPMMU([]*EncodedFrame{ef}, 0)
+	if _, _, err := p3.TranslateAddr(1, 3); err == nil {
+		t.Error("misaligned RGB transaction accepted")
+	}
+}
+
+func TestPMMUSkResolution(t *testing.T) {
+	const w, h = 8, 4
+	e := NewEncoder(w, h, frame.Gray8)
+	if err := e.SetRegionLabels(region.List{{X: 0, Y: 0, W: 8, H: 4, Stride: 1, Skip: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	fr0 := testFrame(w, h, frame.Gray8, 72)
+	ef0 := mustEncode(t, e, fr0, 0) // active
+	ef1 := mustEncode(t, e, fr0, 1) // skipped
+	p := NewPMMU([]*EncodedFrame{ef1, ef0}, 0)
+	subs, err := p.TranslateRow(1, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 1 {
+		t.Fatalf("got %d sub-requests: %+v", len(subs), subs)
+	}
+	if subs[0].Code != bitpack.CodeSk || subs[0].Source != 1 || subs[0].Count != 8 {
+		t.Errorf("Sk sub-request = %+v, want source=1 count=8", subs[0])
+	}
+	if subs[0].EncIndex != int(ef0.RowOffsets[1]) {
+		t.Errorf("EncIndex = %d, want row-1 offset %d", subs[0].EncIndex, ef0.RowOffsets[1])
+	}
+}
+
+func TestPMMUSkResolvesToStInHistory(t *testing.T) {
+	// Region with stride 2 and skip 2: on the skipped frame, a pixel that
+	// was St in the hosting frame resolves to a hold, not a fetch.
+	const w, h = 8, 4
+	e := NewEncoder(w, h, frame.Gray8)
+	if err := e.SetRegionLabels(region.List{{X: 0, Y: 0, W: 8, H: 4, Stride: 2, Skip: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	fr := testFrame(w, h, frame.Gray8, 73)
+	ef0 := mustEncode(t, e, fr, 0)
+	ef1 := mustEncode(t, e, fr, 1)
+	p := NewPMMU([]*EncodedFrame{ef1, ef0}, 0)
+	subs, err := p.TranslateRow(0, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column 0: Sk→R(history). Column 1: Sk→St(history)→hold. Etc.
+	var kinds []bitpack.Code
+	for _, s := range subs {
+		for i := 0; i < s.Count; i++ {
+			kinds = append(kinds, s.Code)
+		}
+	}
+	want := []bitpack.Code{bitpack.CodeSk, bitpack.CodeSt, bitpack.CodeSk, bitpack.CodeSt}
+	for i, k := range want {
+		if kinds[i] != k {
+			t.Fatalf("column %d resolution = %v, want %v (all: %v)", i, kinds[i], k, kinds)
+		}
+	}
+}
+
+func TestPMMUStats(t *testing.T) {
+	_, p := pmmuFixture(t)
+	if _, err := p.TranslateRow(3, 0, 16); err != nil {
+		t.Fatal(err)
+	}
+	s := p.Stats()
+	if s.SubRequests != 3 {
+		t.Errorf("SubRequests = %d, want 3", s.SubRequests)
+	}
+	if s.MetadataBitsRead < 32 { // at least 2 bits per examined pixel
+		t.Errorf("MetadataBitsRead = %d, want >= 32", s.MetadataBitsRead)
+	}
+}

@@ -1,0 +1,139 @@
+package driver
+
+import (
+	"testing"
+
+	"repro/internal/region"
+)
+
+func TestRegisterFileRoundTrip(t *testing.T) {
+	rf := NewRegisterFile(8)
+	ls := region.List{
+		{X: 10, Y: 20, W: 30, H: 40, Stride: 2, Skip: 3, Phase: 1},
+		{X: 5, Y: 60, W: 7, H: 8, Stride: 1, Skip: 1},
+	}
+	if err := rf.Load(ls); err != nil {
+		t.Fatal(err)
+	}
+	// Before Commit the active bank is untouched (no mid-frame tearing).
+	if len(rf.Read()) != 0 {
+		t.Error("Load visible before Commit")
+	}
+	if !rf.Pending() {
+		t.Error("Pending = false after Load")
+	}
+	rf.Commit()
+	got := rf.Read()
+	if len(got) != 2 {
+		t.Fatalf("read %d labels", len(got))
+	}
+	for i := range ls {
+		if got[i] != ls[i] {
+			t.Errorf("label %d: %v != %v", i, got[i], ls[i])
+		}
+	}
+	// 2 labels x 6 regs + 1 count reg.
+	if rf.AXIWrites() != 13 {
+		t.Errorf("AXIWrites = %d, want 13", rf.AXIWrites())
+	}
+	if rf.Commits() != 1 {
+		t.Errorf("Commits = %d, want 1", rf.Commits())
+	}
+	// Idempotent commit.
+	rf.Commit()
+	if rf.Commits() != 1 {
+		t.Error("no-op Commit counted")
+	}
+}
+
+func TestRegisterFileCapacity(t *testing.T) {
+	rf := NewRegisterFile(1)
+	ls := region.List{
+		{X: 0, Y: 0, W: 1, H: 1, Stride: 1, Skip: 1},
+		{X: 0, Y: 2, W: 1, H: 1, Stride: 1, Skip: 1},
+	}
+	if err := rf.Load(ls); err == nil {
+		t.Error("over-capacity load accepted")
+	}
+	if rf.Capacity() != 1 {
+		t.Errorf("Capacity = %d", rf.Capacity())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("zero capacity did not panic")
+		}
+	}()
+	NewRegisterFile(0)
+}
+
+type sinkSpy struct {
+	got region.List
+	err error
+}
+
+func (s *sinkSpy) SetRegionLabels(ls region.List) error {
+	s.got = ls
+	return s.err
+}
+
+func TestRuntimeSetRegionLabels(t *testing.T) {
+	spy := &sinkSpy{}
+	rt := NewRuntime(640, 480, nil, spy)
+	if rt.RegisterFile().Capacity() != DefaultMaxRegions {
+		t.Errorf("default capacity = %d", rt.RegisterFile().Capacity())
+	}
+	// Unsorted input arrives sorted at the sink after the frame boundary.
+	ls := region.List{
+		{X: 0, Y: 100, W: 10, H: 10, Stride: 1, Skip: 1},
+		{X: 0, Y: 10, W: 10, H: 10, Stride: 1, Skip: 1},
+	}
+	if err := rt.SetRegionLabels(ls); err != nil {
+		t.Fatal(err)
+	}
+	if spy.got != nil {
+		t.Error("sink updated before frame boundary")
+	}
+	if err := rt.FrameBoundary(); err != nil {
+		t.Fatal(err)
+	}
+	if !spy.got.IsSortedByY() || spy.got[0].Y != 10 {
+		t.Errorf("sink received unsorted labels: %v", spy.got)
+	}
+	// A second boundary with no pending writes must not re-push.
+	spy.got = nil
+	if err := rt.FrameBoundary(); err != nil {
+		t.Fatal(err)
+	}
+	if spy.got != nil {
+		t.Error("sink re-pushed without pending writes")
+	}
+	if rt.SetCalls() != 1 {
+		t.Errorf("SetCalls = %d", rt.SetCalls())
+	}
+	// Caller's list untouched.
+	if ls[0].Y != 100 {
+		t.Error("caller list mutated")
+	}
+}
+
+func TestRuntimeValidates(t *testing.T) {
+	rt := NewRuntime(100, 100, nil, &sinkSpy{})
+	bad := region.List{{X: 0, Y: 0, W: 500, H: 10, Stride: 1, Skip: 1}}
+	if err := rt.SetRegionLabels(bad); err == nil {
+		t.Error("invalid labels accepted")
+	}
+	over := make(region.List, DefaultMaxRegions+1)
+	for i := range over {
+		over[i] = region.Label{X: 0, Y: 0, W: 1, H: 1, Stride: 1, Skip: 1}
+	}
+	if err := rt.SetRegionLabels(over); err == nil {
+		t.Error("over-capacity list accepted")
+	}
+}
+
+func TestRuntimeNilSink(t *testing.T) {
+	rt := NewRuntime(100, 100, NewRegisterFile(4), nil)
+	if err := rt.SetRegionLabels(region.List{{X: 0, Y: 0, W: 5, H: 5, Stride: 1, Skip: 1}}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+// Package energy implements the paper's first-order energy model
+// (Appendix A.2, Table 6): per-pixel energy for sensing, DRAM storage,
+// interface communication, and per-MAC compute energy. The model is linear
+// in traffic, which the paper uses "to contextualize the benefits of
+// reducing pixel memory throughput in a mobile system".
+package energy
+
+// Model holds the per-operation energy constants in picojoules. The zero
+// value is not useful; use Default for the paper's Table 6 numbers.
+type Model struct {
+	// SensePJPerPixel is image sensing energy: pixel array, read-out
+	// circuits, and analog signal chain (~595 pJ/pixel).
+	SensePJPerPixel float64
+	// DRAMReadPJPerPixel and DRAMWritePJPerPixel split the 677 pJ/pixel
+	// LPDDR4 storage energy into ~300 read + ~400 write (§6.2).
+	DRAMReadPJPerPixel  float64
+	DRAMWritePJPerPixel float64
+	// CSIPJPerPixel is camera-interface transfer energy (~1 nJ/pixel).
+	CSIPJPerPixel float64
+	// DDRInterfacePJPerPixel is SoC-DRAM interface transfer energy
+	// (~3 nJ/pixel; together with storage, ~2.8-4 nJ per moved pixel).
+	DDRInterfacePJPerPixel float64
+	// MACPJ is the energy of one multiply-accumulate (~4.6 pJ).
+	MACPJ float64
+}
+
+// Default is the paper's Table 6 model.
+var Default = Model{
+	SensePJPerPixel:        595,
+	DRAMReadPJPerPixel:     300,
+	DRAMWritePJPerPixel:    400,
+	CSIPJPerPixel:          1000,
+	DDRInterfacePJPerPixel: 3000,
+	MACPJ:                  4.6,
+}
+
+// Breakdown is per-component energy for a workload in millijoules.
+type Breakdown struct {
+	SenseMJ   float64
+	StorageMJ float64
+	CommMJ    float64
+	ComputeMJ float64
+}
+
+// TotalMJ sums the components.
+func (b Breakdown) TotalMJ() float64 { return b.SenseMJ + b.StorageMJ + b.CommMJ + b.ComputeMJ }
+
+// Activity describes the pixel and compute activity of a workload span.
+type Activity struct {
+	// PixelsSensed is the number of pixels read off the sensor.
+	PixelsSensed int64
+	// PixelsWritten and PixelsRead count DRAM framebuffer traffic in
+	// pixels (bytes for 8-bit channels).
+	PixelsWritten int64
+	PixelsRead    int64
+	// PixelsOverCSI counts pixels crossing the camera serial interface.
+	PixelsOverCSI int64
+	// PixelsOverDDR counts pixels crossing the SoC-DRAM interface.
+	PixelsOverDDR int64
+	// MACs counts multiply-accumulate operations performed.
+	MACs int64
+}
+
+// Energy evaluates the model over an activity span.
+func (m Model) Energy(a Activity) Breakdown {
+	const pjToMJ = 1e-9
+	return Breakdown{
+		SenseMJ:   float64(a.PixelsSensed) * m.SensePJPerPixel * pjToMJ,
+		StorageMJ: (float64(a.PixelsWritten)*m.DRAMWritePJPerPixel + float64(a.PixelsRead)*m.DRAMReadPJPerPixel) * pjToMJ,
+		CommMJ:    (float64(a.PixelsOverCSI)*m.CSIPJPerPixel + float64(a.PixelsOverDDR)*m.DDRInterfacePJPerPixel) * pjToMJ,
+		ComputeMJ: float64(a.MACs) * m.MACPJ * pjToMJ,
+	}
+}
+
+// PowerMW converts a per-frame energy (mJ) at a frame rate into milliwatts.
+func PowerMW(perFrameMJ, fps float64) float64 { return perFrameMJ * fps }
+
+// SavingsMJPerFrame returns the per-frame energy difference between a
+// baseline and a reduced activity, in millijoules.
+func (m Model) SavingsMJPerFrame(base, reduced Activity, frames int) float64 {
+	if frames <= 0 {
+		return 0
+	}
+	return (m.Energy(base).TotalMJ() - m.Energy(reduced).TotalMJ()) / float64(frames)
+}

@@ -1,0 +1,93 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultConstantsMatchTable6(t *testing.T) {
+	if Default.SensePJPerPixel != 595 {
+		t.Errorf("sense = %v, want 595", Default.SensePJPerPixel)
+	}
+	if Default.DRAMReadPJPerPixel+Default.DRAMWritePJPerPixel != 700 {
+		t.Errorf("storage = %v, want ~677-700 split 300/400",
+			Default.DRAMReadPJPerPixel+Default.DRAMWritePJPerPixel)
+	}
+	if Default.MACPJ != 4.6 {
+		t.Errorf("MAC = %v, want 4.6", Default.MACPJ)
+	}
+	// "Communication cost is at least three orders of magnitude more than
+	// compute cost" (Table 6 caption).
+	if Default.DDRInterfacePJPerPixel/Default.MACPJ < 500 {
+		t.Error("DDR/MAC ratio should be ~3 orders of magnitude")
+	}
+}
+
+func TestEnergyLinear(t *testing.T) {
+	a := Activity{PixelsSensed: 1000, PixelsWritten: 1000, PixelsRead: 1000,
+		PixelsOverCSI: 1000, PixelsOverDDR: 2000, MACs: 1_000_000}
+	b := Default.Energy(a)
+	// Sensing: 1000 * 595 pJ = 595 nJ = 5.95e-4 mJ.
+	if math.Abs(b.SenseMJ-5.95e-4) > 1e-9 {
+		t.Errorf("SenseMJ = %v", b.SenseMJ)
+	}
+	// Storage: 1000*400 + 1000*300 = 700 nJ.
+	if math.Abs(b.StorageMJ-7e-4) > 1e-9 {
+		t.Errorf("StorageMJ = %v", b.StorageMJ)
+	}
+	// Comm: 1000*1000 + 2000*3000 = 7000 nJ.
+	if math.Abs(b.CommMJ-7e-3) > 1e-9 {
+		t.Errorf("CommMJ = %v", b.CommMJ)
+	}
+	// Compute: 1e6 * 4.6 pJ = 4.6 uJ = 4.6e-3 mJ.
+	if math.Abs(b.ComputeMJ-4.6e-3) > 1e-9 {
+		t.Errorf("ComputeMJ = %v", b.ComputeMJ)
+	}
+	if math.Abs(b.TotalMJ()-(b.SenseMJ+b.StorageMJ+b.CommMJ+b.ComputeMJ)) > 1e-12 {
+		t.Error("TotalMJ inconsistent")
+	}
+}
+
+func TestPaperHeadlineSavings(t *testing.T) {
+	// §6.2: for RP10 on V-SLAM at 4K 30 fps, reduced interface traffic
+	// saves ~18 mJ/frame (~550 mW). Check the model reproduces the order
+	// of magnitude: a 4K frame is 8.3 Mpx; RP10 removes ~55-65% of the
+	// read+write pixel movement across DDR interface + storage.
+	fullPx := int64(3840 * 2160)
+	base := Activity{
+		PixelsWritten: fullPx, PixelsRead: fullPx,
+		PixelsOverDDR: 2 * fullPx,
+	}
+	// ~40% of pixels survive encoding.
+	redPx := int64(float64(fullPx) * 0.40)
+	reduced := Activity{
+		PixelsWritten: redPx, PixelsRead: redPx,
+		PixelsOverDDR: 2 * redPx,
+	}
+	perFrame := Default.SavingsMJPerFrame(base, reduced, 1)
+	if perFrame < 10 || perFrame > 40 {
+		t.Errorf("per-frame savings = %.1f mJ, want 10-40 (paper: ~18)", perFrame)
+	}
+	power := PowerMW(perFrame, 30)
+	if power < 300 || power > 1200 {
+		t.Errorf("power savings = %.0f mW, want 300-1200 (paper: ~550)", power)
+	}
+}
+
+func TestSavingsEdgeCases(t *testing.T) {
+	if Default.SavingsMJPerFrame(Activity{}, Activity{}, 0) != 0 {
+		t.Error("zero frames should yield 0")
+	}
+	// Reduced > base gives negative savings (a regression, not an error).
+	base := Activity{PixelsWritten: 10}
+	worse := Activity{PixelsWritten: 100}
+	if Default.SavingsMJPerFrame(base, worse, 1) >= 0 {
+		t.Error("regression should be negative")
+	}
+}
+
+func TestPowerMW(t *testing.T) {
+	if PowerMW(18, 30) != 540 {
+		t.Errorf("PowerMW(18, 30) = %v, want 540", PowerMW(18, 30))
+	}
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bitpack"
+	"repro/internal/core"
+	"repro/internal/region"
+	"repro/internal/workloads"
+)
+
+// AppendixSeries is one of the Figs. 10-15 frame progressions: the fraction
+// of pixels stored on each frame across one policy cycle (full captures at
+// 100%, feature/box frames at the policy's discard rate).
+type AppendixSeries struct {
+	Task      string
+	Benchmark string
+	// Fractions holds per-frame stored-pixel fractions for the frames of
+	// one cycle (cycle boundary to cycle boundary inclusive).
+	Fractions []float64
+}
+
+// Appendix regenerates the frame-progression figures: two SLAM sequences,
+// two pose sequences (Quick: one each), and one face sequence, each showing
+// one full cycle at CL matching the appendix (full captures ~6 frames
+// apart).
+func Appendix(s Scale) ([]AppendixSeries, error) {
+	const cl = 6 // the appendix shows full frames at positions 1 and 7
+	var out []AppendixSeries
+
+	slamSeeds := []int64{1, 2}
+	if s == Quick {
+		slamSeeds = slamSeeds[:1]
+	}
+	for i, seed := range slamSeeds {
+		cfg := slamConfig(s)
+		cfg.CycleLength = cl
+		cfg.Seed = seed
+		cfg.Frames = 2*cl + 2
+		rp, err := workloads.NewRP(cl, cfg.W, cfg.H)
+		if err != nil {
+			return nil, err
+		}
+		res, err := workloads.RunSLAM(cfg, rp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AppendixSeries{
+			Task:      "Visual SLAM",
+			Benchmark: fmt.Sprintf("synthetic world seq-%d", i+1),
+			Fractions: cycleFractions(res.LabelTrace, cfg.W, cfg.H, cl),
+		})
+	}
+
+	poseSeeds := []int64{1, 2}
+	if s == Quick {
+		poseSeeds = poseSeeds[:1]
+	}
+	for i, seed := range poseSeeds {
+		cfg := poseConfig(s)
+		cfg.CycleLength = cl
+		cfg.Seed = seed
+		cfg.Frames = 2*cl + 2
+		rp, err := workloads.NewRP(cl, cfg.W, cfg.H)
+		if err != nil {
+			return nil, err
+		}
+		res, err := workloads.RunPose(cfg, rp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AppendixSeries{
+			Task:      "Human pose estimation",
+			Benchmark: fmt.Sprintf("synthetic walker seq-%d", i+1),
+			Fractions: cycleFractions(res.LabelTrace, cfg.W, cfg.H, cl),
+		})
+	}
+
+	faceCfg := faceConfig(s)
+	faceCfg.CycleLength = cl
+	faceCfg.Frames = 4 * cl
+	rp, err := workloads.NewRP(cl, faceCfg.W, faceCfg.H)
+	if err != nil {
+		return nil, err
+	}
+	faceRes, err := workloads.RunFace(faceCfg, rp)
+	if err != nil {
+		return nil, err
+	}
+	// Pick the cycle with the most face activity (faces need a detection
+	// pass to exist, so skip the first cycle).
+	fr := cycleFractionsAt(faceRes.LabelTrace, faceCfg.W, faceCfg.H, cl, 2*cl)
+	out = append(out, AppendixSeries{
+		Task:      "Face detection",
+		Benchmark: "synthetic portal",
+		Fractions: fr,
+	})
+	return out, nil
+}
+
+// cycleFractions returns stored-pixel fractions for frames [0, cl] of the
+// trace (one full cycle, inclusive of both boundary full captures).
+func cycleFractions(trace []region.List, w, h, cl int) []float64 {
+	return cycleFractionsAt(trace, w, h, cl, 0)
+}
+
+// cycleFractionsAt returns stored-pixel fractions for frames
+// [start, start+cl] of the trace.
+func cycleFractionsAt(trace []region.List, w, h, cl, start int) []float64 {
+	end := start + cl
+	if end >= len(trace) {
+		end = len(trace) - 1
+	}
+	if start < 0 || start > end {
+		return nil
+	}
+	total := float64(w * h)
+	var out []float64
+	for t := start; t <= end; t++ {
+		counts := core.CountCodes(w, h, t, trace[t])
+		out = append(out, float64(counts[bitpack.CodeR])/total)
+	}
+	return out
+}
+
+// AppendixReport renders the frame progressions like the appendix captions:
+// "Frame 1 (100%) Frame 2 (37%) ...".
+func AppendixReport(series []AppendixSeries) string {
+	var b strings.Builder
+	for _, s := range series {
+		fmt.Fprintf(&b, "%s — %s:\n  ", s.Task, s.Benchmark)
+		for i, f := range s.Fractions {
+			fmt.Fprintf(&b, "Frame %d (%.0f%%)  ", i+1, f*100)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

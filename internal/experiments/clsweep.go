@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// CLSweepRow captures the cycle-length trend of §6.1/6.2: traffic falls
+// and error rises as the cycle length grows.
+type CLSweepRow struct {
+	CycleLength    int
+	ThroughputMBps float64
+	ATE            float64
+	PixelFraction  float64
+}
+
+// CLSweep sweeps cycle lengths over the V-SLAM workload and reports the
+// traffic/accuracy tradeoff ("memory traffic decreases by 5-10% with every
+// 5 step increase in cycle length"; "higher cycle lengths ... take a toll
+// on the task accuracy").
+func CLSweep(s Scale, cycleLengths []int) ([]CLSweepRow, error) {
+	if len(cycleLengths) == 0 {
+		cycleLengths = []int{5, 10, 15}
+	}
+	var rows []CLSweepRow
+	for _, cl := range cycleLengths {
+		cfg := slamConfig(s)
+		cfg.CycleLength = cl
+		rp, err := workloads.NewRP(cl, cfg.W, cfg.H)
+		if err != nil {
+			return nil, err
+		}
+		res, err := workloads.RunSLAM(cfg, rp)
+		if err != nil {
+			return nil, err
+		}
+		tcfg := trace.Config{W: cfg.W, H: cfg.H, BytesPerPixel: 1, FPS: 30}
+		tr, err := trace.Run(tcfg, baseline.NewRhythmic(cl, cfg.W, cfg.H, 1), res.LabelTrace)
+		if err != nil {
+			return nil, err
+		}
+		st := rp.Sys.Stats()
+		frac := 0.0
+		if st.PixelsIn > 0 {
+			frac = float64(st.PixelsStored) / float64(st.PixelsIn)
+		}
+		rows = append(rows, CLSweepRow{
+			CycleLength:    cl,
+			ThroughputMBps: tr.TotalMBps,
+			ATE:            res.ATE,
+			PixelFraction:  frac,
+		})
+	}
+	return rows, nil
+}
+
+// CLSweepReport renders the sweep.
+func CLSweepReport(rows []CLSweepRow) string {
+	var tbl [][]string
+	for _, r := range rows {
+		tbl = append(tbl, []string{
+			fmt.Sprint(r.CycleLength),
+			fmt.Sprintf("%.1f", r.ThroughputMBps),
+			fmt.Sprintf("%.2f", r.ATE),
+			fmt.Sprintf("%.1f%%", r.PixelFraction*100),
+		})
+	}
+	return table([]string{"Cycle length", "Traffic MB/s", "ATE (px)", "Pixels stored"}, tbl)
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// CSV emitters so the regenerated figures can be plotted directly; one
+// writer per multi-series artifact.
+
+// Fig8CSV writes the Fig. 8 rows as CSV.
+func Fig8CSV(w io.Writer, rows []Fig8Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"workload", "system", "total_mbps", "write_mbps", "read_mbps", "mean_footprint_mb"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Workload, r.System,
+			fmt.Sprintf("%.3f", r.ThroughputMBps),
+			fmt.Sprintf("%.3f", r.WriteMBps),
+			fmt.Sprintf("%.3f", r.ReadMBps),
+			fmt.Sprintf("%.3f", r.MeanFootprintMB),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Fig9SLAMCSV writes the Fig. 9a rows as CSV.
+func Fig9SLAMCSV(w io.Writer, rows []Fig9SLAMRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"system", "ate_px", "ate_std", "rpe_trans_px", "rpe_rot_rad"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.System,
+			fmt.Sprintf("%.4f", r.ATE),
+			fmt.Sprintf("%.4f", r.ATEStd),
+			fmt.Sprintf("%.4f", r.RPETrans),
+			fmt.Sprintf("%.6f", r.RPERot),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Fig9DetectionCSV writes Fig. 9b/9c rows as CSV.
+func Fig9DetectionCSV(w io.Writer, task string, rows []Fig9DetectionRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"task", "system", "map", "accuracy"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{task, r.System, fmt.Sprintf("%.4f", r.MAP), fmt.Sprintf("%.4f", r.Accuracy)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// AppendixCSV writes the frame-progression series as CSV (one row per
+// task/frame pair).
+func AppendixCSV(w io.Writer, series []AppendixSeries) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"task", "benchmark", "frame", "pixel_fraction"}); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for i, f := range s.Fractions {
+			rec := []string{s.Task, s.Benchmark, fmt.Sprint(i + 1), fmt.Sprintf("%.4f", f)}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CLSweepCSV writes the cycle-length sweep as CSV.
+func CLSweepCSV(w io.Writer, rows []CLSweepRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"cycle_length", "traffic_mbps", "ate_px", "pixel_fraction"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			fmt.Sprint(r.CycleLength),
+			fmt.Sprintf("%.3f", r.ThroughputMBps),
+			fmt.Sprintf("%.4f", r.ATE),
+			fmt.Sprintf("%.4f", r.PixelFraction),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

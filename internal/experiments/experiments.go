@@ -1,0 +1,163 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6 plus the Fig. 3 case study and the appendix frame
+// progressions). Each experiment has a Quick variant (seconds, used by
+// tests and benchmarks) and a Full variant (minutes, used by cmd/rpxbench);
+// both produce the same report shape.
+//
+// Absolute numbers differ from the paper — the substrate is a software
+// simulation and the datasets are synthetic — but each experiment asserts
+// the paper's qualitative shape: who wins, roughly by how much, and where
+// the trends point. EXPERIMENTS.md records paper-versus-measured values.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/region"
+	"repro/internal/synth"
+	"repro/internal/workloads"
+)
+
+// Scale identifies the experiment fidelity.
+type Scale int
+
+// Experiment scales.
+const (
+	// Quick runs in seconds with reduced frames/resolutions.
+	Quick Scale = iota
+	// Full approximates the paper's configuration.
+	Full
+)
+
+// slamConfig returns the V-SLAM workload configuration at a scale.
+func slamConfig(s Scale) workloads.SLAMConfig {
+	cfg := workloads.DefaultSLAMConfig()
+	if s == Quick {
+		cfg.W, cfg.H = 320, 240
+		cfg.Frames = 40
+		cfg.WorldSize = 1024
+		cfg.Profile = synth.ProfileSlow
+	}
+	return cfg
+}
+
+// faceConfig returns the face workload configuration at a scale.
+func faceConfig(s Scale) workloads.FaceConfig {
+	cfg := workloads.DefaultFaceConfig()
+	if s == Quick {
+		cfg.Frames = 60
+	}
+	return cfg
+}
+
+// poseConfig returns the pose workload configuration at a scale. Full scale
+// uses a multi-person scene, as PoseTrack sequences do.
+func poseConfig(s Scale) workloads.PoseConfig {
+	cfg := workloads.DefaultPoseConfig()
+	if s == Quick {
+		cfg.W, cfg.H = 320, 240
+		cfg.Frames = 50
+	} else {
+		cfg.People = 3
+	}
+	return cfg
+}
+
+// captureFor builds a capture model by name for a w x h pipeline.
+func captureFor(name string, w, h int) (workloads.Capture, error) {
+	switch name {
+	case "FCH":
+		return workloads.FCH{}, nil
+	case "FCL":
+		return workloads.FCL{Factor: 4}, nil
+	case "RP5":
+		return workloads.NewRP(5, w, h)
+	case "RP10":
+		return workloads.NewRP(10, w, h)
+	case "RP15":
+		return workloads.NewRP(15, w, h)
+	case "Multi-ROI":
+		return workloads.NewMultiROI(w, h)
+	case "H.264":
+		return workloads.H264{}, nil
+	}
+	return nil, fmt.Errorf("experiments: unknown capture %q", name)
+}
+
+// cycleLengthFor maps a capture name to the policy cycle length that
+// produced it: rhythmic systems use their own CL; other systems are traced
+// with the RP10 label stream (the paper compares baselines on the same
+// workload request stream).
+func cycleLengthFor(name string) int {
+	switch name {
+	case "RP5":
+		return 5
+	case "RP15":
+		return 15
+	default:
+		return 10
+	}
+}
+
+// ScaleTrace maps a per-frame label trace from simulation resolution to a
+// target resolution (the paper evaluates SLAM at 4K, pose at 720p, face at
+// SVGA; the vision loop runs at simulation scale, as the paper itself ran
+// V-SLAM offline on a desktop and fed the labels to the encoder).
+func ScaleTrace(trace []region.List, fromW, fromH, toW, toH int) []region.List {
+	sx := float64(toW) / float64(fromW)
+	sy := float64(toH) / float64(fromH)
+	out := make([]region.List, len(trace))
+	for i, ls := range trace {
+		for _, l := range ls {
+			scaled, ok := region.Clip(region.Label{
+				X:      int(float64(l.X) * sx),
+				Y:      int(float64(l.Y) * sy),
+				W:      int(float64(l.W)*sx + 0.5),
+				H:      int(float64(l.H)*sy + 0.5),
+				Stride: l.Stride,
+				Skip:   l.Skip,
+				Phase:  l.Phase,
+			}, toW, toH)
+			if ok {
+				out[i] = append(out[i], scaled)
+			}
+		}
+		out[i] = out[i].SortByY()
+	}
+	return out
+}
+
+// table renders rows as a fixed-width text table.
+func table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	for i, w := range widths {
+		b.WriteString(strings.Repeat("-", w))
+		if i < len(widths)-1 {
+			b.WriteString("  ")
+		}
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,360 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/region"
+)
+
+// The experiment tests assert the paper's qualitative shapes at Quick
+// scale: who wins, roughly by how much, and which way the trends point.
+
+func TestFig3Shape(t *testing.T) {
+	r, err := Fig3(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rhythmic pixels must discard a large share of the stream (paper:
+	// 66% discarded) while the error stays in the same regime (paper:
+	// 43 mm → 51 mm, ~+19%).
+	if r.RhythmicPixelFraction >= 0.7 {
+		t.Errorf("rhythmic stored %.0f%% of pixels, want well under 70%%", r.RhythmicPixelFraction*100)
+	}
+	if r.RhythmicPixelFraction <= 0.05 {
+		t.Errorf("rhythmic stored only %.1f%% — policy degenerate", r.RhythmicPixelFraction*100)
+	}
+	if r.RhythmicATE > r.FrameBasedATE*6+3 {
+		t.Errorf("rhythmic ATE %.2f blew up vs frame-based %.2f", r.RhythmicATE, r.FrameBasedATE)
+	}
+	if !strings.Contains(r.Report(), "Rhythmic") {
+		t.Error("report missing content")
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	rows, err := Fig8(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3*len(Fig8Baselines) {
+		t.Fatalf("got %d rows, want %d", len(rows), 3*len(Fig8Baselines))
+	}
+	get := func(workload, system string) Fig8Row {
+		for _, r := range rows {
+			if r.Workload == workload && r.System == system {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s/%s", workload, system)
+		return Fig8Row{}
+	}
+	for _, wl := range []string{"Visual SLAM", "Human pose estimation", "Face detection"} {
+		fch := get(wl, "FCH")
+		rp10 := get(wl, "RP10")
+		rp5 := get(wl, "RP5")
+		rp15 := get(wl, "RP15")
+		mroi := get(wl, "Multi-ROI")
+		h264 := get(wl, "H.264")
+
+		// Headline: RPx cuts traffic 43-64% vs FCH (allow a wide band).
+		red := 1 - rp10.ThroughputMBps/fch.ThroughputMBps
+		if red < 0.30 || red > 0.90 {
+			t.Errorf("%s: RP10 reduction = %.0f%%, want 30-90%%", wl, red*100)
+		}
+		// Higher CL discards more. Allow 10% slack: each CL run is a
+		// separate closed-loop workload whose tracker dynamics differ.
+		if rp15.ThroughputMBps > rp10.ThroughputMBps*1.10 || rp10.ThroughputMBps > rp5.ThroughputMBps*1.10 {
+			t.Errorf("%s: CL ordering violated: %0.f/%0.f/%0.f",
+				wl, rp5.ThroughputMBps, rp10.ThroughputMBps, rp15.ThroughputMBps)
+		}
+		// Multi-ROI exceeds rhythmic (paper: larger, substantially for SLAM).
+		if mroi.ThroughputMBps <= rp10.ThroughputMBps {
+			t.Errorf("%s: Multi-ROI %.0f <= RP10 %.0f", wl, mroi.ThroughputMBps, rp10.ThroughputMBps)
+		}
+		// H.264 exceeds everything.
+		if h264.ThroughputMBps <= fch.ThroughputMBps {
+			t.Errorf("%s: H.264 %.0f <= FCH %.0f", wl, h264.ThroughputMBps, fch.ThroughputMBps)
+		}
+		// Footprint: RP10 roughly halves FCH (paper: ~50%).
+		fred := 1 - rp10.MeanFootprintMB/fch.MeanFootprintMB
+		if fred < 0.25 {
+			t.Errorf("%s: footprint reduction %.0f%%, want >= 25%%", wl, fred*100)
+		}
+	}
+	if !strings.Contains(Fig8Report(rows), "MB/s") {
+		t.Error("report missing content")
+	}
+}
+
+func TestFig9PoseAndFaceShape(t *testing.T) {
+	for _, exp := range []struct {
+		name string
+		run  func(Scale) ([]Fig9DetectionRow, error)
+	}{
+		{"pose", Fig9Pose},
+		{"face", Fig9Face},
+	} {
+		rows, err := exp.run(Quick)
+		if err != nil {
+			t.Fatalf("%s: %v", exp.name, err)
+		}
+		if len(rows) != len(Fig9Baselines) {
+			t.Fatalf("%s: %d rows", exp.name, len(rows))
+		}
+		get := func(system string) Fig9DetectionRow {
+			for _, r := range rows {
+				if r.System == system {
+					return r
+				}
+			}
+			t.Fatalf("%s: missing %s", exp.name, system)
+			return Fig9DetectionRow{}
+		}
+		fch, fcl, rp10 := get("FCH"), get("FCL"), get("RP10")
+		// FCH performs well; FCL degrades substantially (paper: "performs
+		// poorly, with significantly raised errors").
+		if fch.MAP < 0.3 {
+			t.Errorf("%s: FCH mAP = %.2f too low for a meaningful comparison", exp.name, fch.MAP)
+		}
+		if fcl.MAP >= fch.MAP {
+			t.Errorf("%s: FCL mAP %.2f >= FCH %.2f", exp.name, fcl.MAP, fch.MAP)
+		}
+		// RP10 stays close to FCH (paper: ~5% loss; allow slack).
+		if rp10.MAP < fch.MAP*0.55 {
+			t.Errorf("%s: RP10 mAP %.2f degraded too far from FCH %.2f", exp.name, rp10.MAP, fch.MAP)
+		}
+		if !strings.Contains(Fig9DetectionReport("x", rows), "%") {
+			t.Error("report missing content")
+		}
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	rows, err := Table4(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.AvgRegions <= 0 {
+			t.Errorf("%s: no regions", r.Task)
+		}
+		if r.MinW <= 0 || r.MaxW < r.MinW {
+			t.Errorf("%s: size stats %d..%d", r.Task, r.MinW, r.MaxW)
+		}
+		if r.MinStride < 1 || r.MaxStride > 4 {
+			t.Errorf("%s: stride range %d..%d outside paper's 1..4", r.Task, r.MinStride, r.MaxStride)
+		}
+		if r.MinRateMS > r.MaxRateMS {
+			t.Errorf("%s: rate range inverted", r.Task)
+		}
+	}
+	// SLAM uses hundreds of regions; detection tasks use few (paper:
+	// 973 vs a handful).
+	if rows[0].AvgRegions < 20 {
+		t.Errorf("SLAM avg regions = %.0f, want many", rows[0].AvgRegions)
+	}
+	if rows[1].AvgRegions > rows[0].AvgRegions {
+		t.Error("face should use fewer regions than SLAM")
+	}
+	if !strings.Contains(Table4Report(rows), "Visual SLAM") {
+		t.Error("report missing content")
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	rows := Table5()
+	if len(rows) != 8 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	report := Table5Report(rows)
+	if !strings.Contains(report, "No Synth") {
+		t.Error("parallel/1600 must report No Synth")
+	}
+	if !strings.Contains(report, "hybrid") {
+		t.Error("report missing hybrid rows")
+	}
+}
+
+func TestEnergyShape(t *testing.T) {
+	r, err := Energy(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: ~18 mJ/frame and ~550 mW saved for RP10 on 4K30. Allow a
+	// generous band: the trace policy and scene differ.
+	if r.SavingsMJPerFrame < 5 || r.SavingsMJPerFrame > 60 {
+		t.Errorf("savings = %.1f mJ/frame, want 5-60", r.SavingsMJPerFrame)
+	}
+	if r.SavingsMW < 150 || r.SavingsMW > 1800 {
+		t.Errorf("savings = %.0f mW, want 150-1800", r.SavingsMW)
+	}
+	// Hardware overhead must be well under the savings (the point of §6.3).
+	if r.EncoderOverheadMW+r.DecoderOverheadMW > r.SavingsMW/3 {
+		t.Errorf("overhead %.1f mW not small vs savings %.0f mW",
+			r.EncoderOverheadMW+r.DecoderOverheadMW, r.SavingsMW)
+	}
+	if !strings.Contains(r.Report(), "mJ/frame") {
+		t.Error("report missing content")
+	}
+}
+
+func TestAppendixShape(t *testing.T) {
+	series, err := Appendix(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) < 3 {
+		t.Fatalf("%d series", len(series))
+	}
+	for _, s := range series {
+		if len(s.Fractions) < 3 {
+			t.Fatalf("%s: only %d frames", s.Task, len(s.Fractions))
+		}
+		// Boundary frames are full captures; middle frames are partial.
+		if s.Fractions[0] < 0.99 {
+			t.Errorf("%s: first frame %.0f%%, want 100%%", s.Task, s.Fractions[0]*100)
+		}
+		mid := s.Fractions[1 : len(s.Fractions)-1]
+		for _, f := range mid {
+			if f > 0.95 {
+				t.Errorf("%s: intermediate frame at %.0f%%", s.Task, f*100)
+				break
+			}
+		}
+	}
+	if !strings.Contains(AppendixReport(series), "Frame 1 (100%)") {
+		t.Error("report missing content")
+	}
+}
+
+func TestCLSweepShape(t *testing.T) {
+	rows, err := CLSweep(Quick, []int{5, 10, 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Traffic monotonically decreases with CL.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].ThroughputMBps >= rows[i-1].ThroughputMBps {
+			t.Errorf("traffic not decreasing: CL%d %.1f >= CL%d %.1f",
+				rows[i].CycleLength, rows[i].ThroughputMBps,
+				rows[i-1].CycleLength, rows[i-1].ThroughputMBps)
+		}
+	}
+	if !strings.Contains(CLSweepReport(rows), "Cycle length") {
+		t.Error("report missing content")
+	}
+}
+
+func TestScaleTrace(t *testing.T) {
+	in := []region.List{
+		{{X: 10, Y: 10, W: 20, H: 20, Stride: 2, Skip: 3, Phase: 1}},
+		{},
+	}
+	out := ScaleTrace(in, 100, 100, 400, 200)
+	if len(out) != 2 {
+		t.Fatalf("len = %d", len(out))
+	}
+	l := out[0][0]
+	if l.X != 40 || l.Y != 20 || l.W != 80 || l.H != 40 {
+		t.Errorf("scaled label = %v", l)
+	}
+	if l.Stride != 2 || l.Skip != 3 || l.Phase != 1 {
+		t.Error("rhythm parameters must not scale")
+	}
+	if err := out[0].Validate(400, 200); err != nil {
+		t.Fatal(err)
+	}
+	// Labels that scale to nothing are dropped.
+	tiny := []region.List{{{X: 99, Y: 99, W: 1, H: 1, Stride: 1, Skip: 1}}}
+	shr := ScaleTrace(tiny, 100, 100, 10, 10)
+	if len(shr[0]) > 1 {
+		t.Errorf("shrunk trace = %v", shr[0])
+	}
+}
+
+func TestCaptureForUnknown(t *testing.T) {
+	if _, err := captureFor("bogus", 10, 10); err == nil {
+		t.Error("unknown capture accepted")
+	}
+}
+
+func TestFutureWorkShape(t *testing.T) {
+	r, err := FutureWork(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DRAM-less: most intermediate 4K encoded frames should fit a 4 MB
+	// SRAM budget (the paper's motivation: "store frame buffers in the
+	// local SoC memory when not dealing with full frame captures").
+	if r.IntermediateFitFraction < 0.5 {
+		t.Errorf("only %.0f%% of intermediate frames fit SRAM", r.IntermediateFitFraction*100)
+	}
+	if r.MeanIntermediateMB <= 0 || r.MeanIntermediateMB > 30 {
+		t.Errorf("mean intermediate size = %.2f MB", r.MeanIntermediateMB)
+	}
+	// In-sensor placement must save CSI power; ISP-output placement saves none.
+	if r.CSISavingsMWAtISP != 0 {
+		t.Errorf("ISP-output CSI savings = %v, want 0", r.CSISavingsMWAtISP)
+	}
+	if r.CSISavingsMWInSensor <= 50 {
+		t.Errorf("in-sensor CSI savings = %.0f mW, want substantial", r.CSISavingsMWInSensor)
+	}
+	// The adaptive policy must actually adapt (mean cycle away from both
+	// bounds) on the mixed-motion sequence.
+	if r.AdaptiveMeanCycle <= 4 || r.AdaptiveMeanCycle >= 20 {
+		t.Errorf("adaptive mean cycle = %.1f, want strictly inside [4,20]", r.AdaptiveMeanCycle)
+	}
+	if r.AdaptivePixelFraction <= 0 || r.AdaptivePixelFraction >= 1 {
+		t.Errorf("adaptive pixel fraction = %v", r.AdaptivePixelFraction)
+	}
+	if !strings.Contains(r.Report(), "DRAM-less") {
+		t.Error("report missing content")
+	}
+}
+
+func TestCSVEmitters(t *testing.T) {
+	var buf bytes.Buffer
+	fig8 := []Fig8Row{{Workload: "w", System: "s", ThroughputMBps: 1.5}}
+	if err := Fig8CSV(&buf, fig8); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "workload,system") || !strings.Contains(buf.String(), "1.500") {
+		t.Errorf("fig8 csv:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := Fig9SLAMCSV(&buf, []Fig9SLAMRow{{System: "FCH", ATE: 1.25}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1.2500") {
+		t.Errorf("fig9a csv:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := Fig9DetectionCSV(&buf, "face", []Fig9DetectionRow{{System: "RP10", MAP: 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "face,RP10,0.5000") {
+		t.Errorf("fig9 det csv:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := AppendixCSV(&buf, []AppendixSeries{{Task: "t", Benchmark: "b", Fractions: []float64{1, 0.3}}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "t,b,2,0.3000") {
+		t.Errorf("appendix csv:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := CLSweepCSV(&buf, []CLSweepRow{{CycleLength: 5, ThroughputMBps: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "5,2.000") {
+		t.Errorf("clsweep csv:\n%s", buf.String())
+	}
+}

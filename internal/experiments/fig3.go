@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/workloads"
+)
+
+// Fig3Result reproduces the Fig. 3 ORB-SLAM case study: pixels captured and
+// absolute trajectory error, frame-based computing versus rhythmic pixels.
+type Fig3Result struct {
+	FrameBasedPixelFraction float64
+	RhythmicPixelFraction   float64
+	FrameBasedATE           float64
+	FrameBasedATEStd        float64
+	RhythmicATE             float64
+	RhythmicATEStd          float64
+}
+
+// Fig3 runs the case study: V-SLAM with full frames every 10 frames and
+// feature-based regions in between (§3.4).
+func Fig3(s Scale) (Fig3Result, error) {
+	cfg := slamConfig(s)
+	cfg.CycleLength = 10
+
+	fb, err := workloads.RunSLAM(cfg, workloads.FCH{})
+	if err != nil {
+		return Fig3Result{}, err
+	}
+	rp, err := workloads.NewRP(cfg.CycleLength, cfg.W, cfg.H)
+	if err != nil {
+		return Fig3Result{}, err
+	}
+	rpRes, err := workloads.RunSLAM(cfg, rp)
+	if err != nil {
+		return Fig3Result{}, err
+	}
+	res := Fig3Result{
+		FrameBasedPixelFraction: 1.0,
+		FrameBasedATE:           fb.ATE,
+		FrameBasedATEStd:        fb.ATEStd,
+		RhythmicATE:             rpRes.ATE,
+		RhythmicATEStd:          rpRes.ATEStd,
+	}
+	st := rp.Sys.Stats()
+	if st.PixelsIn > 0 {
+		res.RhythmicPixelFraction = float64(st.PixelsStored) / float64(st.PixelsIn)
+	}
+	return res, nil
+}
+
+// Report renders the case-study comparison.
+func (r Fig3Result) Report() string {
+	return table(
+		[]string{"Fig. 3 (ORB-SLAM case study)", "Frame-based", "Rhythmic Pixels"},
+		[][]string{
+			{"Fraction of pixels captured", fmt.Sprintf("%.2f", r.FrameBasedPixelFraction), fmt.Sprintf("%.2f", r.RhythmicPixelFraction)},
+			{"Absolute trajectory error (px)", fmt.Sprintf("%.2f ± %.2f", r.FrameBasedATE, r.FrameBasedATEStd), fmt.Sprintf("%.2f ± %.2f", r.RhythmicATE, r.RhythmicATEStd)},
+		},
+	)
+}

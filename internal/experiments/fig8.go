@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/region"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Fig8Baselines lists the capture systems of Fig. 8 in presentation order.
+var Fig8Baselines = []string{"FCH", "FCL", "RP5", "RP10", "RP15", "Multi-ROI", "H.264"}
+
+// Fig8Row is one bar of Fig. 8: a workload/baseline pair's pixel memory
+// throughput and footprint.
+type Fig8Row struct {
+	Workload string
+	System   string
+	// ThroughputMBps is read+write pixel traffic per second.
+	ThroughputMBps float64
+	// WriteMBps and ReadMBps split the traffic.
+	WriteMBps, ReadMBps float64
+	// MeanFootprintMB is the average live framebuffer memory.
+	MeanFootprintMB float64
+}
+
+// fig8BPP is the traffic-evaluation pixel depth: the paper's pipeline
+// stores YUV444 frames (its "EncMask is 8% of frame data" figure implies
+// 3 bytes per pixel).
+const fig8BPP = 3
+
+// fig8Target describes one workload's traffic-evaluation resolution (the
+// paper's Table 3) and frame rate.
+type fig8Target struct {
+	name   string
+	w, h   int
+	fps    float64
+	factor int // FCL downscale factor
+}
+
+// fig8Targets at a given scale: the paper evaluates SLAM at 4K, pose at
+// 720p, face at SVGA, all at 30 fps. Quick mode shrinks SLAM to 1080p.
+func fig8Targets(s Scale) []fig8Target {
+	slam := fig8Target{name: "Visual SLAM", w: 3840, h: 2160, fps: 30, factor: 8}
+	if s == Quick {
+		slam.w, slam.h = 1920, 1080
+	}
+	return []fig8Target{
+		slam,
+		{name: "Human pose estimation", w: 1280, h: 720, fps: 30, factor: 3},
+		{name: "Face detection", w: 800, h: 600, fps: 30, factor: 3},
+	}
+}
+
+// Fig8 regenerates the memory traffic and footprint comparison. The
+// workload label traces come from real policy-in-the-loop runs at
+// simulation resolution and are scaled to the paper's evaluation
+// resolutions, mirroring the paper's own offline trace methodology.
+func Fig8(s Scale) ([]Fig8Row, error) {
+	traces, err := labelTraces(s)
+	if err != nil {
+		return nil, err
+	}
+	targets := fig8Targets(s)
+	var rows []Fig8Row
+	for wi, tgt := range targets {
+		for _, sysName := range Fig8Baselines {
+			tr := traces[wi][cycleLengthFor(sysName)]
+			scaled := ScaleTrace(tr.labels, tr.w, tr.h, tgt.w, tgt.h)
+			model := trafficModel(sysName, tgt)
+			cfg := trace.Config{W: tgt.w, H: tgt.h, BytesPerPixel: fig8BPP, FPS: tgt.fps}
+			res, err := trace.Run(cfg, model, scaled)
+			if err != nil {
+				return nil, fmt.Errorf("fig8 %s/%s: %w", tgt.name, sysName, err)
+			}
+			rows = append(rows, Fig8Row{
+				Workload:        tgt.name,
+				System:          sysName,
+				ThroughputMBps:  res.TotalMBps,
+				WriteMBps:       res.WriteMBps,
+				ReadMBps:        res.ReadMBps,
+				MeanFootprintMB: res.MeanFootprintMB,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// trafficModel builds the baseline traffic model for a target.
+func trafficModel(name string, tgt fig8Target) baseline.Model {
+	switch name {
+	case "FCH":
+		return baseline.NewFCH(tgt.w, tgt.h, fig8BPP)
+	case "FCL":
+		return baseline.NewFCL(tgt.w, tgt.h, fig8BPP, tgt.factor)
+	case "RP5":
+		return baseline.NewRhythmic(5, tgt.w, tgt.h, fig8BPP)
+	case "RP10":
+		return baseline.NewRhythmic(10, tgt.w, tgt.h, fig8BPP)
+	case "RP15":
+		return baseline.NewRhythmic(15, tgt.w, tgt.h, fig8BPP)
+	case "Multi-ROI":
+		return baseline.NewMultiROI(tgt.w, tgt.h, fig8BPP)
+	case "H.264":
+		return baseline.NewH264(tgt.w, tgt.h, fig8BPP)
+	}
+	panic("experiments: unknown baseline " + name)
+}
+
+// workloadTrace carries a label trace with its source resolution.
+type workloadTrace struct {
+	w, h   int
+	labels []region.List
+}
+
+// labelTraces runs each workload once per needed cycle length and returns
+// traces[workload][cycleLength].
+func labelTraces(s Scale) ([3]map[int]workloadTrace, error) {
+	var out [3]map[int]workloadTrace
+	cls := []int{5, 10, 15}
+
+	out[0] = map[int]workloadTrace{}
+	slamCfg := slamConfig(s)
+	for _, cl := range cls {
+		cfg := slamCfg
+		cfg.CycleLength = cl
+		rp, err := workloads.NewRP(cl, cfg.W, cfg.H)
+		if err != nil {
+			return out, err
+		}
+		res, err := workloads.RunSLAM(cfg, rp)
+		if err != nil {
+			return out, err
+		}
+		out[0][cl] = workloadTrace{w: cfg.W, h: cfg.H, labels: res.LabelTrace}
+	}
+
+	out[1] = map[int]workloadTrace{}
+	poseCfg := poseConfig(s)
+	for _, cl := range cls {
+		cfg := poseCfg
+		cfg.CycleLength = cl
+		rp, err := workloads.NewRP(cl, cfg.W, cfg.H)
+		if err != nil {
+			return out, err
+		}
+		res, err := workloads.RunPose(cfg, rp)
+		if err != nil {
+			return out, err
+		}
+		out[1][cl] = workloadTrace{w: cfg.W, h: cfg.H, labels: res.LabelTrace}
+	}
+
+	out[2] = map[int]workloadTrace{}
+	faceCfg := faceConfig(s)
+	for _, cl := range cls {
+		cfg := faceCfg
+		cfg.CycleLength = cl
+		rp, err := workloads.NewRP(cl, cfg.W, cfg.H)
+		if err != nil {
+			return out, err
+		}
+		res, err := workloads.RunFace(cfg, rp)
+		if err != nil {
+			return out, err
+		}
+		out[2][cl] = workloadTrace{w: cfg.W, h: cfg.H, labels: res.LabelTrace}
+	}
+	return out, nil
+}
+
+// Fig8Report renders the rows grouped by workload.
+func Fig8Report(rows []Fig8Row) string {
+	var tbl [][]string
+	for _, r := range rows {
+		tbl = append(tbl, []string{
+			r.Workload, r.System,
+			fmt.Sprintf("%.1f", r.ThroughputMBps),
+			fmt.Sprintf("%.1f", r.WriteMBps),
+			fmt.Sprintf("%.1f", r.ReadMBps),
+			fmt.Sprintf("%.1f", r.MeanFootprintMB),
+		})
+	}
+	return table(
+		[]string{"Workload", "System", "Total MB/s", "Write MB/s", "Read MB/s", "Mean footprint MB"},
+		tbl,
+	)
+}

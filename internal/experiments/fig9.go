@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/synth"
+	"repro/internal/workloads"
+)
+
+// Fig9SLAMRow is one bar group of Fig. 9a: V-SLAM error metrics for one
+// capture system, aggregated over sequences.
+type Fig9SLAMRow struct {
+	System   string
+	ATE      float64 // mean over sequences (px)
+	ATEStd   float64 // stddev over sequences
+	RPETrans float64 // px/frame
+	RPERot   float64 // rad/frame
+}
+
+// Fig9SLAM regenerates Fig. 9a: trajectory/translational/rotational error
+// across capture systems, over several sequences with varying motion.
+func Fig9SLAM(s Scale) ([]Fig9SLAMRow, error) {
+	profiles := []synth.MotionProfile{synth.ProfileStatic, synth.ProfileSlow, synth.ProfileMedium}
+	seeds := []int64{1, 2, 3}
+	if s == Full {
+		profiles = append(profiles, synth.ProfileFast)
+		seeds = append(seeds, 4)
+	}
+	var rows []Fig9SLAMRow
+	for _, sysName := range Fig9Baselines {
+		var ates, rpts, rprs []float64
+		for i, prof := range profiles {
+			cfg := slamConfig(s)
+			cfg.Profile = prof
+			cfg.Seed = seeds[i%len(seeds)]
+			cfg.CycleLength = cycleLengthFor(sysName)
+			cap, err := captureFor(sysName, cfg.W, cfg.H)
+			if err != nil {
+				return nil, err
+			}
+			res, err := workloads.RunSLAM(cfg, cap)
+			if err != nil {
+				return nil, err
+			}
+			ates = append(ates, res.ATE)
+			rpts = append(rpts, res.RPETrans)
+			rprs = append(rprs, res.RPERot)
+		}
+		rows = append(rows, Fig9SLAMRow{
+			System:   sysName,
+			ATE:      metrics.Mean(ates),
+			ATEStd:   metrics.Stddev(ates),
+			RPETrans: metrics.Mean(rpts),
+			RPERot:   metrics.Mean(rprs),
+		})
+	}
+	return rows, nil
+}
+
+// Fig9Baselines lists the capture systems compared in Fig. 9.
+var Fig9Baselines = []string{"FCH", "FCL", "RP5", "RP10", "RP15", "Multi-ROI", "H.264"}
+
+// Fig9DetectionRow is one bar of Fig. 9b/9c: mAP for one capture system.
+type Fig9DetectionRow struct {
+	System   string
+	MAP      float64
+	Accuracy float64
+}
+
+// Fig9Pose regenerates Fig. 9b: human pose estimation mAP across systems.
+func Fig9Pose(s Scale) ([]Fig9DetectionRow, error) {
+	var rows []Fig9DetectionRow
+	for _, sysName := range Fig9Baselines {
+		cfg := poseConfig(s)
+		cfg.CycleLength = cycleLengthFor(sysName)
+		cap, err := captureFor(sysName, cfg.W, cfg.H)
+		if err != nil {
+			return nil, err
+		}
+		res, err := workloads.RunPose(cfg, cap)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig9DetectionRow{System: sysName, MAP: res.MAP, Accuracy: res.Accuracy})
+	}
+	return rows, nil
+}
+
+// Fig9Face regenerates Fig. 9c: face detection mAP across systems.
+func Fig9Face(s Scale) ([]Fig9DetectionRow, error) {
+	var rows []Fig9DetectionRow
+	for _, sysName := range Fig9Baselines {
+		cfg := faceConfig(s)
+		cfg.CycleLength = cycleLengthFor(sysName)
+		cap, err := captureFor(sysName, cfg.W, cfg.H)
+		if err != nil {
+			return nil, err
+		}
+		res, err := workloads.RunFace(cfg, cap)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig9DetectionRow{System: sysName, MAP: res.MAP, Accuracy: res.Accuracy})
+	}
+	return rows, nil
+}
+
+// Fig9SLAMReport renders Fig. 9a.
+func Fig9SLAMReport(rows []Fig9SLAMRow) string {
+	var tbl [][]string
+	for _, r := range rows {
+		tbl = append(tbl, []string{
+			r.System,
+			fmt.Sprintf("%.2f ± %.2f", r.ATE, r.ATEStd),
+			fmt.Sprintf("%.3f", r.RPETrans),
+			fmt.Sprintf("%.4f", r.RPERot),
+		})
+	}
+	return table([]string{"System", "ATE (px)", "RPE trans (px/frame)", "RPE rot (rad/frame)"}, tbl)
+}
+
+// Fig9DetectionReport renders Fig. 9b or 9c.
+func Fig9DetectionReport(title string, rows []Fig9DetectionRow) string {
+	var tbl [][]string
+	for _, r := range rows {
+		tbl = append(tbl, []string{r.System, fmt.Sprintf("%.1f%%", r.MAP*100), fmt.Sprintf("%.1f%%", r.Accuracy*100)})
+	}
+	return title + "\n" + table([]string{"System", "mAP", "Accuracy"}, tbl)
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hwmodel"
+	"repro/internal/region"
+	"repro/internal/workloads"
+)
+
+// Table4Row summarizes one task's observed region statistics (Table 4).
+type Table4Row struct {
+	Task       string
+	AvgRegions float64
+	MinW, MinH int
+	MaxW, MaxH int
+	MinStride  int
+	MaxStride  int
+	// MinRateMS and MaxRateMS are the sampling intervals in milliseconds
+	// at 30 fps implied by the observed skip range (skip 1 = 33 ms).
+	MinRateMS, MaxRateMS float64
+}
+
+// Table4 regenerates the observed statistics of task and benchmark by
+// running each workload with its RP10 policy and aggregating the emitted
+// labels on intermediate frames.
+func Table4(s Scale) ([]Table4Row, error) {
+	const frameMS = 1000.0 / 30
+
+	rowFrom := func(task string, trace []region.List, w, h int, cl int, avg float64) Table4Row {
+		// Aggregate stats over intermediate (non-full-capture) frames.
+		var all region.List
+		for i, ls := range trace {
+			if i%cl == 0 {
+				continue
+			}
+			all = append(all, ls...)
+		}
+		st := all.Stats(w, h)
+		row := Table4Row{
+			Task:       task,
+			AvgRegions: avg,
+			MinW:       st.MinW, MinH: st.MinH,
+			MaxW: st.MaxW, MaxH: st.MaxH,
+			MinStride: st.MinStride, MaxStride: st.MaxStride,
+		}
+		row.MinRateMS = frameMS * float64(st.MinSkip)
+		row.MaxRateMS = frameMS * float64(st.MaxSkip)
+		return row
+	}
+
+	var rows []Table4Row
+
+	slamCfg := slamConfig(s)
+	rpS, err := workloads.NewRP(slamCfg.CycleLength, slamCfg.W, slamCfg.H)
+	if err != nil {
+		return nil, err
+	}
+	slamRes, err := workloads.RunSLAM(slamCfg, rpS)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, rowFrom("Visual SLAM", slamRes.LabelTrace, slamCfg.W, slamCfg.H, slamCfg.CycleLength, slamRes.AvgRegions))
+
+	faceCfg := faceConfig(s)
+	rpF, err := workloads.NewRP(faceCfg.CycleLength, faceCfg.W, faceCfg.H)
+	if err != nil {
+		return nil, err
+	}
+	faceRes, err := workloads.RunFace(faceCfg, rpF)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, rowFrom("Face detection", faceRes.LabelTrace, faceCfg.W, faceCfg.H, faceCfg.CycleLength, faceRes.AvgRegions))
+
+	poseCfg := poseConfig(s)
+	rpP, err := workloads.NewRP(poseCfg.CycleLength, poseCfg.W, poseCfg.H)
+	if err != nil {
+		return nil, err
+	}
+	poseRes, err := workloads.RunPose(poseCfg, rpP)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, rowFrom("Human pose estimation", poseRes.LabelTrace, poseCfg.W, poseCfg.H, poseCfg.CycleLength, poseRes.AvgRegions))
+
+	return rows, nil
+}
+
+// Table4Report renders the observed statistics table.
+func Table4Report(rows []Table4Row) string {
+	var tbl [][]string
+	for _, r := range rows {
+		tbl = append(tbl, []string{
+			r.Task,
+			fmt.Sprintf("%.0f", r.AvgRegions),
+			fmt.Sprintf("%dx%d / %dx%d", r.MinW, r.MinH, r.MaxW, r.MaxH),
+			fmt.Sprintf("%d / %d", r.MinStride, r.MaxStride),
+			fmt.Sprintf("%.0f / %.0f ms", frameRate(r.MinRateMS), frameRate(r.MaxRateMS)),
+		})
+	}
+	return table([]string{"Task", "Avg regions", "Region size min/max", "Stride min/max", "Rate fast/slow"}, tbl)
+}
+
+func frameRate(ms float64) float64 { return ms }
+
+// Table5Row is one row of the encoder resource scaling table.
+type Table5Row struct {
+	Design  string
+	Regions int
+	hwmodel.Resources
+}
+
+// Table5 regenerates the encoder resource utilization comparison.
+func Table5() []Table5Row {
+	var rows []Table5Row
+	for _, d := range []core.Design{core.DesignParallel, core.DesignHybrid} {
+		for _, n := range []int{100, 200, 400, 1600} {
+			rows = append(rows, Table5Row{
+				Design:    d.String(),
+				Regions:   n,
+				Resources: hwmodel.EncoderResources(d, n),
+			})
+		}
+	}
+	return rows
+}
+
+// Table5Report renders the resource table.
+func Table5Report(rows []Table5Row) string {
+	var tbl [][]string
+	for _, r := range rows {
+		if !r.Synthesizable {
+			tbl = append(tbl, []string{r.Design, fmt.Sprint(r.Regions), "No Synth", "No Synth", "No Synth"})
+			continue
+		}
+		tbl = append(tbl, []string{
+			r.Design, fmt.Sprint(r.Regions),
+			fmt.Sprint(r.LUTs), fmt.Sprint(r.FFs), fmt.Sprint(r.BRAMs),
+		})
+	}
+	return table([]string{"Type", "#Regions", "#LUTs", "#FFs", "#BRAMs"}, tbl)
+}

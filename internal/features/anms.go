@@ -1,0 +1,79 @@
+package features
+
+import "sort"
+
+// DistributeGrid selects up to maxFeatures keypoints with an even spatial
+// distribution, the grid-bucketed selection ORB-SLAM applies so that pose
+// estimation is not dominated by one texture-rich corner of the frame. The
+// frame is divided into cellSize x cellSize buckets; the strongest
+// keypoints are taken round-robin across non-empty buckets.
+//
+// Even distribution matters doubly for rhythmic pixel regions: the emitted
+// regions then cover the scene rather than piling onto one cluster, which
+// stabilizes both tracking and the traffic profile.
+func DistributeGrid(kps []KeyPoint, frameW, frameH, cellSize, maxFeatures int) []KeyPoint {
+	if maxFeatures <= 0 || len(kps) <= maxFeatures {
+		return kps
+	}
+	if cellSize < 8 {
+		cellSize = 8
+	}
+	cols := (frameW + cellSize - 1) / cellSize
+	rows := (frameH + cellSize - 1) / cellSize
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	buckets := make([][]KeyPoint, cols*rows)
+	for _, kp := range kps {
+		cx := int(kp.X) / cellSize
+		cy := int(kp.Y) / cellSize
+		if cx < 0 {
+			cx = 0
+		} else if cx >= cols {
+			cx = cols - 1
+		}
+		if cy < 0 {
+			cy = 0
+		} else if cy >= rows {
+			cy = rows - 1
+		}
+		buckets[cy*cols+cx] = append(buckets[cy*cols+cx], kp)
+	}
+	// Strongest first within each bucket.
+	var order []int
+	for i, b := range buckets {
+		if len(b) == 0 {
+			continue
+		}
+		sort.Slice(b, func(x, y int) bool { return b[x].Response > b[y].Response })
+		order = append(order, i)
+	}
+	// Round-robin across buckets until the budget is filled.
+	out := make([]KeyPoint, 0, maxFeatures)
+	for depth := 0; len(out) < maxFeatures; depth++ {
+		took := false
+		for _, bi := range order {
+			if depth < len(buckets[bi]) {
+				out = append(out, buckets[bi][depth])
+				took = true
+				if len(out) == maxFeatures {
+					break
+				}
+			}
+		}
+		if !took {
+			break
+		}
+	}
+	// Deterministic output order: raster position.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Y != out[j].Y {
+			return out[i].Y < out[j].Y
+		}
+		return out[i].X < out[j].X
+	})
+	return out
+}

@@ -1,0 +1,179 @@
+package features
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/frame"
+)
+
+// Detector extracts oriented BRIEF keypoints over an image pyramid — the
+// ORB-style frontend the paper's V-SLAM workload uses.
+type Detector struct {
+	// NumLevels is the pyramid depth (ORB default 8).
+	NumLevels int
+	// ScaleFactor is the per-level downscale (ORB default 1.2).
+	ScaleFactor float64
+	// Threshold is the FAST intensity threshold.
+	Threshold int
+	// MaxFeatures caps the returned keypoints, keeping the strongest
+	// responses (ORB-SLAM uses ~1000-1500 per frame).
+	MaxFeatures int
+	// PatchSize is the descriptor patch diameter at level scale.
+	PatchSize int
+	// BlurSigma smooths each level before description (0 disables).
+	BlurSigma float64
+	// GridCell, when positive, selects the MaxFeatures keypoints with an
+	// even spatial distribution over GridCell-sized buckets
+	// (DistributeGrid) instead of globally by response.
+	GridCell int
+	// HarrisRank re-scores FAST candidates with the Harris corner measure
+	// before selection, as ORB does; FAST scores saturate with contrast
+	// and rank unstably.
+	HarrisRank bool
+}
+
+// NewDetector returns a detector with ORB-like defaults.
+func NewDetector() *Detector {
+	return &Detector{
+		NumLevels:   6,
+		ScaleFactor: 1.2,
+		Threshold:   20,
+		MaxFeatures: 1000,
+		PatchSize:   31,
+		BlurSigma:   1.0,
+	}
+}
+
+// briefPattern is the fixed set of 256 pixel-pair tests, drawn once from an
+// isotropic Gaussian over the patch, as in the original BRIEF/ORB papers.
+// A fixed seed keeps descriptors comparable across runs and processes.
+var briefPattern [256][4]float64
+
+func init() {
+	rng := rand.New(rand.NewSource(0x0B5E55ED))
+	sigma := 31.0 / 5
+	clampP := func(v float64) float64 {
+		if v < -15 {
+			return -15
+		}
+		if v > 15 {
+			return 15
+		}
+		return v
+	}
+	for i := range briefPattern {
+		briefPattern[i] = [4]float64{
+			clampP(rng.NormFloat64() * sigma),
+			clampP(rng.NormFloat64() * sigma),
+			clampP(rng.NormFloat64() * sigma),
+			clampP(rng.NormFloat64() * sigma),
+		}
+	}
+}
+
+// Detect extracts keypoints with descriptors from a Gray8 frame.
+func (d *Detector) Detect(img *frame.Frame) []KeyPoint {
+	if img.Format != frame.Gray8 {
+		panic("features: Detect requires Gray8")
+	}
+	margin := d.PatchSize/2 + 2
+
+	var kps []KeyPoint
+	level := img
+	scale := 1.0
+	for lvl := 0; lvl < d.NumLevels; lvl++ {
+		if lvl > 0 {
+			nw := int(float64(img.W)/math.Pow(d.ScaleFactor, float64(lvl)) + 0.5)
+			nh := int(float64(img.H)/math.Pow(d.ScaleFactor, float64(lvl)) + 0.5)
+			if nw < 2*margin+8 || nh < 2*margin+8 {
+				break
+			}
+			level = img.ResizeBilinear(nw, nh)
+			scale = float64(img.W) / float64(nw)
+		}
+		work := level
+		if d.BlurSigma > 0 {
+			work = level.GaussianBlur(d.BlurSigma)
+		}
+		cands := detectFASTLevel(work, d.Threshold, margin)
+		if d.HarrisRank {
+			rescoreHarris(work, cands, 3)
+		}
+		for _, c := range cands {
+			x, y := int(c[0]), int(c[1])
+			angle := orientation(work, x, y, d.PatchSize/2)
+			kp := KeyPoint{
+				X:        c[0] * scale,
+				Y:        c[1] * scale,
+				Octave:   lvl,
+				Size:     float64(d.PatchSize) * scale,
+				Angle:    angle,
+				Response: c[2],
+			}
+			describe(work, x, y, angle, &kp.Desc)
+			kps = append(kps, kp)
+		}
+	}
+
+	if d.MaxFeatures > 0 && len(kps) > d.MaxFeatures {
+		if d.GridCell > 0 {
+			return DistributeGrid(kps, img.W, img.H, d.GridCell, d.MaxFeatures)
+		}
+		sort.Slice(kps, func(i, j int) bool { return kps[i].Response > kps[j].Response })
+		kps = kps[:d.MaxFeatures]
+	}
+	// Deterministic output order: raster position.
+	sort.Slice(kps, func(i, j int) bool {
+		if kps[i].Y != kps[j].Y {
+			return kps[i].Y < kps[j].Y
+		}
+		return kps[i].X < kps[j].X
+	})
+	return kps
+}
+
+// orientation computes the intensity-centroid angle of the patch around
+// (x, y), the ORB orientation measure.
+func orientation(img *frame.Frame, x, y, radius int) float64 {
+	var m01, m10 float64
+	for dy := -radius; dy <= radius; dy++ {
+		yy := y + dy
+		if yy < 0 || yy >= img.H {
+			continue
+		}
+		for dx := -radius; dx <= radius; dx++ {
+			xx := x + dx
+			if xx < 0 || xx >= img.W {
+				continue
+			}
+			if dx*dx+dy*dy > radius*radius {
+				continue
+			}
+			v := float64(img.Pix[yy*img.W+xx])
+			m10 += float64(dx) * v
+			m01 += float64(dy) * v
+		}
+	}
+	return math.Atan2(m01, m10)
+}
+
+// describe fills a steered BRIEF-256 descriptor for the patch at (x, y)
+// rotated by angle.
+func describe(img *frame.Frame, x, y int, angle float64, desc *[DescriptorBytes]byte) {
+	sin, cos := math.Sincos(angle)
+	sample := func(dx, dy float64) uint8 {
+		rx := cos*dx - sin*dy
+		ry := sin*dx + cos*dy
+		return img.GrayAtClamped(x+int(rx+0.5), y+int(ry+0.5))
+	}
+	for i := range desc {
+		desc[i] = 0
+	}
+	for i, p := range briefPattern {
+		if sample(p[0], p[1]) < sample(p[2], p[3]) {
+			desc[i/8] |= 1 << uint(i%8)
+		}
+	}
+}

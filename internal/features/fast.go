@@ -1,0 +1,125 @@
+package features
+
+import "repro/internal/frame"
+
+// FAST-9/16 corner detection: a pixel is a corner when a contiguous arc of
+// at least 9 of the 16 Bresenham-circle pixels (radius 3) is uniformly
+// brighter or darker than the center by more than the threshold.
+
+// circleOffsets are the 16 (dx, dy) offsets of the radius-3 Bresenham
+// circle, in clockwise order starting at 12 o'clock.
+var circleOffsets = [16][2]int{
+	{0, -3}, {1, -3}, {2, -2}, {3, -1},
+	{3, 0}, {3, 1}, {2, 2}, {1, 3},
+	{0, 3}, {-1, 3}, {-2, 2}, {-3, 1},
+	{-3, 0}, {-3, -1}, {-2, -2}, {-1, -3},
+}
+
+const fastArc = 9
+
+// fastCorner reports whether (x, y) is a FAST-9 corner and returns its
+// score (sum of absolute differences over the qualifying arc pixels).
+// The caller guarantees a 3-pixel margin.
+func fastCorner(img *frame.Frame, x, y, threshold int) (bool, float64) {
+	c := int(img.Pix[y*img.W+x])
+	hi := c + threshold
+	lo := c - threshold
+
+	// Quick rejection: any contiguous arc of 9 covers at least 2 of the 4
+	// compass points, so at least 2 must be brighter, or 2 darker.
+	qb, qd := 0, 0
+	for _, i := range [4]int{0, 4, 8, 12} {
+		v := int(img.Pix[(y+circleOffsets[i][1])*img.W+x+circleOffsets[i][0]])
+		if v > hi {
+			qb++
+		} else if v < lo {
+			qd++
+		}
+	}
+	if qb < 2 && qd < 2 {
+		return false, 0
+	}
+
+	var bright, dark [16]bool
+	var diffs [16]int
+	for i, off := range circleOffsets {
+		v := int(img.Pix[(y+off[1])*img.W+x+off[0]])
+		diffs[i] = v - c
+		bright[i] = v > hi
+		dark[i] = v < lo
+	}
+	arc := func(flags *[16]bool) (bool, float64) {
+		run, bestRun := 0, 0
+		var score, runScore float64
+		// Walk the circle twice to handle wrap-around arcs.
+		for i := 0; i < 32; i++ {
+			if flags[i%16] {
+				run++
+				d := diffs[i%16]
+				if d < 0 {
+					d = -d
+				}
+				runScore += float64(d)
+				if run > bestRun {
+					bestRun = run
+					score = runScore
+				}
+				if run >= 16 {
+					break
+				}
+			} else {
+				run, runScore = 0, 0
+			}
+		}
+		return bestRun >= fastArc, score
+	}
+	if ok, score := arc(&bright); ok {
+		return true, score
+	}
+	if ok, score := arc(&dark); ok {
+		return true, score
+	}
+	return false, 0
+}
+
+// detectFASTLevel runs FAST with 3x3 non-maximum suppression over one
+// pyramid level, returning (x, y, score) triples in level coordinates.
+func detectFASTLevel(img *frame.Frame, threshold, margin int) [][3]float64 {
+	if margin < 3 {
+		margin = 3
+	}
+	w, h := img.W, img.H
+	scores := make([]float64, w*h)
+	type cand struct{ x, y int }
+	var cands []cand
+	for y := margin; y < h-margin; y++ {
+		for x := margin; x < w-margin; x++ {
+			if ok, s := fastCorner(img, x, y, threshold); ok {
+				scores[y*w+x] = s
+				cands = append(cands, cand{x, y})
+			}
+		}
+	}
+	var out [][3]float64
+	for _, c := range cands {
+		s := scores[c.y*w+c.x]
+		isMax := true
+	nms:
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if dx == 0 && dy == 0 {
+					continue
+				}
+				n := scores[(c.y+dy)*w+c.x+dx]
+				if n > s || (n == s && (dy < 0 || (dy == 0 && dx < 0))) {
+					isMax = false
+					break nms
+				}
+			}
+		}
+		if isMax {
+			out = append(out, [3]float64{float64(c.x), float64(c.y), s})
+		}
+	}
+	return out
+}

@@ -1,0 +1,326 @@
+package features
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/synth"
+)
+
+func TestHammingDist(t *testing.T) {
+	var a, b [DescriptorBytes]byte
+	if HammingDist(&a, &b) != 0 {
+		t.Error("identical descriptors should have distance 0")
+	}
+	b[0] = 0xFF
+	if HammingDist(&a, &b) != 8 {
+		t.Errorf("distance = %d, want 8", HammingDist(&a, &b))
+	}
+	for i := range b {
+		a[i], b[i] = 0x00, 0xFF
+	}
+	if HammingDist(&a, &b) != 256 {
+		t.Errorf("distance = %d, want 256", HammingDist(&a, &b))
+	}
+}
+
+func TestFASTDetectsCorner(t *testing.T) {
+	// A bright square on dark background: its corners are FAST corners,
+	// the flat interior and edges are not.
+	img := frame.New(40, 40, frame.Gray8)
+	img.FillRect(10, 10, 20, 20, 220)
+	pts := detectFASTLevel(img, 20, 3)
+	if len(pts) == 0 {
+		t.Fatal("no corners on a high-contrast square")
+	}
+	nearCorner := func(x, y float64) bool {
+		for _, c := range [][2]float64{{10, 10}, {29, 10}, {10, 29}, {29, 29}} {
+			if math.Hypot(x-c[0], y-c[1]) <= 3 {
+				return true
+			}
+		}
+		return false
+	}
+	for _, p := range pts {
+		if !nearCorner(p[0], p[1]) {
+			t.Errorf("spurious corner at (%.0f,%.0f)", p[0], p[1])
+		}
+	}
+}
+
+func TestFASTRejectsFlatAndEdge(t *testing.T) {
+	flat := frame.New(32, 32, frame.Gray8)
+	flat.Fill(128)
+	if pts := detectFASTLevel(flat, 20, 3); len(pts) != 0 {
+		t.Errorf("corners on flat image: %v", pts)
+	}
+	// A long straight vertical edge has no FAST-9 corners away from ends.
+	edge := frame.New(32, 32, frame.Gray8)
+	edge.FillRect(16, 0, 16, 32, 220)
+	for _, p := range detectFASTLevel(edge, 20, 3) {
+		if p[1] > 6 && p[1] < 26 {
+			t.Errorf("corner on straight edge at (%.0f,%.0f)", p[0], p[1])
+		}
+	}
+}
+
+func TestDetectOnSyntheticWorld(t *testing.T) {
+	world := synth.NewWorld(512, 512, 1)
+	img := world.Render(synth.Pose{X: 256, Y: 256}, 320, 240)
+	det := NewDetector()
+	kps := det.Detect(img)
+	if len(kps) < 100 {
+		t.Fatalf("only %d keypoints on textured scene, want >= 100", len(kps))
+	}
+	if len(kps) > det.MaxFeatures {
+		t.Fatalf("%d keypoints exceeds cap %d", len(kps), det.MaxFeatures)
+	}
+	octaves := map[int]int{}
+	for _, kp := range kps {
+		if kp.X < 0 || kp.X >= 320 || kp.Y < 0 || kp.Y >= 240 {
+			t.Fatalf("keypoint outside frame: %v", kp)
+		}
+		if kp.Size <= 0 {
+			t.Fatalf("non-positive size: %v", kp)
+		}
+		octaves[kp.Octave]++
+	}
+	if len(octaves) < 2 {
+		t.Errorf("keypoints from only %d octave(s); pyramid not engaged", len(octaves))
+	}
+}
+
+func TestDetectRequiresGray(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("RGB input did not panic")
+		}
+	}()
+	NewDetector().Detect(frame.New(64, 64, frame.RGB24))
+}
+
+func TestDescriptorsMatchAcrossTranslation(t *testing.T) {
+	// The same scene content shifted by a few pixels must match: detect in
+	// two overlapping viewports and check displacement consistency.
+	world := synth.NewWorld(600, 600, 2)
+	a := world.Render(synth.Pose{X: 300, Y: 300}, 256, 256)
+	b := world.Render(synth.Pose{X: 305, Y: 303}, 256, 256)
+	det := NewDetector()
+	ka, kb := det.Detect(a), det.Detect(b)
+	matches := MatchBrute(ka, kb, MatchOptions{MaxDist: 40, CrossCheck: true, MaxSpatialDist: 30})
+	if len(matches) < 20 {
+		t.Fatalf("only %d matches between shifted views", len(matches))
+	}
+	// The dominant displacement should be ~(-5, -3) (world moved +5,+3).
+	var dx, dy float64
+	for _, m := range matches {
+		dx += kb[m.B].X - ka[m.A].X
+		dy += kb[m.B].Y - ka[m.A].Y
+	}
+	dx /= float64(len(matches))
+	dy /= float64(len(matches))
+	if math.Abs(dx+5) > 1.5 || math.Abs(dy+3) > 1.5 {
+		t.Errorf("mean displacement (%.2f, %.2f), want ~(-5, -3)", dx, dy)
+	}
+}
+
+func TestMatchCrossCheckSymmetric(t *testing.T) {
+	world := synth.NewWorld(400, 400, 3)
+	img := world.Render(synth.Pose{X: 200, Y: 200}, 200, 200)
+	det := NewDetector()
+	kps := det.Detect(img)
+	// Self-match with cross-check: every keypoint matches itself at distance 0.
+	matches := MatchBrute(kps, kps, MatchOptions{CrossCheck: true})
+	if len(matches) != len(kps) {
+		t.Fatalf("%d self-matches for %d keypoints", len(matches), len(kps))
+	}
+	for _, m := range matches {
+		if m.A != m.B || m.Dist != 0 {
+			t.Fatalf("bad self-match %+v", m)
+		}
+	}
+}
+
+func TestMatchMaxDistFilters(t *testing.T) {
+	a := []KeyPoint{{}}
+	b := []KeyPoint{{}}
+	b[0].Desc[0] = 0xFF // distance 8
+	if got := MatchBrute(a, b, MatchOptions{MaxDist: 4}); len(got) != 0 {
+		t.Errorf("match beyond MaxDist returned: %v", got)
+	}
+	if got := MatchBrute(a, b, MatchOptions{MaxDist: 8}); len(got) != 1 {
+		t.Errorf("match within MaxDist dropped")
+	}
+}
+
+func TestMatchSpatialGate(t *testing.T) {
+	a := []KeyPoint{{X: 0, Y: 0}}
+	b := []KeyPoint{{X: 100, Y: 100}}
+	if got := MatchBrute(a, b, MatchOptions{MaxSpatialDist: 10}); len(got) != 0 {
+		t.Error("spatially distant match not gated")
+	}
+	if got := MatchBrute(a, b, MatchOptions{MaxSpatialDist: 200}); len(got) != 1 {
+		t.Error("spatially near match dropped")
+	}
+}
+
+func TestOrientationPointsAtBrightSide(t *testing.T) {
+	img := frame.New(31, 31, frame.Gray8)
+	// Bright on the right half: centroid points along +x.
+	img.FillRect(16, 0, 15, 31, 255)
+	ang := orientation(img, 15, 15, 10)
+	if math.Abs(ang) > 0.3 {
+		t.Errorf("angle = %.2f rad, want ~0 (pointing +x)", ang)
+	}
+	// Bright on the bottom: +y.
+	img2 := frame.New(31, 31, frame.Gray8)
+	img2.FillRect(0, 16, 31, 15, 255)
+	ang2 := orientation(img2, 15, 15, 10)
+	if math.Abs(ang2-math.Pi/2) > 0.3 {
+		t.Errorf("angle = %.2f rad, want ~pi/2", ang2)
+	}
+}
+
+func TestKeyPointString(t *testing.T) {
+	kp := KeyPoint{X: 1.5, Y: 2.5, Octave: 3, Size: 37.2, Response: 80}
+	if kp.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func BenchmarkDetectVGA(b *testing.B) {
+	world := synth.NewWorld(1024, 1024, 4)
+	img := world.Render(synth.Pose{X: 512, Y: 512}, 640, 480)
+	det := NewDetector()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = det.Detect(img)
+	}
+}
+
+func BenchmarkMatch500x500(b *testing.B) {
+	world := synth.NewWorld(1024, 1024, 5)
+	det := NewDetector()
+	det.MaxFeatures = 500
+	ka := det.Detect(world.Render(synth.Pose{X: 500, Y: 500}, 640, 480))
+	kb := det.Detect(world.Render(synth.Pose{X: 505, Y: 502}, 640, 480))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MatchBrute(ka, kb, MatchOptions{CrossCheck: true, MaxSpatialDist: 40})
+	}
+}
+
+func TestDistributeGridEvenness(t *testing.T) {
+	// 90 keypoints piled in one corner, 10 spread elsewhere: plain top-N
+	// by response keeps the pile; grid distribution keeps the spread.
+	var kps []KeyPoint
+	for i := 0; i < 90; i++ {
+		kps = append(kps, KeyPoint{X: float64(i % 10), Y: float64(i / 10), Response: 1000})
+	}
+	for i := 0; i < 10; i++ {
+		kps = append(kps, KeyPoint{X: float64(50 + i*20), Y: 200, Response: 10})
+	}
+	out := DistributeGrid(kps, 320, 240, 32, 20)
+	if len(out) != 20 {
+		t.Fatalf("got %d keypoints", len(out))
+	}
+	spread := 0
+	for _, kp := range out {
+		if kp.Y == 200 {
+			spread++
+		}
+	}
+	if spread < 8 {
+		t.Errorf("only %d of 10 spread keypoints survived; distribution not even", spread)
+	}
+}
+
+func TestDistributeGridNoOpUnderBudget(t *testing.T) {
+	kps := []KeyPoint{{X: 1, Y: 1}, {X: 2, Y: 2}}
+	if got := DistributeGrid(kps, 100, 100, 16, 10); len(got) != 2 {
+		t.Errorf("under-budget input truncated to %d", len(got))
+	}
+	if got := DistributeGrid(kps, 100, 100, 16, 0); len(got) != 2 {
+		t.Errorf("zero budget should be no-op, got %d", len(got))
+	}
+}
+
+func TestDistributeGridTinyCells(t *testing.T) {
+	var kps []KeyPoint
+	for i := 0; i < 50; i++ {
+		kps = append(kps, KeyPoint{X: float64(i * 6), Y: float64(i * 4), Response: float64(i)})
+	}
+	out := DistributeGrid(kps, 320, 240, 1 /* clamps to 8 */, 25)
+	if len(out) != 25 {
+		t.Fatalf("got %d", len(out))
+	}
+	// Output sorted by raster position.
+	for i := 1; i < len(out); i++ {
+		if out[i].Y < out[i-1].Y {
+			t.Fatal("output not raster-sorted")
+		}
+	}
+}
+
+func TestDetectorGridCellOption(t *testing.T) {
+	world := synth.NewWorld(512, 512, 9)
+	img := world.Render(synth.Pose{X: 256, Y: 256}, 320, 240)
+	det := NewDetector()
+	det.MaxFeatures = 40
+	plain := det.Detect(img)
+	det.GridCell = 32
+	grid := det.Detect(img)
+	if len(grid) == 0 || len(grid) > 40 {
+		t.Fatalf("grid selection returned %d", len(grid))
+	}
+	// Grid selection must cover at least as many 32px cells as plain top-N.
+	cells := func(kps []KeyPoint) int {
+		seen := map[[2]int]bool{}
+		for _, kp := range kps {
+			seen[[2]int{int(kp.X) / 32, int(kp.Y) / 32}] = true
+		}
+		return len(seen)
+	}
+	if cells(grid) < cells(plain) {
+		t.Errorf("grid covers %d cells, plain %d — grid should not be worse", cells(grid), cells(plain))
+	}
+}
+
+func TestHarrisResponseRanksCornerAboveEdge(t *testing.T) {
+	img := frame.New(64, 64, frame.Gray8)
+	img.FillRect(20, 20, 24, 24, 220) // square: corners + edges
+	corner := harrisResponse(img, 20, 20, 3)
+	edge := harrisResponse(img, 32, 20, 3) // middle of the top edge
+	flat := harrisResponse(img, 8, 8, 3)
+	if corner <= edge {
+		t.Errorf("corner response %.0f <= edge %.0f", corner, edge)
+	}
+	if edge >= corner/2 {
+		t.Errorf("edge response %.0f not well below corner %.0f", edge, corner)
+	}
+	if flat >= 1 {
+		t.Errorf("flat response %.0f, want ~0", flat)
+	}
+}
+
+func TestDetectorHarrisRank(t *testing.T) {
+	world := synth.NewWorld(512, 512, 11)
+	img := world.Render(synth.Pose{X: 256, Y: 256}, 320, 240)
+	det := NewDetector()
+	det.MaxFeatures = 80
+	det.HarrisRank = true
+	kps := det.Detect(img)
+	if len(kps) == 0 || len(kps) > 80 {
+		t.Fatalf("got %d keypoints", len(kps))
+	}
+	// Harris-ranked detection still matches across a small shift.
+	img2 := world.Render(synth.Pose{X: 259, Y: 257}, 320, 240)
+	kps2 := det.Detect(img2)
+	matches := MatchBrute(kps, kps2, MatchOptions{CrossCheck: true, MaxSpatialDist: 20})
+	if len(matches) < 15 {
+		t.Errorf("only %d matches with Harris ranking", len(matches))
+	}
+}

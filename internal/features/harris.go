@@ -1,0 +1,46 @@
+package features
+
+import "repro/internal/frame"
+
+// Harris corner response, the measure ORB uses to rank FAST candidates:
+// det(M) - k·trace(M)^2 over the local gradient structure tensor M. FAST
+// scores order poorly across scales (they saturate with contrast); Harris
+// ranking keeps the most stable corners when the budget truncates.
+
+// harrisK is the standard Harris sensitivity constant.
+const harrisK = 0.04
+
+// harrisResponse computes the Harris measure at (x, y) over a
+// (2r+1)x(2r+1) window of Sobel gradients. The caller guarantees the
+// window plus the 1-pixel gradient support stays in bounds.
+func harrisResponse(img *frame.Frame, x, y, r int) float64 {
+	var sxx, syy, sxy float64
+	w := img.W
+	for dy := -r; dy <= r; dy++ {
+		for dx := -r; dx <= r; dx++ {
+			px, py := x+dx, y+dy
+			// Central-difference gradients scaled like Sobel's center row.
+			gx := float64(img.Pix[py*w+px+1]) - float64(img.Pix[py*w+px-1])
+			gy := float64(img.Pix[(py+1)*w+px]) - float64(img.Pix[(py-1)*w+px])
+			sxx += gx * gx
+			syy += gy * gy
+			sxy += gx * gy
+		}
+	}
+	det := sxx*syy - sxy*sxy
+	tr := sxx + syy
+	return det - harrisK*tr*tr
+}
+
+// rescoreHarris replaces FAST scores with Harris responses for candidates
+// that have the needed margin, leaving border candidates on their FAST
+// score (Harris needs r+1 pixels of support).
+func rescoreHarris(img *frame.Frame, cands [][3]float64, r int) {
+	for i := range cands {
+		x, y := int(cands[i][0]), int(cands[i][1])
+		if x < r+1 || y < r+1 || x >= img.W-r-1 || y >= img.H-r-1 {
+			continue
+		}
+		cands[i][2] = harrisResponse(img, x, y, r)
+	}
+}

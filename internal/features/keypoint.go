@@ -1,0 +1,116 @@
+// Package features is the visual feature substrate standing in for OpenCV's
+// ORB in the paper's workloads: an image pyramid, FAST corner detection with
+// non-maximum suppression, intensity-centroid orientation, rotation-steered
+// BRIEF-256 descriptors, and brute-force Hamming matching.
+//
+// The rhythmic pixel policies consume exactly the keypoint attributes the
+// paper names: "size" guides region width/height, "octave" guides stride,
+// and matched-feature displacement guides the temporal skip rate (§3.4,
+// §4.3.1).
+package features
+
+import "fmt"
+
+// DescriptorBytes is the BRIEF descriptor length (256 bits).
+const DescriptorBytes = 32
+
+// KeyPoint is a detected visual feature, mirroring cv::KeyPoint's fields.
+type KeyPoint struct {
+	// X, Y are the feature coordinates in level-0 (full resolution) pixels.
+	X, Y float64
+	// Octave is the pyramid level the feature was detected on.
+	Octave int
+	// Size is the diameter of the meaningful neighborhood in level-0
+	// pixels (patch size scaled by the level's scale factor).
+	Size float64
+	// Angle is the orientation in radians from the intensity centroid.
+	Angle float64
+	// Response is the FAST corner score used for ranking.
+	Response float64
+	// Desc is the steered BRIEF-256 descriptor.
+	Desc [DescriptorBytes]byte
+}
+
+// String formats the keypoint without the descriptor.
+func (k KeyPoint) String() string {
+	return fmt.Sprintf("kp(%.1f,%.1f oct=%d size=%.1f resp=%.0f)", k.X, k.Y, k.Octave, k.Size, k.Response)
+}
+
+// HammingDist returns the number of differing bits between two descriptors.
+func HammingDist(a, b *[DescriptorBytes]byte) int {
+	d := 0
+	for i := 0; i < DescriptorBytes; i++ {
+		d += popcount8(a[i] ^ b[i])
+	}
+	return d
+}
+
+var popTable [256]uint8
+
+func init() {
+	for i := 1; i < 256; i++ {
+		popTable[i] = popTable[i>>1] + uint8(i&1)
+	}
+}
+
+func popcount8(b byte) int { return int(popTable[b]) }
+
+// Match pairs a keypoint index in one set with its best match in another.
+type Match struct {
+	// A and B index the query and train keypoint slices.
+	A, B int
+	// Dist is the Hamming distance of the matched descriptors.
+	Dist int
+}
+
+// MatchOptions tunes the brute-force matcher.
+type MatchOptions struct {
+	// MaxDist rejects matches with a Hamming distance above this (<= 0
+	// means 64, a quarter of the descriptor bits).
+	MaxDist int
+	// CrossCheck keeps only mutual best matches.
+	CrossCheck bool
+	// MaxSpatialDist, when positive, rejects matches whose keypoints are
+	// farther apart than this many pixels — the locality prior a tracking
+	// frontend applies between consecutive video frames.
+	MaxSpatialDist float64
+}
+
+// MatchBrute matches query descriptors against train descriptors by
+// exhaustive Hamming search.
+func MatchBrute(query, train []KeyPoint, opt MatchOptions) []Match {
+	if opt.MaxDist <= 0 {
+		opt.MaxDist = 64
+	}
+	best := func(from []KeyPoint, to []KeyPoint, i int) (int, int) {
+		bi, bd := -1, opt.MaxDist+1
+		for j := range to {
+			if opt.MaxSpatialDist > 0 {
+				dx, dy := from[i].X-to[j].X, from[i].Y-to[j].Y
+				if dx*dx+dy*dy > opt.MaxSpatialDist*opt.MaxSpatialDist {
+					continue
+				}
+			}
+			d := HammingDist(&from[i].Desc, &to[j].Desc)
+			if d < bd {
+				bi, bd = j, d
+			}
+		}
+		return bi, bd
+	}
+	var out []Match
+	for i := range query {
+		j, d := best(query, train, i)
+		if j < 0 {
+			continue
+		}
+		if opt.CrossCheck {
+			back, _ := best(train, query, j)
+			if back != i {
+				continue
+			}
+		}
+		out = append(out, Match{A: i, B: j, Dist: d})
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package frame
+
+// Drawing primitives used by the synthetic scene generator and the example
+// programs' debug output.
+
+// FillRect fills the rectangle [x, x+w) x [y, y+h), clipped to the frame,
+// with luminance v on every channel.
+func (fr *Frame) FillRect(x, y, w, h int, v uint8) {
+	x0, y0 := max(x, 0), max(y, 0)
+	x1, y1 := min(x+w, fr.W), min(y+h, fr.H)
+	bpp := fr.BytesPerPixel()
+	for row := y0; row < y1; row++ {
+		base := row * fr.Stride()
+		for col := x0; col < x1; col++ {
+			for c := 0; c < bpp; c++ {
+				fr.Pix[base+col*bpp+c] = v
+			}
+		}
+	}
+}
+
+// DrawRect draws a 1-pixel rectangle outline, clipped to the frame.
+func (fr *Frame) DrawRect(x, y, w, h int, v uint8) {
+	fr.FillRect(x, y, w, 1, v)
+	fr.FillRect(x, y+h-1, w, 1, v)
+	fr.FillRect(x, y, 1, h, v)
+	fr.FillRect(x+w-1, y, 1, h, v)
+}
+
+// FillCircle fills a disc of the given radius centered at (cx, cy), clipped
+// to the frame.
+func (fr *Frame) FillCircle(cx, cy, radius int, v uint8) {
+	r2 := radius * radius
+	for dy := -radius; dy <= radius; dy++ {
+		for dx := -radius; dx <= radius; dx++ {
+			if dx*dx+dy*dy <= r2 && fr.InBounds(cx+dx, cy+dy) {
+				fr.SetGray(cx+dx, cy+dy, v)
+			}
+		}
+	}
+}
+
+// DrawLine draws a 1-pixel line from (x0, y0) to (x1, y1) with Bresenham's
+// algorithm, clipped to the frame.
+func (fr *Frame) DrawLine(x0, y0, x1, y1 int, v uint8) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		if fr.InBounds(x0, y0) {
+			fr.SetGray(x0, y0, v)
+		}
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,126 @@
+package frame
+
+import "math"
+
+// GaussianBlur returns a Gray8 frame blurred with a separable Gaussian of
+// the given sigma. Kernel radius is ceil(3*sigma). Edges use clamp-to-border
+// extension.
+func (fr *Frame) GaussianBlur(sigma float64) *Frame {
+	if fr.Format != Gray8 {
+		panic("frame: GaussianBlur requires Gray8")
+	}
+	if sigma <= 0 {
+		return fr.Clone()
+	}
+	radius := int(math.Ceil(3 * sigma))
+	kernel := make([]float64, 2*radius+1)
+	var sum float64
+	for i := range kernel {
+		d := float64(i - radius)
+		kernel[i] = math.Exp(-d * d / (2 * sigma * sigma))
+		sum += kernel[i]
+	}
+	for i := range kernel {
+		kernel[i] /= sum
+	}
+
+	// Horizontal pass into a float buffer, vertical pass back to bytes.
+	tmp := make([]float64, fr.W*fr.H)
+	for y := 0; y < fr.H; y++ {
+		for x := 0; x < fr.W; x++ {
+			var acc float64
+			for k, kv := range kernel {
+				sxp := x + k - radius
+				if sxp < 0 {
+					sxp = 0
+				} else if sxp >= fr.W {
+					sxp = fr.W - 1
+				}
+				acc += kv * float64(fr.Pix[y*fr.W+sxp])
+			}
+			tmp[y*fr.W+x] = acc
+		}
+	}
+	out := New(fr.W, fr.H, Gray8)
+	for y := 0; y < fr.H; y++ {
+		for x := 0; x < fr.W; x++ {
+			var acc float64
+			for k, kv := range kernel {
+				syp := y + k - radius
+				if syp < 0 {
+					syp = 0
+				} else if syp >= fr.H {
+					syp = fr.H - 1
+				}
+				acc += kv * tmp[syp*fr.W+x]
+			}
+			v := acc + 0.5
+			if v > 255 {
+				v = 255
+			} else if v < 0 {
+				v = 0
+			}
+			out.Pix[y*fr.W+x] = uint8(v)
+		}
+	}
+	return out
+}
+
+// Gradients computes Sobel x/y gradients of a Gray8 frame. The returned
+// slices are W*H int16 values in raster order.
+func (fr *Frame) Gradients() (gx, gy []int16) {
+	if fr.Format != Gray8 {
+		panic("frame: Gradients requires Gray8")
+	}
+	gx = make([]int16, fr.W*fr.H)
+	gy = make([]int16, fr.W*fr.H)
+	at := func(x, y int) int {
+		if x < 0 {
+			x = 0
+		} else if x >= fr.W {
+			x = fr.W - 1
+		}
+		if y < 0 {
+			y = 0
+		} else if y >= fr.H {
+			y = fr.H - 1
+		}
+		return int(fr.Pix[y*fr.W+x])
+	}
+	for y := 0; y < fr.H; y++ {
+		for x := 0; x < fr.W; x++ {
+			sx := -at(x-1, y-1) + at(x+1, y-1) - 2*at(x-1, y) + 2*at(x+1, y) - at(x-1, y+1) + at(x+1, y+1)
+			sy := -at(x-1, y-1) - 2*at(x, y-1) - at(x+1, y-1) + at(x-1, y+1) + 2*at(x, y+1) + at(x+1, y+1)
+			gx[y*fr.W+x] = int16(sx)
+			gy[y*fr.W+x] = int16(sy)
+		}
+	}
+	return gx, gy
+}
+
+// Integral returns the (W+1)x(H+1) summed-area table of a Gray8 frame:
+// I[y][x] = sum of pixels in [0,x) x [0,y). Box sums over any rectangle are
+// then O(1), which the tracker's normalized cross-correlation uses.
+func (fr *Frame) Integral() [][]int64 {
+	if fr.Format != Gray8 {
+		panic("frame: Integral requires Gray8")
+	}
+	ii := make([][]int64, fr.H+1)
+	for i := range ii {
+		ii[i] = make([]int64, fr.W+1)
+	}
+	for y := 0; y < fr.H; y++ {
+		var rowSum int64
+		for x := 0; x < fr.W; x++ {
+			rowSum += int64(fr.Pix[y*fr.W+x])
+			ii[y+1][x+1] = ii[y][x+1] + rowSum
+		}
+	}
+	return ii
+}
+
+// BoxSum returns the sum of pixels in [x0,x1) x [y0,y1) given an integral
+// image from Integral.
+func BoxSum(ii [][]int64, x0, y0, x1, y1 int) int64 {
+	return ii[y1][x1] - ii[y0][x1] - ii[y1][x0] + ii[y0][x0]
+}

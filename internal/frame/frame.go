@@ -1,0 +1,258 @@
+// Package frame provides the image-frame substrate for the rhythmic pixel
+// region system: pixel buffers in several formats, raster-scan addressing,
+// and the image operations (scaling, filtering, gradients) that the ISP
+// simulation and the vision workloads are built on.
+//
+// The package is deliberately self-contained (stdlib only) because the
+// encoder/decoder, ISP model, and feature extractor all need tight control
+// over pixel layout: frames are stored as a single contiguous raster-scan
+// byte slice, exactly the layout a camera's line-by-line readout produces
+// and the layout the rhythmic pixel encoder consumes.
+package frame
+
+import (
+	"fmt"
+	"math"
+)
+
+// Format identifies the pixel format of a Frame.
+type Format uint8
+
+const (
+	// Gray8 is 8-bit single-channel luminance, 1 byte/pixel.
+	Gray8 Format = iota
+	// RGB24 is interleaved 8-bit red, green, blue, 3 bytes/pixel.
+	RGB24
+	// YUV444 is interleaved 8-bit Y, U, V, 3 bytes/pixel.
+	YUV444
+	// BayerRGGB is a raw 8-bit Bayer mosaic (RGGB tiling), 1 byte/pixel,
+	// as produced by the simulated image sensor before demosaicing.
+	BayerRGGB
+)
+
+// String returns the format's name.
+func (f Format) String() string {
+	switch f {
+	case Gray8:
+		return "Gray8"
+	case RGB24:
+		return "RGB24"
+	case YUV444:
+		return "YUV444"
+	case BayerRGGB:
+		return "BayerRGGB"
+	}
+	return fmt.Sprintf("Format(%d)", uint8(f))
+}
+
+// BytesPerPixel returns the per-pixel storage of the format.
+func (f Format) BytesPerPixel() int {
+	switch f {
+	case Gray8, BayerRGGB:
+		return 1
+	case RGB24, YUV444:
+		return 3
+	}
+	panic("frame: unknown format")
+}
+
+// Frame is a raster-scan pixel buffer. Pix holds W*H*BytesPerPixel bytes,
+// with pixel (x, y) beginning at offset (y*W+x)*BytesPerPixel. The zero
+// value is not usable; construct frames with New or FromPix.
+type Frame struct {
+	W, H   int
+	Format Format
+	Pix    []byte
+}
+
+// New returns a zero-filled frame of the given dimensions and format.
+func New(w, h int, f Format) *Frame {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("frame: invalid dimensions %dx%d", w, h))
+	}
+	return &Frame{W: w, H: h, Format: f, Pix: make([]byte, w*h*f.BytesPerPixel())}
+}
+
+// FromPix wraps an existing raster-scan buffer without copying.
+func FromPix(w, h int, f Format, pix []byte) (*Frame, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("frame: invalid dimensions %dx%d", w, h)
+	}
+	if need := w * h * f.BytesPerPixel(); len(pix) != need {
+		return nil, fmt.Errorf("frame: buffer is %d bytes, need %d for %dx%d %v", len(pix), need, w, h, f)
+	}
+	return &Frame{W: w, H: h, Format: f, Pix: pix}, nil
+}
+
+// BytesPerPixel returns the frame's per-pixel storage.
+func (fr *Frame) BytesPerPixel() int { return fr.Format.BytesPerPixel() }
+
+// Stride returns the byte length of one pixel row.
+func (fr *Frame) Stride() int { return fr.W * fr.BytesPerPixel() }
+
+// SizeBytes returns the total pixel storage of the frame.
+func (fr *Frame) SizeBytes() int { return len(fr.Pix) }
+
+// NumPixels returns W*H.
+func (fr *Frame) NumPixels() int { return fr.W * fr.H }
+
+// InBounds reports whether (x, y) is a valid pixel coordinate.
+func (fr *Frame) InBounds(x, y int) bool {
+	return x >= 0 && x < fr.W && y >= 0 && y < fr.H
+}
+
+// PixelOffset returns the byte offset of pixel (x, y).
+func (fr *Frame) PixelOffset(x, y int) int {
+	return (y*fr.W + x) * fr.BytesPerPixel()
+}
+
+// Pixel returns the bytes of pixel (x, y) as a sub-slice of Pix.
+func (fr *Frame) Pixel(x, y int) []byte {
+	if !fr.InBounds(x, y) {
+		panic(fmt.Sprintf("frame: pixel (%d,%d) out of %dx%d", x, y, fr.W, fr.H))
+	}
+	off := fr.PixelOffset(x, y)
+	return fr.Pix[off : off+fr.BytesPerPixel()]
+}
+
+// SetPixel copies len(BytesPerPixel) bytes into pixel (x, y).
+func (fr *Frame) SetPixel(x, y int, v []byte) {
+	copy(fr.Pixel(x, y), v)
+}
+
+// Gray returns the 8-bit luminance of pixel (x, y). For RGB24 it uses the
+// BT.601 luma weights; for YUV444 it returns the Y channel directly.
+func (fr *Frame) Gray(x, y int) uint8 {
+	p := fr.Pixel(x, y)
+	switch fr.Format {
+	case Gray8, BayerRGGB:
+		return p[0]
+	case RGB24:
+		// BT.601: Y = 0.299 R + 0.587 G + 0.114 B, in fixed point.
+		return uint8((299*int(p[0]) + 587*int(p[1]) + 114*int(p[2]) + 500) / 1000)
+	case YUV444:
+		return p[0]
+	}
+	panic("frame: unknown format")
+}
+
+// SetGray writes luminance v to pixel (x, y). For 3-channel formats every
+// channel is set to v (neutral chroma for YUV is not modeled here; the ISP
+// package handles proper conversion).
+func (fr *Frame) SetGray(x, y int, v uint8) {
+	p := fr.Pixel(x, y)
+	for i := range p {
+		p[i] = v
+	}
+}
+
+// GrayAtClamped returns luminance with coordinates clamped to the frame
+// border, the edge-extension convention used by the convolution kernels.
+func (fr *Frame) GrayAtClamped(x, y int) uint8 {
+	if x < 0 {
+		x = 0
+	} else if x >= fr.W {
+		x = fr.W - 1
+	}
+	if y < 0 {
+		y = 0
+	} else if y >= fr.H {
+		y = fr.H - 1
+	}
+	return fr.Gray(x, y)
+}
+
+// Clone returns a deep copy of the frame.
+func (fr *Frame) Clone() *Frame {
+	c := &Frame{W: fr.W, H: fr.H, Format: fr.Format, Pix: make([]byte, len(fr.Pix))}
+	copy(c.Pix, fr.Pix)
+	return c
+}
+
+// Fill sets every pixel channel to v.
+func (fr *Frame) Fill(v uint8) {
+	for i := range fr.Pix {
+		fr.Pix[i] = v
+	}
+}
+
+// Equal reports whether two frames have identical dimensions, format, and
+// pixel data.
+func (fr *Frame) Equal(o *Frame) bool {
+	if fr.W != o.W || fr.H != o.H || fr.Format != o.Format {
+		return false
+	}
+	for i, b := range fr.Pix {
+		if b != o.Pix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Crop returns a copy of the rectangle [x, x+w) x [y, y+h). The rectangle is
+// clipped to the frame bounds; the result has the clipped dimensions.
+func (fr *Frame) Crop(x, y, w, h int) *Frame {
+	x0, y0 := max(x, 0), max(y, 0)
+	x1, y1 := min(x+w, fr.W), min(y+h, fr.H)
+	if x1 <= x0 || y1 <= y0 {
+		panic(fmt.Sprintf("frame: empty crop (%d,%d,%d,%d) of %dx%d", x, y, w, h, fr.W, fr.H))
+	}
+	out := New(x1-x0, y1-y0, fr.Format)
+	bpp := fr.BytesPerPixel()
+	for row := y0; row < y1; row++ {
+		src := fr.Pix[(row*fr.W+x0)*bpp : (row*fr.W+x1)*bpp]
+		dst := out.Pix[(row-y0)*out.Stride() : (row-y0+1)*out.Stride()]
+		copy(dst, src)
+	}
+	return out
+}
+
+// ToGray converts the frame to Gray8. Gray8 input is copied.
+func (fr *Frame) ToGray() *Frame {
+	if fr.Format == Gray8 {
+		return fr.Clone()
+	}
+	out := New(fr.W, fr.H, Gray8)
+	for y := 0; y < fr.H; y++ {
+		for x := 0; x < fr.W; x++ {
+			out.Pix[y*fr.W+x] = fr.Gray(x, y)
+		}
+	}
+	return out
+}
+
+// MAE returns the mean absolute per-byte error between two frames of
+// identical shape.
+func MAE(a, b *Frame) (float64, error) {
+	if a.W != b.W || a.H != b.H || a.Format != b.Format {
+		return 0, fmt.Errorf("frame: MAE shape mismatch %dx%d %v vs %dx%d %v", a.W, a.H, a.Format, b.W, b.H, b.Format)
+	}
+	var sum int64
+	for i := range a.Pix {
+		d := int64(a.Pix[i]) - int64(b.Pix[i])
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return float64(sum) / float64(len(a.Pix)), nil
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB between two frames of
+// identical shape. Identical frames return +Inf.
+func PSNR(a, b *Frame) (float64, error) {
+	if a.W != b.W || a.H != b.H || a.Format != b.Format {
+		return 0, fmt.Errorf("frame: PSNR shape mismatch")
+	}
+	var sum float64
+	for i := range a.Pix {
+		d := float64(a.Pix[i]) - float64(b.Pix[i])
+		sum += d * d
+	}
+	mse := sum / float64(len(a.Pix))
+	if mse == 0 {
+		return math.Inf(1), nil
+	}
+	return 10 * math.Log10(255*255/mse), nil
+}

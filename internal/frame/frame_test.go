@@ -1,0 +1,457 @@
+package frame
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatProperties(t *testing.T) {
+	cases := []struct {
+		f    Format
+		name string
+		bpp  int
+	}{
+		{Gray8, "Gray8", 1},
+		{RGB24, "RGB24", 3},
+		{YUV444, "YUV444", 3},
+		{BayerRGGB, "BayerRGGB", 1},
+	}
+	for _, c := range cases {
+		if c.f.String() != c.name {
+			t.Errorf("%v.String() = %q, want %q", c.f, c.f.String(), c.name)
+		}
+		if c.f.BytesPerPixel() != c.bpp {
+			t.Errorf("%v.BytesPerPixel() = %d, want %d", c.f, c.f.BytesPerPixel(), c.bpp)
+		}
+	}
+	if Format(9).String() != "Format(9)" {
+		t.Errorf("unknown format string = %q", Format(9).String())
+	}
+}
+
+func TestNewAndAddressing(t *testing.T) {
+	fr := New(7, 5, RGB24)
+	if fr.SizeBytes() != 7*5*3 {
+		t.Fatalf("SizeBytes = %d, want %d", fr.SizeBytes(), 7*5*3)
+	}
+	if fr.Stride() != 21 {
+		t.Fatalf("Stride = %d, want 21", fr.Stride())
+	}
+	if fr.NumPixels() != 35 {
+		t.Fatalf("NumPixels = %d, want 35", fr.NumPixels())
+	}
+	fr.SetPixel(3, 2, []byte{10, 20, 30})
+	p := fr.Pixel(3, 2)
+	if p[0] != 10 || p[1] != 20 || p[2] != 30 {
+		t.Fatalf("Pixel(3,2) = %v, want [10 20 30]", p)
+	}
+	if off := fr.PixelOffset(3, 2); off != (2*7+3)*3 {
+		t.Fatalf("PixelOffset = %d", off)
+	}
+}
+
+func TestFromPix(t *testing.T) {
+	if _, err := FromPix(2, 2, Gray8, make([]byte, 3)); err == nil {
+		t.Error("FromPix short buffer: want error")
+	}
+	if _, err := FromPix(0, 2, Gray8, nil); err == nil {
+		t.Error("FromPix zero width: want error")
+	}
+	buf := []byte{1, 2, 3, 4}
+	fr, err := FromPix(2, 2, Gray8, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Gray(1, 1) != 4 {
+		t.Errorf("Gray(1,1) = %d, want 4", fr.Gray(1, 1))
+	}
+	buf[0] = 99 // shared storage
+	if fr.Gray(0, 0) != 99 {
+		t.Error("FromPix should not copy the buffer")
+	}
+}
+
+func TestInvalidConstruction(t *testing.T) {
+	for _, dims := range [][2]int{{0, 1}, {1, 0}, {-1, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", dims[0], dims[1])
+				}
+			}()
+			New(dims[0], dims[1], Gray8)
+		}()
+	}
+}
+
+func TestGrayLuma(t *testing.T) {
+	fr := New(1, 1, RGB24)
+	fr.SetPixel(0, 0, []byte{255, 255, 255})
+	if fr.Gray(0, 0) != 255 {
+		t.Errorf("white luma = %d, want 255", fr.Gray(0, 0))
+	}
+	fr.SetPixel(0, 0, []byte{255, 0, 0})
+	if g := fr.Gray(0, 0); g < 74 || g > 78 {
+		t.Errorf("red luma = %d, want ~76", g)
+	}
+	yuv := New(1, 1, YUV444)
+	yuv.SetPixel(0, 0, []byte{200, 50, 60})
+	if yuv.Gray(0, 0) != 200 {
+		t.Errorf("YUV luma = %d, want Y channel 200", yuv.Gray(0, 0))
+	}
+}
+
+func TestGrayAtClamped(t *testing.T) {
+	fr := New(3, 3, Gray8)
+	fr.SetGray(0, 0, 11)
+	fr.SetGray(2, 2, 22)
+	if fr.GrayAtClamped(-5, -5) != 11 {
+		t.Error("clamp to top-left failed")
+	}
+	if fr.GrayAtClamped(10, 10) != 22 {
+		t.Error("clamp to bottom-right failed")
+	}
+}
+
+func TestCloneEqualFill(t *testing.T) {
+	fr := New(4, 4, Gray8)
+	fr.Fill(7)
+	c := fr.Clone()
+	if !fr.Equal(c) {
+		t.Fatal("clone unequal")
+	}
+	c.SetGray(1, 1, 9)
+	if fr.Equal(c) {
+		t.Fatal("mutated clone equal")
+	}
+	if fr.Equal(New(4, 5, Gray8)) {
+		t.Fatal("different shapes equal")
+	}
+}
+
+func TestCrop(t *testing.T) {
+	fr := New(10, 10, Gray8)
+	for y := 0; y < 10; y++ {
+		for x := 0; x < 10; x++ {
+			fr.SetGray(x, y, uint8(y*10+x))
+		}
+	}
+	c := fr.Crop(3, 4, 4, 3)
+	if c.W != 4 || c.H != 3 {
+		t.Fatalf("crop dims %dx%d, want 4x3", c.W, c.H)
+	}
+	if c.Gray(0, 0) != 43 || c.Gray(3, 2) != 66 {
+		t.Errorf("crop contents wrong: %d, %d", c.Gray(0, 0), c.Gray(3, 2))
+	}
+	// Clipped crop.
+	c2 := fr.Crop(8, 8, 5, 5)
+	if c2.W != 2 || c2.H != 2 {
+		t.Errorf("clipped crop dims %dx%d, want 2x2", c2.W, c2.H)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty crop did not panic")
+			}
+		}()
+		fr.Crop(20, 20, 2, 2)
+	}()
+}
+
+func TestToGray(t *testing.T) {
+	fr := New(2, 1, RGB24)
+	fr.SetPixel(0, 0, []byte{100, 100, 100})
+	fr.SetPixel(1, 0, []byte{0, 0, 0})
+	g := fr.ToGray()
+	if g.Format != Gray8 || g.Gray(0, 0) != 100 || g.Gray(1, 0) != 0 {
+		t.Errorf("ToGray wrong: %v", g.Pix)
+	}
+	// Gray input is copied, not aliased.
+	g2 := g.ToGray()
+	g2.SetGray(0, 0, 5)
+	if g.Gray(0, 0) == 5 {
+		t.Error("ToGray on Gray8 aliased storage")
+	}
+}
+
+func TestDownscaleBox(t *testing.T) {
+	fr := New(4, 4, Gray8)
+	fr.FillRect(0, 0, 2, 2, 100) // top-left block all 100
+	fr.FillRect(2, 2, 2, 2, 40)  // bottom-right all 40
+	d := fr.Downscale(2)
+	if d.W != 2 || d.H != 2 {
+		t.Fatalf("downscale dims %dx%d", d.W, d.H)
+	}
+	if d.Gray(0, 0) != 100 || d.Gray(1, 1) != 40 || d.Gray(1, 0) != 0 {
+		t.Errorf("downscale values: %v", d.Pix)
+	}
+	if !fr.Downscale(1).Equal(fr) {
+		t.Error("Downscale(1) should be identity")
+	}
+}
+
+func TestUpscaleNearest(t *testing.T) {
+	fr := New(2, 2, Gray8)
+	fr.SetGray(0, 0, 1)
+	fr.SetGray(1, 0, 2)
+	fr.SetGray(0, 1, 3)
+	fr.SetGray(1, 1, 4)
+	u := fr.UpscaleNearest(3)
+	if u.W != 6 || u.H != 6 {
+		t.Fatalf("upscale dims %dx%d", u.W, u.H)
+	}
+	if u.Gray(2, 2) != 1 || u.Gray(3, 2) != 2 || u.Gray(2, 3) != 3 || u.Gray(5, 5) != 4 {
+		t.Errorf("upscale values wrong")
+	}
+}
+
+func TestDownscaleUpscaleRoundTripUniform(t *testing.T) {
+	fr := New(8, 8, Gray8)
+	fr.Fill(123)
+	rt := fr.Downscale(2).UpscaleNearest(2)
+	if !rt.Equal(fr) {
+		t.Error("uniform frame should round-trip through scale 2")
+	}
+}
+
+func TestResizeBilinear(t *testing.T) {
+	fr := New(4, 4, Gray8)
+	fr.Fill(80)
+	r := fr.ResizeBilinear(7, 3)
+	if r.W != 7 || r.H != 3 {
+		t.Fatalf("resize dims %dx%d", r.W, r.H)
+	}
+	for i, v := range r.Pix {
+		if v != 80 {
+			t.Fatalf("uniform resize changed value at %d: %d", i, v)
+		}
+	}
+	// Gradient image stays monotone along x after resize.
+	g := New(16, 4, Gray8)
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 16; x++ {
+			g.SetGray(x, y, uint8(x*16))
+		}
+	}
+	r2 := g.ResizeBilinear(8, 4)
+	for x := 1; x < 8; x++ {
+		if r2.Gray(x, 0) < r2.Gray(x-1, 0) {
+			t.Fatalf("resize broke monotonicity at x=%d", x)
+		}
+	}
+}
+
+func TestGaussianBlurPreservesUniformAndSmooths(t *testing.T) {
+	fr := New(9, 9, Gray8)
+	fr.Fill(50)
+	b := fr.GaussianBlur(1.2)
+	for i, v := range b.Pix {
+		if v != 50 {
+			t.Fatalf("blur changed uniform frame at %d: %d", i, v)
+		}
+	}
+	// Impulse: center should spread.
+	imp := New(9, 9, Gray8)
+	imp.SetGray(4, 4, 255)
+	bi := imp.GaussianBlur(1.0)
+	if bi.Gray(4, 4) >= 255 || bi.Gray(4, 4) == 0 {
+		t.Errorf("blurred impulse center = %d", bi.Gray(4, 4))
+	}
+	if bi.Gray(3, 4) == 0 {
+		t.Error("impulse did not spread")
+	}
+	if !imp.GaussianBlur(0).Equal(imp) {
+		t.Error("sigma=0 should be identity")
+	}
+}
+
+func TestGradients(t *testing.T) {
+	fr := New(8, 8, Gray8)
+	// Vertical edge at x=4.
+	fr.FillRect(4, 0, 4, 8, 200)
+	gx, gy := fr.Gradients()
+	if gx[3*8+4] <= 0 {
+		t.Errorf("gx at edge = %d, want > 0", gx[3*8+4])
+	}
+	if gy[3*8+4] != 0 {
+		t.Errorf("gy at vertical edge = %d, want 0", gy[3*8+4])
+	}
+}
+
+func TestIntegralBoxSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	fr := New(13, 9, Gray8)
+	for i := range fr.Pix {
+		fr.Pix[i] = uint8(rng.Intn(256))
+	}
+	ii := fr.Integral()
+	for trial := 0; trial < 30; trial++ {
+		x0, y0 := rng.Intn(13), rng.Intn(9)
+		x1, y1 := x0+rng.Intn(13-x0)+1, y0+rng.Intn(9-y0)+1
+		var naive int64
+		for y := y0; y < y1; y++ {
+			for x := x0; x < x1; x++ {
+				naive += int64(fr.Gray(x, y))
+			}
+		}
+		if got := BoxSum(ii, x0, y0, x1, y1); got != naive {
+			t.Fatalf("BoxSum(%d,%d,%d,%d) = %d, want %d", x0, y0, x1, y1, got, naive)
+		}
+	}
+}
+
+func TestMAEPSNR(t *testing.T) {
+	a := New(4, 4, Gray8)
+	b := New(4, 4, Gray8)
+	mae, err := MAE(a, b)
+	if err != nil || mae != 0 {
+		t.Errorf("identical MAE = %v, %v", mae, err)
+	}
+	psnr, err := PSNR(a, b)
+	if err != nil || !math.IsInf(psnr, 1) {
+		t.Errorf("identical PSNR = %v, %v", psnr, err)
+	}
+	b.Fill(10)
+	mae, _ = MAE(a, b)
+	if mae != 10 {
+		t.Errorf("MAE = %v, want 10", mae)
+	}
+	psnr, _ = PSNR(a, b)
+	if psnr < 28 || psnr > 29 {
+		t.Errorf("PSNR = %v, want ~28.1", psnr)
+	}
+	if _, err := MAE(a, New(5, 4, Gray8)); err == nil {
+		t.Error("MAE shape mismatch: want error")
+	}
+	if _, err := PSNR(a, New(5, 4, Gray8)); err == nil {
+		t.Error("PSNR shape mismatch: want error")
+	}
+}
+
+func TestDrawPrimitives(t *testing.T) {
+	fr := New(10, 10, Gray8)
+	fr.DrawRect(2, 2, 5, 5, 255)
+	if fr.Gray(2, 2) != 255 || fr.Gray(6, 6) != 255 || fr.Gray(4, 4) != 0 {
+		t.Error("DrawRect outline wrong")
+	}
+	fr2 := New(10, 10, Gray8)
+	fr2.FillCircle(5, 5, 3, 200)
+	if fr2.Gray(5, 5) != 200 || fr2.Gray(5, 2) != 200 || fr2.Gray(0, 0) != 0 {
+		t.Error("FillCircle wrong")
+	}
+	// Circle partially off-frame should not panic.
+	fr2.FillCircle(-1, -1, 3, 100)
+	fr3 := New(10, 10, Gray8)
+	fr3.DrawLine(0, 0, 9, 9, 77)
+	for i := 0; i < 10; i++ {
+		if fr3.Gray(i, i) != 77 {
+			t.Fatalf("diagonal line missing pixel %d", i)
+		}
+	}
+	fr3.DrawLine(9, 0, 0, 9, 66) // reverse direction
+	if fr3.Gray(0, 9) != 66 {
+		t.Error("reverse line missing endpoint")
+	}
+}
+
+func TestPNMRoundTrip(t *testing.T) {
+	for _, format := range []Format{Gray8, RGB24} {
+		fr := New(6, 4, format)
+		rng := rand.New(rand.NewSource(1))
+		for i := range fr.Pix {
+			fr.Pix[i] = uint8(rng.Intn(256))
+		}
+		var buf bytes.Buffer
+		if err := fr.WritePNM(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadPNM(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(fr) {
+			t.Errorf("%v PNM round trip mismatch", format)
+		}
+	}
+}
+
+func TestPNMErrors(t *testing.T) {
+	for name, data := range map[string]string{
+		"badMagic":  "P3\n2 2\n255\n",
+		"badMaxval": "P5\n2 2\n65535\n",
+		"badDims":   "P5\n-2 2\n255\n",
+		"badToken":  "P5\nxx 2\n255\n",
+		"shortData": "P5\n4 4\n255\nab",
+	} {
+		if _, err := ReadPNM(bytes.NewReader([]byte(data))); err == nil {
+			t.Errorf("%s: want error, got nil", name)
+		}
+	}
+	// Comments are skipped.
+	good := "P5 # comment\n# another\n2 1\n255\nAB"
+	fr, err := ReadPNM(bytes.NewReader([]byte(good)))
+	if err != nil {
+		t.Fatalf("comment handling: %v", err)
+	}
+	if fr.Gray(0, 0) != 'A' || fr.Gray(1, 0) != 'B' {
+		t.Error("comment-laden PNM parsed wrong")
+	}
+}
+
+func TestSavePNMLoadPNM(t *testing.T) {
+	dir := t.TempDir()
+	fr := New(3, 3, Gray8)
+	fr.Fill(42)
+	path := dir + "/a.pgm"
+	if err := fr.SavePNM(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPNM(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(fr) {
+		t.Error("file round trip mismatch")
+	}
+	if _, err := LoadPNM(dir + "/missing.pgm"); err == nil {
+		t.Error("missing file: want error")
+	}
+}
+
+// Property: crop of a crop equals direct crop.
+func TestCropComposeProperty(t *testing.T) {
+	base := New(32, 32, Gray8)
+	rng := rand.New(rand.NewSource(9))
+	for i := range base.Pix {
+		base.Pix[i] = uint8(rng.Intn(256))
+	}
+	f := func(x1s, y1s, x2s, y2s uint8) bool {
+		x1, y1 := int(x1s)%16, int(y1s)%16
+		x2, y2 := int(x2s)%8, int(y2s)%8
+		a := base.Crop(x1, y1, 16, 16).Crop(x2, y2, 8, 8)
+		b := base.Crop(x1+x2, y1+y2, 8, 8)
+		return a.Equal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDownscale1080pTo480p(b *testing.B) {
+	fr := New(1920, 1080, Gray8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = fr.Downscale(2)
+	}
+}
+
+func BenchmarkGaussianBlurVGA(b *testing.B) {
+	fr := New(640, 480, Gray8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = fr.GaussianBlur(1.5)
+	}
+}

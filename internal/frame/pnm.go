@@ -1,0 +1,128 @@
+package frame
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// PNM (PGM/PPM) input/output. The binary Netpbm formats are the simplest
+// widely supported image containers and need no compression library, so the
+// CLI tools use them to move frames in and out of the pipeline.
+
+// WritePNM writes the frame to w as binary PGM (Gray8/Bayer) or PPM
+// (RGB24/YUV444; YUV is written raw without conversion).
+func (fr *Frame) WritePNM(w io.Writer) error {
+	var magic string
+	switch fr.BytesPerPixel() {
+	case 1:
+		magic = "P5"
+	case 3:
+		magic = "P6"
+	default:
+		return fmt.Errorf("frame: no PNM mapping for %v", fr.Format)
+	}
+	if _, err := fmt.Fprintf(w, "%s\n%d %d\n255\n", magic, fr.W, fr.H); err != nil {
+		return err
+	}
+	_, err := w.Write(fr.Pix)
+	return err
+}
+
+// SavePNM writes the frame to a file using WritePNM.
+func (fr *Frame) SavePNM(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := fr.WritePNM(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadPNM reads a binary PGM (P5) or PPM (P6) image. PGM becomes Gray8 and
+// PPM becomes RGB24. Only maxval 255 is supported.
+func ReadPNM(r io.Reader) (*Frame, error) {
+	br := bufio.NewReader(r)
+	magic, err := pnmToken(br)
+	if err != nil {
+		return nil, err
+	}
+	var format Format
+	switch magic {
+	case "P5":
+		format = Gray8
+	case "P6":
+		format = RGB24
+	default:
+		return nil, fmt.Errorf("frame: unsupported PNM magic %q", magic)
+	}
+	var w, h, maxval int
+	for _, dst := range []*int{&w, &h, &maxval} {
+		tok, err := pnmToken(br)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := fmt.Sscanf(tok, "%d", dst); err != nil {
+			return nil, fmt.Errorf("frame: bad PNM header token %q", tok)
+		}
+	}
+	if maxval != 255 {
+		return nil, fmt.Errorf("frame: unsupported PNM maxval %d", maxval)
+	}
+	if w <= 0 || h <= 0 || w > 1<<16 || h > 1<<16 {
+		return nil, fmt.Errorf("frame: unreasonable PNM dimensions %dx%d", w, h)
+	}
+	fr := New(w, h, format)
+	if _, err := io.ReadFull(br, fr.Pix); err != nil {
+		return nil, fmt.Errorf("frame: short PNM pixel data: %w", err)
+	}
+	return fr, nil
+}
+
+// LoadPNM reads a PNM image from a file.
+func LoadPNM(path string) (*Frame, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadPNM(f)
+}
+
+// pnmToken reads the next whitespace-delimited token, skipping '#' comments.
+func pnmToken(br *bufio.Reader) (string, error) {
+	var tok []byte
+	inComment := false
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF && len(tok) > 0 {
+				return string(tok), nil
+			}
+			return "", err
+		}
+		switch {
+		case inComment:
+			if b == '\n' {
+				inComment = false
+			}
+		case b == '#':
+			inComment = true
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			if len(tok) > 0 {
+				return string(tok), nil
+			}
+		default:
+			tok = append(tok, b)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package frame
+
+import "fmt"
+
+// Downscale reduces a frame by an integer factor using box filtering (the
+// average of each factor x factor block). This is the model of "frame-based
+// computing at low resolution" (FCL): the whole frame is captured, then
+// uniformly decimated.
+func (fr *Frame) Downscale(factor int) *Frame {
+	if factor < 1 {
+		panic(fmt.Sprintf("frame: invalid downscale factor %d", factor))
+	}
+	if factor == 1 {
+		return fr.Clone()
+	}
+	w := fr.W / factor
+	h := fr.H / factor
+	if w == 0 || h == 0 {
+		panic(fmt.Sprintf("frame: downscale factor %d too large for %dx%d", factor, fr.W, fr.H))
+	}
+	bpp := fr.BytesPerPixel()
+	out := New(w, h, fr.Format)
+	area := factor * factor
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			for c := 0; c < bpp; c++ {
+				sum := 0
+				for dy := 0; dy < factor; dy++ {
+					row := (y*factor + dy) * fr.Stride()
+					for dx := 0; dx < factor; dx++ {
+						sum += int(fr.Pix[row+(x*factor+dx)*bpp+c])
+					}
+				}
+				out.Pix[(y*w+x)*bpp+c] = uint8((sum + area/2) / area)
+			}
+		}
+	}
+	return out
+}
+
+// UpscaleNearest enlarges a frame by an integer factor with pixel
+// replication, mirroring how a strided region's held pixels appear when
+// reconstructed by the decoder.
+func (fr *Frame) UpscaleNearest(factor int) *Frame {
+	if factor < 1 {
+		panic(fmt.Sprintf("frame: invalid upscale factor %d", factor))
+	}
+	if factor == 1 {
+		return fr.Clone()
+	}
+	bpp := fr.BytesPerPixel()
+	out := New(fr.W*factor, fr.H*factor, fr.Format)
+	for y := 0; y < out.H; y++ {
+		srcRow := (y / factor) * fr.Stride()
+		dstRow := y * out.Stride()
+		for x := 0; x < out.W; x++ {
+			copy(out.Pix[dstRow+x*bpp:dstRow+(x+1)*bpp], fr.Pix[srcRow+(x/factor)*bpp:srcRow+(x/factor+1)*bpp])
+		}
+	}
+	return out
+}
+
+// ResizeBilinear resizes a Gray8 frame to w x h with bilinear interpolation.
+// The feature extractor's image pyramid uses this for non-integer octave
+// scale factors.
+func (fr *Frame) ResizeBilinear(w, h int) *Frame {
+	if fr.Format != Gray8 {
+		panic("frame: ResizeBilinear requires Gray8")
+	}
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("frame: invalid resize target %dx%d", w, h))
+	}
+	out := New(w, h, Gray8)
+	// Map output pixel centers into source coordinates.
+	sx := float64(fr.W) / float64(w)
+	sy := float64(fr.H) / float64(h)
+	for y := 0; y < h; y++ {
+		fy := (float64(y)+0.5)*sy - 0.5
+		y0 := int(fy)
+		if fy < 0 {
+			fy, y0 = 0, 0
+		}
+		ty := fy - float64(y0)
+		y1 := y0 + 1
+		if y1 >= fr.H {
+			y1 = fr.H - 1
+		}
+		for x := 0; x < w; x++ {
+			fx := (float64(x)+0.5)*sx - 0.5
+			x0 := int(fx)
+			if fx < 0 {
+				fx, x0 = 0, 0
+			}
+			tx := fx - float64(x0)
+			x1 := x0 + 1
+			if x1 >= fr.W {
+				x1 = fr.W - 1
+			}
+			p00 := float64(fr.Pix[y0*fr.W+x0])
+			p01 := float64(fr.Pix[y0*fr.W+x1])
+			p10 := float64(fr.Pix[y1*fr.W+x0])
+			p11 := float64(fr.Pix[y1*fr.W+x1])
+			top := p00 + (p01-p00)*tx
+			bot := p10 + (p11-p10)*tx
+			out.Pix[y*w+x] = uint8(top + (bot-top)*ty + 0.5)
+		}
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+// Package hwmodel estimates FPGA resource utilization and power for the
+// rhythmic pixel encoder and decoder IP blocks, reproducing the scaling
+// behaviour of the paper's Table 5 and §6.3.
+//
+// The model is analytic with constants calibrated to the published numbers:
+//
+//   - the parallel encoder instantiates one comparator per region, so its
+//     LUT/FF cost grows linearly with the region count and the design stops
+//     synthesizing (routing congestion / timing closure) beyond a few
+//     hundred comparators;
+//   - the hybrid encoder keeps a fixed number of comparison lanes and holds
+//     the y-sorted region list in BRAM, so its logic cost is flat in the
+//     region count;
+//   - the decoder operates on EncMask metadata only and is agnostic to the
+//     number of regions.
+package hwmodel
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Resources is an FPGA utilization estimate.
+type Resources struct {
+	LUTs  int
+	FFs   int
+	BRAMs int // 18 Kb blocks
+	// Synthesizable reports whether the design closes synthesis/timing.
+	Synthesizable bool
+}
+
+// String renders the estimate like the paper's Table 5 rows.
+func (r Resources) String() string {
+	if !r.Synthesizable {
+		return "No Synth"
+	}
+	return fmt.Sprintf("%d LUTs, %d FFs, %d BRAMs", r.LUTs, r.FFs, r.BRAMs)
+}
+
+// Calibration constants (least-squares over Table 5's parallel rows, fixed
+// points for the hybrid rows and §6.3's decoder numbers).
+const (
+	parallelLUTPerRegion = 39 // (16251-4644)/300 ≈ 38.7
+	parallelLUTBase      = 775
+	parallelFFPerRegion  = 49 // (20685-5935)/300 ≈ 49.2
+	parallelFFBase       = 1018
+	parallelBRAMs        = 6
+	// maxParallelComparators is where parallel synthesis stops closing;
+	// Table 5 reports "No Synth" at 1600 regions.
+	maxParallelComparators = 512
+
+	hybridLUTs  = 945
+	hybridFFs   = 1189
+	hybridBRAMs = 11
+	// labelBits is the BRAM storage per region label: six 16-bit fields.
+	labelBits = 96
+	// bramBits is the usable capacity of one 18 Kb block.
+	bramBits = 18 * 1024
+
+	decoderLUTs  = 699
+	decoderFFs   = 1082
+	decoderBRAMs = 2
+)
+
+// EncoderResources estimates the encoder IP for a comparison-engine design
+// supporting the given number of regions.
+func EncoderResources(d core.Design, regions int) Resources {
+	if regions < 0 {
+		panic("hwmodel: negative region count")
+	}
+	switch d {
+	case core.DesignParallel, core.DesignNaive:
+		r := Resources{
+			LUTs:          parallelLUTBase + parallelLUTPerRegion*regions,
+			FFs:           parallelFFBase + parallelFFPerRegion*regions,
+			BRAMs:         parallelBRAMs,
+			Synthesizable: regions <= maxParallelComparators,
+		}
+		if !r.Synthesizable {
+			return Resources{Synthesizable: false}
+		}
+		return r
+	case core.DesignHybrid:
+		// The region list lives in BRAM; the fixed 11 blocks hold up to
+		// ~2100 labels, growing only beyond that.
+		brams := hybridBRAMs
+		if need := (regions*labelBits + bramBits - 1) / bramBits; need > hybridBRAMs {
+			brams = need
+		}
+		return Resources{LUTs: hybridLUTs, FFs: hybridFFs, BRAMs: brams, Synthesizable: true}
+	}
+	panic("hwmodel: unknown design")
+}
+
+// DecoderResources estimates the decoder IP for a frame of the given width.
+// The decoder is agnostic to the number of regions (§6.3); its BRAM budget
+// holds the metadata scratchpad and the one-row line buffer, so it grows
+// only with frame width beyond 1080p.
+func DecoderResources(frameWidth int) Resources {
+	brams := decoderBRAMs
+	if frameWidth > 1920 {
+		// One extra 18 Kb block per additional 2K pixels of line buffer.
+		brams += (frameWidth - 1920 + 2047) / 2048
+	}
+	return Resources{LUTs: decoderLUTs, FFs: decoderFFs, BRAMs: brams, Synthesizable: true}
+}
+
+// Power model constants (§6.3): the encoder consumes 45 mW supporting 1600
+// regions — under 7% of a 650 mW mobile ISP — and the decoder < 1 mW.
+const (
+	encoderBasePowerMW      = 20.0
+	encoderPerRegionPowerMW = 25.0 / 1600.0
+	decoderPowerMW          = 0.8
+	// ISPChipPowerMW is the reference mobile ISP power the paper compares
+	// against.
+	ISPChipPowerMW = 650.0
+)
+
+// EncoderPowerMW estimates hybrid-encoder power at a region count.
+func EncoderPowerMW(regions int) float64 {
+	if regions < 0 {
+		panic("hwmodel: negative region count")
+	}
+	return encoderBasePowerMW + encoderPerRegionPowerMW*float64(regions)
+}
+
+// DecoderPowerMW returns the decoder power estimate.
+func DecoderPowerMW() float64 { return decoderPowerMW }
+
+// Pipeline timing model (§5.1): the ISP and encoder sustain 2 pixels per
+// clock; the video pipeline passes post-layout timing at this rate.
+const (
+	PixelsPerClock = 2
+	// PipelineClockHz is the streaming clock of the reVISION video pipeline.
+	PipelineClockHz = 300e6
+	// EncoderFIFODepth is the input/output FIFO depth that suffices to
+	// avoid pipeline stalls at 2 px/clock.
+	EncoderFIFODepth = 16
+)
+
+// SustainedPixelRate returns the pipeline's pixel throughput in pixels/s.
+func SustainedPixelRate() float64 { return PixelsPerClock * PipelineClockHz }
+
+// MeetsRealTime reports whether a w x h stream at fps fits the pipeline's
+// sustained pixel rate.
+func MeetsRealTime(w, h int, fps float64) bool {
+	return float64(w)*float64(h)*fps <= SustainedPixelRate()
+}
+
+// DecoderLatencyNS estimates the added response latency of the decoder on a
+// pixel transaction: a few cycles of address translation plus one cycle per
+// burst beat — "a few 10s of ns", negligible against ~10 ms frame compute
+// (§6.3).
+func DecoderLatencyNS(burstBeats int) float64 {
+	const translateCycles = 6
+	cycles := translateCycles + burstBeats
+	return float64(cycles) / PipelineClockHz * 1e9
+}

@@ -1,0 +1,156 @@
+package hwmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestParallelEncoderScalesLinearly(t *testing.T) {
+	// Table 5 shape: parallel LUT/FF cost grows ~linearly with regions.
+	r100 := EncoderResources(core.DesignParallel, 100)
+	r200 := EncoderResources(core.DesignParallel, 200)
+	r400 := EncoderResources(core.DesignParallel, 400)
+	if !r100.Synthesizable || !r200.Synthesizable || !r400.Synthesizable {
+		t.Fatal("parallel <= 400 regions must synthesize")
+	}
+	// Calibration within ~10% of the published rows.
+	within := func(got, want int) bool {
+		return math.Abs(float64(got-want))/float64(want) < 0.10
+	}
+	if !within(r100.LUTs, 4644) || !within(r200.LUTs, 8635) || !within(r400.LUTs, 16251) {
+		t.Errorf("parallel LUTs = %d/%d/%d, want ~4644/8635/16251", r100.LUTs, r200.LUTs, r400.LUTs)
+	}
+	if !within(r100.FFs, 5935) || !within(r400.FFs, 20685) {
+		t.Errorf("parallel FFs = %d/%d, want ~5935/20685", r100.FFs, r400.FFs)
+	}
+	if r100.BRAMs != 6 || r400.BRAMs != 6 {
+		t.Errorf("parallel BRAMs = %d/%d, want 6", r100.BRAMs, r400.BRAMs)
+	}
+}
+
+func TestParallelEncoderFailsSynthesisAt1600(t *testing.T) {
+	r := EncoderResources(core.DesignParallel, 1600)
+	if r.Synthesizable {
+		t.Error("parallel at 1600 regions must fail synthesis (Table 5: No Synth)")
+	}
+	if r.String() != "No Synth" {
+		t.Errorf("String = %q, want \"No Synth\"", r.String())
+	}
+}
+
+func TestHybridEncoderFlat(t *testing.T) {
+	// Table 5 shape: hybrid resources are constant from 100 to 1600 regions.
+	r100 := EncoderResources(core.DesignHybrid, 100)
+	r1600 := EncoderResources(core.DesignHybrid, 1600)
+	if r100.LUTs != r1600.LUTs || r100.FFs != r1600.FFs || r100.BRAMs != r1600.BRAMs {
+		t.Errorf("hybrid not flat: %v vs %v", r100, r1600)
+	}
+	if !r1600.Synthesizable {
+		t.Error("hybrid at 1600 regions must synthesize")
+	}
+	if r100.LUTs < 900 || r100.LUTs > 1000 || r100.BRAMs != 11 {
+		t.Errorf("hybrid calibration: %v, want ~945 LUTs / 11 BRAMs", r100)
+	}
+	// Hybrid uses far fewer LUTs than parallel even at 100 regions.
+	if p := EncoderResources(core.DesignParallel, 100); r100.LUTs*3 > p.LUTs {
+		t.Error("hybrid should use well under 1/3 the LUTs of parallel at 100 regions")
+	}
+}
+
+func TestHybridBRAMGrowsBeyondCapacity(t *testing.T) {
+	r := EncoderResources(core.DesignHybrid, 10000)
+	if r.BRAMs <= 11 {
+		t.Errorf("BRAMs = %d at 10k regions, want growth beyond 11", r.BRAMs)
+	}
+	if !r.Synthesizable {
+		t.Error("hybrid should still synthesize with more BRAM")
+	}
+}
+
+func TestNaiveTracksParallelModel(t *testing.T) {
+	if EncoderResources(core.DesignNaive, 200) != EncoderResources(core.DesignParallel, 200) {
+		t.Error("naive design should share the per-region comparator model")
+	}
+}
+
+func TestEncoderResourcesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative regions did not panic")
+		}
+	}()
+	EncoderResources(core.DesignHybrid, -1)
+}
+
+func TestDecoderAgnosticToRegions(t *testing.T) {
+	// §6.3: "it needs 699 LUTs, 1082 FFs, and 2 BRAMs (18Kb) for 1080p
+	// decoding, regardless of the number of supported regions."
+	r := DecoderResources(1920)
+	if r.LUTs != 699 || r.FFs != 1082 || r.BRAMs != 2 || !r.Synthesizable {
+		t.Errorf("decoder 1080p = %v, want 699/1082/2", r)
+	}
+	r4k := DecoderResources(3840)
+	if r4k.LUTs != 699 || r4k.BRAMs <= 2 {
+		t.Errorf("decoder 4K = %v, want same logic with more line-buffer BRAM", r4k)
+	}
+}
+
+func TestPowerModel(t *testing.T) {
+	// §6.3: encoder consumes 45 mW at 1600 regions, < 7% of a 650 mW ISP.
+	p := EncoderPowerMW(1600)
+	if math.Abs(p-45) > 0.5 {
+		t.Errorf("EncoderPowerMW(1600) = %v, want ~45", p)
+	}
+	if p/ISPChipPowerMW >= 0.07 {
+		t.Errorf("encoder power fraction = %.3f, want < 0.07", p/ISPChipPowerMW)
+	}
+	if DecoderPowerMW() >= 1 {
+		t.Errorf("DecoderPowerMW = %v, want < 1", DecoderPowerMW())
+	}
+	if EncoderPowerMW(100) >= EncoderPowerMW(1600) {
+		t.Error("power should grow with regions")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative regions did not panic")
+		}
+	}()
+	EncoderPowerMW(-1)
+}
+
+func TestPipelineTiming(t *testing.T) {
+	// §5.1: the pipeline delivers 4K @ 60 fps pass-through.
+	if !MeetsRealTime(3840, 2160, 60) {
+		t.Error("4K60 must meet real time at 2 px/clock")
+	}
+	if MeetsRealTime(7680, 4320, 60) {
+		t.Error("8K60 should exceed the pipeline rate")
+	}
+	if SustainedPixelRate() != 600e6 {
+		t.Errorf("SustainedPixelRate = %v", SustainedPixelRate())
+	}
+	if EncoderFIFODepth != 16 {
+		t.Error("FIFO depth should match §5.1")
+	}
+}
+
+func TestDecoderLatencyNegligible(t *testing.T) {
+	// §6.3: "this delay is the order of a few 10s of ns".
+	ns := DecoderLatencyNS(16)
+	if ns < 10 || ns > 200 {
+		t.Errorf("DecoderLatencyNS(16) = %v, want tens of ns", ns)
+	}
+	// Negligible against 10 ms frame compute.
+	if ns/1e7 > 0.001 {
+		t.Error("latency should be negligible vs frame compute")
+	}
+}
+
+func TestResourcesString(t *testing.T) {
+	r := Resources{LUTs: 1, FFs: 2, BRAMs: 3, Synthesizable: true}
+	if r.String() != "1 LUTs, 2 FFs, 3 BRAMs" {
+		t.Errorf("String = %q", r.String())
+	}
+}

@@ -1,0 +1,121 @@
+package isp
+
+import (
+	"fmt"
+
+	"repro/internal/frame"
+)
+
+// The 3A control loops of a real ISP that matter for the rhythmic pixel
+// evaluation: auto-exposure keeps the luma level stable across frames so
+// the encoder's downstream trackers don't see global brightness swings as
+// motion, and gray-world white balance normalizes channel gains before YUV
+// conversion.
+
+// AutoExposure is a mean-luma AE loop: it measures each frame and adjusts a
+// digital gain toward a target level, slewing gradually like a camera AE.
+type AutoExposure struct {
+	// TargetLuma is the desired mean luminance (default 110).
+	TargetLuma float64
+	// SlewRate bounds the per-frame relative gain change (default 0.15).
+	SlewRate float64
+	// MinGain and MaxGain clamp the digital gain.
+	MinGain, MaxGain float64
+
+	gain float64
+}
+
+// NewAutoExposure returns an AE loop with camera-typical defaults.
+func NewAutoExposure() *AutoExposure {
+	return &AutoExposure{TargetLuma: 110, SlewRate: 0.15, MinGain: 0.25, MaxGain: 8, gain: 1}
+}
+
+// Gain returns the current digital gain.
+func (ae *AutoExposure) Gain() float64 { return ae.gain }
+
+// Process measures the frame, updates the gain, and applies it in place.
+func (ae *AutoExposure) Process(fr *frame.Frame) {
+	var sum int64
+	n := fr.W * fr.H
+	for y := 0; y < fr.H; y += 4 { // 1/16 subsample, as AE statistics blocks do
+		for x := 0; x < fr.W; x += 4 {
+			sum += int64(fr.Gray(x, y))
+		}
+	}
+	samples := ((fr.H + 3) / 4) * ((fr.W + 3) / 4)
+	if samples == 0 || n == 0 {
+		return
+	}
+	mean := float64(sum) / float64(samples) * ae.gain
+	if mean < 1 {
+		mean = 1
+	}
+	want := ae.TargetLuma / mean * ae.gain
+	// Slew toward the wanted gain.
+	maxStep := ae.gain * ae.SlewRate
+	switch {
+	case want > ae.gain+maxStep:
+		ae.gain += maxStep
+	case want < ae.gain-maxStep:
+		ae.gain -= maxStep
+	default:
+		ae.gain = want
+	}
+	if ae.gain < ae.MinGain {
+		ae.gain = ae.MinGain
+	} else if ae.gain > ae.MaxGain {
+		ae.gain = ae.MaxGain
+	}
+	applyGain(fr, ae.gain, ae.gain, ae.gain)
+}
+
+// GrayWorldAWB applies gray-world white balance to an RGB24 frame: channel
+// gains equalize the channel means.
+func GrayWorldAWB(fr *frame.Frame) error {
+	if fr.Format != frame.RGB24 {
+		return fmt.Errorf("isp: AWB requires RGB24, got %v", fr.Format)
+	}
+	var sr, sg, sb int64
+	n := int64(fr.W * fr.H)
+	for i := 0; i < len(fr.Pix); i += 3 {
+		sr += int64(fr.Pix[i])
+		sg += int64(fr.Pix[i+1])
+		sb += int64(fr.Pix[i+2])
+	}
+	if sr == 0 || sg == 0 || sb == 0 {
+		return nil // degenerate channel; leave untouched
+	}
+	mean := float64(sr+sg+sb) / float64(3*n)
+	applyGain(fr,
+		mean/(float64(sr)/float64(n)),
+		mean/(float64(sg)/float64(n)),
+		mean/(float64(sb)/float64(n)))
+	return nil
+}
+
+// applyGain multiplies channels by per-channel gains with clamping. For
+// single-channel formats only gr is used.
+func applyGain(fr *frame.Frame, gr, gg, gb float64) {
+	bpp := fr.BytesPerPixel()
+	if bpp == 1 {
+		for i, v := range fr.Pix {
+			fr.Pix[i] = clampU8(float64(v) * gr)
+		}
+		return
+	}
+	for i := 0; i < len(fr.Pix); i += bpp {
+		fr.Pix[i] = clampU8(float64(fr.Pix[i]) * gr)
+		fr.Pix[i+1] = clampU8(float64(fr.Pix[i+1]) * gg)
+		fr.Pix[i+2] = clampU8(float64(fr.Pix[i+2]) * gb)
+	}
+}
+
+func clampU8(v float64) uint8 {
+	if v <= 0 {
+		return 0
+	}
+	if v >= 255 {
+		return 255
+	}
+	return uint8(v + 0.5)
+}

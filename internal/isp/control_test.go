@@ -1,0 +1,118 @@
+package isp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/frame"
+)
+
+func TestAutoExposureConverges(t *testing.T) {
+	ae := NewAutoExposure()
+	// A dark scene: repeated frames at luma ~40 should be pulled up toward
+	// the target as the gain slews.
+	var lastMean float64
+	for i := 0; i < 30; i++ {
+		fr := frame.New(64, 64, frame.Gray8)
+		fr.Fill(40)
+		ae.Process(fr)
+		var sum int
+		for _, v := range fr.Pix {
+			sum += int(v)
+		}
+		lastMean = float64(sum) / float64(len(fr.Pix))
+	}
+	if math.Abs(lastMean-ae.TargetLuma) > 8 {
+		t.Errorf("converged mean = %.1f, want ~%.0f", lastMean, ae.TargetLuma)
+	}
+	if ae.Gain() <= 1 {
+		t.Errorf("gain = %v, want > 1 for a dark scene", ae.Gain())
+	}
+}
+
+func TestAutoExposureSlewLimited(t *testing.T) {
+	ae := NewAutoExposure()
+	fr := frame.New(32, 32, frame.Gray8)
+	fr.Fill(10) // needs gain 11; one step must be bounded by SlewRate
+	ae.Process(fr)
+	if ae.Gain() > 1+ae.SlewRate+1e-9 {
+		t.Errorf("gain jumped to %v in one frame; slew not enforced", ae.Gain())
+	}
+}
+
+func TestAutoExposureGainClamped(t *testing.T) {
+	ae := NewAutoExposure()
+	black := frame.New(16, 16, frame.Gray8)
+	for i := 0; i < 200; i++ {
+		b := black.Clone()
+		ae.Process(b)
+	}
+	if ae.Gain() > ae.MaxGain {
+		t.Errorf("gain %v exceeds MaxGain", ae.Gain())
+	}
+	bright := frame.New(16, 16, frame.Gray8)
+	bright.Fill(255)
+	for i := 0; i < 200; i++ {
+		b := bright.Clone()
+		ae.Process(b)
+	}
+	if ae.Gain() < ae.MinGain {
+		t.Errorf("gain %v under MinGain", ae.Gain())
+	}
+}
+
+func TestGrayWorldAWB(t *testing.T) {
+	fr := frame.New(16, 16, frame.RGB24)
+	// A red-tinted uniform frame.
+	for i := 0; i < len(fr.Pix); i += 3 {
+		fr.Pix[i], fr.Pix[i+1], fr.Pix[i+2] = 180, 90, 60
+	}
+	if err := GrayWorldAWB(fr); err != nil {
+		t.Fatal(err)
+	}
+	p := fr.Pixel(8, 8)
+	// Channels should be near-equal after gray-world.
+	if absInt(int(p[0])-int(p[1])) > 3 || absInt(int(p[1])-int(p[2])) > 3 {
+		t.Errorf("post-AWB pixel = %v, want balanced", p)
+	}
+	if err := GrayWorldAWB(frame.New(4, 4, frame.Gray8)); err == nil {
+		t.Error("gray input accepted")
+	}
+	// All-black frame: no division by zero, untouched.
+	black := frame.New(4, 4, frame.RGB24)
+	if err := GrayWorldAWB(black); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestPipelineWithAEAndAWB(t *testing.T) {
+	p := NewPipeline()
+	p.AE = NewAutoExposure()
+	p.AWB = true
+	bayer := frame.New(32, 32, frame.BayerRGGB)
+	bayer.Fill(40) // dark, neutral mosaic
+	var last *frame.Frame
+	for i := 0; i < 25; i++ {
+		out, err := p.Process(bayer.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = out
+	}
+	var sum int
+	for _, v := range last.Pix {
+		sum += int(v)
+	}
+	mean := float64(sum) / float64(len(last.Pix))
+	// AE lifts a dark scene; gamma lifts it further.
+	if mean < 100 {
+		t.Errorf("AE+gamma mean = %.0f, want brightened above 100", mean)
+	}
+}

@@ -1,0 +1,201 @@
+// Package isp simulates the image signal processor stages of the paper's
+// video pipeline (Table 2: "Demosaic and Gamma correction, 2 Pixels Per
+// Clock"): Bayer demosaicing, gamma correction, and color-space conversion,
+// with line-buffer-based streaming operation and throughput accounting.
+//
+// The rhythmic pixel encoder integrates at the ISP output (§4.1.2), so the
+// ISP's only contract with the rest of the system is that it emits
+// frame-ordered raster-scan pixels — which this simulation preserves.
+package isp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/frame"
+)
+
+// Gamma is a lookup-table gamma correction stage.
+type Gamma struct {
+	lut [256]uint8
+}
+
+// NewGamma builds a gamma stage with the given exponent (2.2 is the typical
+// display-referred encode; values <= 0 panic).
+func NewGamma(gamma float64) *Gamma {
+	if gamma <= 0 {
+		panic("isp: non-positive gamma")
+	}
+	g := &Gamma{}
+	for i := 0; i < 256; i++ {
+		g.lut[i] = uint8(math.Pow(float64(i)/255, 1/gamma)*255 + 0.5)
+	}
+	return g
+}
+
+// Apply runs the LUT over a frame in place.
+func (g *Gamma) Apply(fr *frame.Frame) {
+	for i, v := range fr.Pix {
+		fr.Pix[i] = g.lut[v]
+	}
+}
+
+// Demosaic converts a BayerRGGB mosaic to RGB24 with bilinear interpolation
+// using a 3-line neighborhood — the classic line-buffered hardware approach.
+func Demosaic(bayer *frame.Frame) (*frame.Frame, error) {
+	if bayer.Format != frame.BayerRGGB {
+		return nil, fmt.Errorf("isp: demosaic input is %v, want BayerRGGB", bayer.Format)
+	}
+	w, h := bayer.W, bayer.H
+	out := frame.New(w, h, frame.RGB24)
+	at := func(x, y int) int {
+		if x < 0 {
+			x = 0
+		} else if x >= w {
+			x = w - 1
+		}
+		if y < 0 {
+			y = 0
+		} else if y >= h {
+			y = h - 1
+		}
+		return int(bayer.Pix[y*w+x])
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var r, g, b int
+			evenRow, evenCol := y%2 == 0, x%2 == 0
+			switch {
+			case evenRow && evenCol: // R site
+				r = at(x, y)
+				g = (at(x-1, y) + at(x+1, y) + at(x, y-1) + at(x, y+1)) / 4
+				b = (at(x-1, y-1) + at(x+1, y-1) + at(x-1, y+1) + at(x+1, y+1)) / 4
+			case !evenRow && !evenCol: // B site
+				b = at(x, y)
+				g = (at(x-1, y) + at(x+1, y) + at(x, y-1) + at(x, y+1)) / 4
+				r = (at(x-1, y-1) + at(x+1, y-1) + at(x-1, y+1) + at(x+1, y+1)) / 4
+			case evenRow: // G site on R row: R horizontal, B vertical
+				g = at(x, y)
+				r = (at(x-1, y) + at(x+1, y)) / 2
+				b = (at(x, y-1) + at(x, y+1)) / 2
+			default: // G site on B row: B horizontal, R vertical
+				g = at(x, y)
+				b = (at(x-1, y) + at(x+1, y)) / 2
+				r = (at(x, y-1) + at(x, y+1)) / 2
+			}
+			p := out.Pixel(x, y)
+			p[0], p[1], p[2] = uint8(r), uint8(g), uint8(b)
+		}
+	}
+	return out, nil
+}
+
+// RGBToYUV444 converts RGB24 to YUV444 with BT.601 full-range coefficients.
+func RGBToYUV444(rgb *frame.Frame) (*frame.Frame, error) {
+	if rgb.Format != frame.RGB24 {
+		return nil, fmt.Errorf("isp: YUV conversion input is %v, want RGB24", rgb.Format)
+	}
+	out := frame.New(rgb.W, rgb.H, frame.YUV444)
+	for i := 0; i < len(rgb.Pix); i += 3 {
+		r, g, b := int(rgb.Pix[i]), int(rgb.Pix[i+1]), int(rgb.Pix[i+2])
+		y := (299*r + 587*g + 114*b + 500) / 1000
+		u := (-169*r - 331*g + 500*b + 500) / 1000 // (500 rounds toward zero-ish)
+		v := (500*r - 419*g - 81*b + 500) / 1000
+		out.Pix[i] = uint8(clampInt(y, 0, 255))
+		out.Pix[i+1] = uint8(clampInt(u+128, 0, 255))
+		out.Pix[i+2] = uint8(clampInt(v+128, 0, 255))
+	}
+	return out, nil
+}
+
+// YUVToGray extracts the luma plane of a YUV444 frame.
+func YUVToGray(yuv *frame.Frame) (*frame.Frame, error) {
+	if yuv.Format != frame.YUV444 {
+		return nil, fmt.Errorf("isp: luma extraction input is %v, want YUV444", yuv.Format)
+	}
+	out := frame.New(yuv.W, yuv.H, frame.Gray8)
+	for i := 0; i < yuv.W*yuv.H; i++ {
+		out.Pix[i] = yuv.Pix[i*3]
+	}
+	return out, nil
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Pipeline chains the ISP stages the paper's platform uses and accounts for
+// processing throughput at the configured pixels-per-clock rate.
+type Pipeline struct {
+	// AE, when non-nil, runs mean-luma auto-exposure on the demosaiced
+	// frame (before gamma, as hardware AE operates on linear data).
+	AE *AutoExposure
+	// AWB enables gray-world white balance after demosaicing.
+	AWB bool
+	// GammaStage is applied after demosaicing; nil disables it.
+	GammaStage *Gamma
+	// OutputGray selects luma-only output (what the vision workloads
+	// consume); otherwise the pipeline emits YUV444.
+	OutputGray bool
+	// PixelsPerClock and ClockHz model stage throughput.
+	PixelsPerClock int
+	ClockHz        float64
+
+	pixelsProcessed int64
+}
+
+// NewPipeline returns the default pipeline: demosaic, gamma 2.2, gray
+// output, 2 px/clock at 300 MHz. AE/AWB are off by default so frames stay
+// deterministic functions of the scene; enable them for closed-loop
+// illumination experiments.
+func NewPipeline() *Pipeline {
+	return &Pipeline{GammaStage: NewGamma(2.2), OutputGray: true, PixelsPerClock: 2, ClockHz: 300e6}
+}
+
+// Process runs a Bayer frame through the pipeline.
+func (p *Pipeline) Process(bayer *frame.Frame) (*frame.Frame, error) {
+	rgb, err := Demosaic(bayer)
+	if err != nil {
+		return nil, err
+	}
+	if p.AWB {
+		if err := GrayWorldAWB(rgb); err != nil {
+			return nil, err
+		}
+	}
+	if p.AE != nil {
+		p.AE.Process(rgb)
+	}
+	if p.GammaStage != nil {
+		p.GammaStage.Apply(rgb)
+	}
+	p.pixelsProcessed += int64(bayer.W * bayer.H)
+	yuv, err := RGBToYUV444(rgb)
+	if err != nil {
+		return nil, err
+	}
+	if p.OutputGray {
+		return YUVToGray(yuv)
+	}
+	return yuv, nil
+}
+
+// PixelsProcessed returns the cumulative pixel count.
+func (p *Pipeline) PixelsProcessed() int64 { return p.pixelsProcessed }
+
+// FrameTime returns the streaming time for one w x h frame in seconds at
+// the pipeline's pixel rate.
+func (p *Pipeline) FrameTime(w, h int) float64 {
+	return float64(w) * float64(h) / (float64(p.PixelsPerClock) * p.ClockHz)
+}
+
+// MeetsRate reports whether the pipeline sustains w x h at fps.
+func (p *Pipeline) MeetsRate(w, h int, fps float64) bool {
+	return p.FrameTime(w, h) <= 1/fps
+}

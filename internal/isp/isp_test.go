@@ -1,0 +1,172 @@
+package isp
+
+import (
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/sensor"
+)
+
+func TestGammaLUT(t *testing.T) {
+	g := NewGamma(2.2)
+	fr := frame.New(2, 1, frame.Gray8)
+	fr.SetGray(0, 0, 0)
+	fr.SetGray(1, 0, 255)
+	g.Apply(fr)
+	if fr.Gray(0, 0) != 0 || fr.Gray(1, 0) != 255 {
+		t.Error("gamma must fix endpoints")
+	}
+	// Midtones brighten under 1/2.2 encoding.
+	fr2 := frame.New(1, 1, frame.Gray8)
+	fr2.SetGray(0, 0, 64)
+	g.Apply(fr2)
+	if fr2.Gray(0, 0) <= 64 {
+		t.Errorf("gamma(64) = %d, want > 64", fr2.Gray(0, 0))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("gamma 0 did not panic")
+		}
+	}()
+	NewGamma(0)
+}
+
+func TestDemosaicUniformGray(t *testing.T) {
+	// A uniform scene through the Bayer mosaic should demosaic back to the
+	// same uniform value on every channel.
+	s, err := sensor.New(sensor.Config{W: 8, H: 8, FPS: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scene := frame.New(8, 8, frame.RGB24)
+	scene.Fill(100)
+	bayer, err := s.Capture(scene)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rgb, err := Demosaic(bayer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range rgb.Pix {
+		if v != 100 {
+			t.Fatalf("byte %d = %d, want 100", i, v)
+		}
+	}
+}
+
+func TestDemosaicRecoversColor(t *testing.T) {
+	s, _ := sensor.New(sensor.Config{W: 16, H: 16, FPS: 30})
+	scene := frame.New(16, 16, frame.RGB24)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			scene.SetPixel(x, y, []byte{180, 90, 30})
+		}
+	}
+	bayer, _ := s.Capture(scene)
+	rgb, err := Demosaic(bayer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interior pixels should recover the constant color closely.
+	p := rgb.Pixel(8, 8)
+	for c, want := range []uint8{180, 90, 30} {
+		diff := int(p[c]) - int(want)
+		if diff < -3 || diff > 3 {
+			t.Errorf("channel %d = %d, want ~%d", c, p[c], want)
+		}
+	}
+}
+
+func TestDemosaicRejectsNonBayer(t *testing.T) {
+	if _, err := Demosaic(frame.New(4, 4, frame.Gray8)); err == nil {
+		t.Error("non-Bayer input accepted")
+	}
+}
+
+func TestRGBToYUVAndBack(t *testing.T) {
+	rgb := frame.New(2, 1, frame.RGB24)
+	rgb.SetPixel(0, 0, []byte{255, 255, 255})
+	rgb.SetPixel(1, 0, []byte{0, 0, 0})
+	yuv, err := RGBToYUV444(rgb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// White: Y=255, U,V ~128. Black: Y=0, U,V ~128.
+	w := yuv.Pixel(0, 0)
+	if w[0] < 254 || absDiff(w[1], 128) > 2 || absDiff(w[2], 128) > 2 {
+		t.Errorf("white YUV = %v", w)
+	}
+	b := yuv.Pixel(1, 0)
+	if b[0] != 0 || absDiff(b[1], 128) > 2 || absDiff(b[2], 128) > 2 {
+		t.Errorf("black YUV = %v", b)
+	}
+	gray, err := YUVToGray(yuv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gray.Gray(0, 0) < 254 || gray.Gray(1, 0) != 0 {
+		t.Error("luma extraction wrong")
+	}
+	if _, err := RGBToYUV444(gray); err == nil {
+		t.Error("wrong format accepted")
+	}
+	if _, err := YUVToGray(rgb); err == nil {
+		t.Error("wrong format accepted")
+	}
+}
+
+func absDiff(a uint8, b int) int {
+	d := int(a) - b
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	s, _ := sensor.New(sensor.Config{W: 16, H: 16, FPS: 30, Seed: 1})
+	scene := frame.New(16, 16, frame.RGB24)
+	scene.FillRect(4, 4, 8, 8, 200)
+	bayer, _ := s.Capture(scene)
+	p := NewPipeline()
+	out, err := p.Process(bayer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Format != frame.Gray8 || out.W != 16 {
+		t.Fatalf("output %v %dx%d", out.Format, out.W, out.H)
+	}
+	// Bright box should stay brighter than background after the pipeline.
+	if out.Gray(8, 8) <= out.Gray(0, 0) {
+		t.Error("contrast lost through pipeline")
+	}
+	if p.PixelsProcessed() != 256 {
+		t.Errorf("PixelsProcessed = %d", p.PixelsProcessed())
+	}
+	p.OutputGray = false
+	out2, err := p.Process(bayer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Format != frame.YUV444 {
+		t.Errorf("YUV output format = %v", out2.Format)
+	}
+	if _, err := p.Process(scene); err == nil {
+		t.Error("non-Bayer pipeline input accepted")
+	}
+}
+
+func TestPipelineTiming(t *testing.T) {
+	p := NewPipeline()
+	// Table 2 platform: 2 px/clock meets 4K60.
+	if !p.MeetsRate(3840, 2160, 60) {
+		t.Error("pipeline should sustain 4K60")
+	}
+	if p.MeetsRate(3840, 2160, 100) {
+		t.Error("pipeline should not sustain 4K100")
+	}
+	if ft := p.FrameTime(3840, 2160); ft <= 0 || ft > 1.0/60 {
+		t.Errorf("FrameTime = %v", ft)
+	}
+}

@@ -1,0 +1,159 @@
+// Package kalman provides a constant-velocity Kalman filter over 2D
+// positions, the prediction strategy the paper suggests for region selection
+// policies ("e.g., with Kalman filters", §4.3.1): given noisy observations
+// of a tracked object's center, it predicts where the region should be
+// placed on the next frame and how uncertain that placement is.
+package kalman
+
+import "math"
+
+// Filter2D tracks state [x, y, vx, vy] with a constant-velocity model.
+type Filter2D struct {
+	// x is the state estimate.
+	x [4]float64
+	// p is the state covariance (row-major 4x4).
+	p [16]float64
+	// q is process noise intensity; r is measurement noise variance.
+	q, r float64
+
+	initialized bool
+}
+
+// New returns a filter with process noise q (acceleration variance) and
+// measurement noise r (observation variance, pixels^2).
+func New(q, r float64) *Filter2D {
+	if q <= 0 || r <= 0 {
+		panic("kalman: noise parameters must be positive")
+	}
+	return &Filter2D{q: q, r: r}
+}
+
+// Initialized reports whether the filter has received an observation.
+func (f *Filter2D) Initialized() bool { return f.initialized }
+
+// State returns position and velocity estimates.
+func (f *Filter2D) State() (x, y, vx, vy float64) {
+	return f.x[0], f.x[1], f.x[2], f.x[3]
+}
+
+// Uncertainty returns the positional standard deviation (the geometric mean
+// of the x/y position sigmas), which policies use to inflate region margins.
+func (f *Filter2D) Uncertainty() float64 {
+	// sigma = sqrt(geometric mean of the x/y position variances).
+	return math.Pow(f.p[0]*f.p[5], 0.25)
+}
+
+// Predict advances the state one frame and returns the predicted position.
+func (f *Filter2D) Predict() (x, y float64) {
+	if !f.initialized {
+		return f.x[0], f.x[1]
+	}
+	// x' = F x with F = [[1,0,1,0],[0,1,0,1],[0,0,1,0],[0,0,0,1]].
+	f.x[0] += f.x[2]
+	f.x[1] += f.x[3]
+	// P' = F P F^T + Q.
+	var fp [16]float64
+	ff := [16]float64{
+		1, 0, 1, 0,
+		0, 1, 0, 1,
+		0, 0, 1, 0,
+		0, 0, 0, 1,
+	}
+	mul4(&fp, &ff, &f.p)
+	var ft [16]float64
+	transpose4(&ft, &ff)
+	var newP [16]float64
+	mul4(&newP, &fp, &ft)
+	// Q for constant-velocity with unit dt.
+	q := f.q
+	qm := [16]float64{
+		q / 4, 0, q / 2, 0,
+		0, q / 4, 0, q / 2,
+		q / 2, 0, q, 0,
+		0, q / 2, 0, q,
+	}
+	for i := range newP {
+		newP[i] += qm[i]
+	}
+	f.p = newP
+	return f.x[0], f.x[1]
+}
+
+// Update incorporates an observed position.
+func (f *Filter2D) Update(zx, zy float64) {
+	if !f.initialized {
+		f.x = [4]float64{zx, zy, 0, 0}
+		f.p = [16]float64{
+			f.r, 0, 0, 0,
+			0, f.r, 0, 0,
+			0, 0, 100, 0,
+			0, 0, 0, 100,
+		}
+		f.initialized = true
+		return
+	}
+	// Innovation.
+	yx := zx - f.x[0]
+	yy := zy - f.x[1]
+	// S = H P H^T + R reduces to the top-left 2x2 of P plus R on the
+	// diagonal since H selects position.
+	s00 := f.p[0] + f.r
+	s01 := f.p[1]
+	s10 := f.p[4]
+	s11 := f.p[5] + f.r
+	det := s00*s11 - s01*s10
+	if det == 0 {
+		return
+	}
+	i00, i01, i10, i11 := s11/det, -s01/det, -s10/det, s00/det
+	// K = P H^T S^-1: 4x2.
+	var k [8]float64
+	for r := 0; r < 4; r++ {
+		ph0 := f.p[r*4+0]
+		ph1 := f.p[r*4+1]
+		k[r*2+0] = ph0*i00 + ph1*i10
+		k[r*2+1] = ph0*i01 + ph1*i11
+	}
+	for r := 0; r < 4; r++ {
+		f.x[r] += k[r*2]*yx + k[r*2+1]*yy
+	}
+	// P = (I - K H) P.
+	var kh [16]float64
+	for r := 0; r < 4; r++ {
+		kh[r*4+0] = k[r*2+0]
+		kh[r*4+1] = k[r*2+1]
+	}
+	var ikh [16]float64
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			v := -kh[i*4+j]
+			if i == j {
+				v += 1
+			}
+			ikh[i*4+j] = v
+		}
+	}
+	var newP [16]float64
+	mul4(&newP, &ikh, &f.p)
+	f.p = newP
+}
+
+func mul4(dst, a, b *[16]float64) {
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			var s float64
+			for k := 0; k < 4; k++ {
+				s += a[i*4+k] * b[k*4+j]
+			}
+			dst[i*4+j] = s
+		}
+	}
+}
+
+func transpose4(dst, a *[16]float64) {
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			dst[i*4+j] = a[j*4+i]
+		}
+	}
+}

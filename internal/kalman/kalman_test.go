@@ -1,0 +1,108 @@
+package kalman
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, bad := range [][2]float64{{0, 1}, {1, 0}, {-1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v, %v) did not panic", bad[0], bad[1])
+				}
+			}()
+			New(bad[0], bad[1])
+		}()
+	}
+}
+
+func TestFirstUpdateInitializes(t *testing.T) {
+	f := New(0.1, 1)
+	if f.Initialized() {
+		t.Error("fresh filter reports initialized")
+	}
+	// Predict before init is a no-op at origin.
+	if x, y := f.Predict(); x != 0 || y != 0 {
+		t.Error("pre-init predict moved")
+	}
+	f.Update(10, 20)
+	if !f.Initialized() {
+		t.Error("not initialized after update")
+	}
+	x, y, vx, vy := f.State()
+	if x != 10 || y != 20 || vx != 0 || vy != 0 {
+		t.Errorf("state = %v %v %v %v", x, y, vx, vy)
+	}
+}
+
+func TestTracksConstantVelocity(t *testing.T) {
+	f := New(0.05, 1)
+	// Object moves at (2, -1) px/frame with noise.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 60; i++ {
+		zx := 2*float64(i) + rng.NormFloat64()*0.5
+		zy := -1*float64(i) + rng.NormFloat64()*0.5
+		f.Predict()
+		f.Update(zx, zy)
+	}
+	px, py := f.Predict()
+	// After 60 frames the prediction for frame 60 should be near (120, -60).
+	if math.Abs(px-120) > 3 || math.Abs(py+60) > 3 {
+		t.Errorf("prediction (%v, %v), want ~(120, -60)", px, py)
+	}
+	_, _, vx, vy := f.State()
+	if math.Abs(vx-2) > 0.3 || math.Abs(vy+1) > 0.3 {
+		t.Errorf("velocity (%v, %v), want ~(2, -1)", vx, vy)
+	}
+}
+
+func TestUncertaintyShrinksWithObservations(t *testing.T) {
+	f := New(0.05, 4)
+	f.Update(0, 0)
+	u0 := f.Uncertainty()
+	for i := 1; i <= 20; i++ {
+		f.Predict()
+		f.Update(float64(i), 0)
+	}
+	u1 := f.Uncertainty()
+	if u1 >= u0 {
+		t.Errorf("uncertainty %v did not shrink from %v", u1, u0)
+	}
+	if u1 <= 0 {
+		t.Error("uncertainty must stay positive")
+	}
+}
+
+func TestUncertaintyGrowsWithoutObservations(t *testing.T) {
+	f := New(0.5, 1)
+	f.Update(0, 0)
+	f.Predict()
+	f.Update(1, 0)
+	u0 := f.Uncertainty()
+	for i := 0; i < 10; i++ {
+		f.Predict() // coast without measurements
+	}
+	if f.Uncertainty() <= u0 {
+		t.Errorf("uncertainty %v did not grow from %v while coasting", f.Uncertainty(), u0)
+	}
+}
+
+func TestPredictionCoastsOnVelocity(t *testing.T) {
+	f := New(0.01, 0.5)
+	for i := 0; i < 30; i++ {
+		f.Predict()
+		f.Update(float64(3*i), 0)
+	}
+	// Coast 5 frames: position should advance ~3/frame.
+	x0, _, _, _ := f.State()
+	for i := 0; i < 5; i++ {
+		f.Predict()
+	}
+	x1, _, _, _ := f.State()
+	if math.Abs((x1-x0)-15) > 2 {
+		t.Errorf("coasted %v px in 5 frames, want ~15", x1-x0)
+	}
+}

@@ -1,0 +1,144 @@
+// Package memsim is the transaction-level DRAM traffic model behind the
+// paper's evaluation: a counter-based simulator of the framebuffer reads and
+// writes the vision pipeline issues, plus a footprint tracker for the
+// encoded frame buffers over time.
+//
+// The paper's own methodology (§5.3.1) is exactly this: "We build a
+// throughput simulator which takes the region label specification per frame
+// from the application and uses it to generate the memory access patterns of
+// pixel traffic. The simulator counts the number of pixel transactions and
+// directly reports the read/write pixel throughput in bytes/sec."
+package memsim
+
+import "fmt"
+
+// BurstBytes is the DMA burst size of the line-buffered framebuffer writer.
+// The encoder "collects a line of pixels before committing a burst DMA
+// write" (§4.1.2); bursts model DDR transaction granularity.
+const BurstBytes = 64
+
+// Counters accumulates byte and transaction counts on one memory interface.
+type Counters struct {
+	ReadBytes  int64
+	WriteBytes int64
+	ReadTxns   int64
+	WriteTxns  int64
+}
+
+// TotalBytes returns read plus write bytes.
+func (c Counters) TotalBytes() int64 { return c.ReadBytes + c.WriteBytes }
+
+// Add accumulates o into c.
+func (c *Counters) Add(o Counters) {
+	c.ReadBytes += o.ReadBytes
+	c.WriteBytes += o.WriteBytes
+	c.ReadTxns += o.ReadTxns
+	c.WriteTxns += o.WriteTxns
+}
+
+// DRAM is a transaction-counting DRAM model with a set of named regions
+// (framebuffers, metadata buffers) whose live sizes form the footprint
+// timeline.
+type DRAM struct {
+	counters Counters
+	buffers  map[string]int64 // live allocation sizes in bytes
+	peak     int64
+	timeline []int64 // footprint snapshot after each Tick
+}
+
+// NewDRAM returns an empty DRAM model.
+func NewDRAM() *DRAM {
+	return &DRAM{buffers: make(map[string]int64)}
+}
+
+// Write records a write of n bytes, rounded up to whole bursts for the
+// transaction count.
+func (d *DRAM) Write(n int) {
+	if n < 0 {
+		panic("memsim: negative write")
+	}
+	d.counters.WriteBytes += int64(n)
+	d.counters.WriteTxns += int64((n + BurstBytes - 1) / BurstBytes)
+}
+
+// Read records a read of n bytes.
+func (d *DRAM) Read(n int) {
+	if n < 0 {
+		panic("memsim: negative read")
+	}
+	d.counters.ReadBytes += int64(n)
+	d.counters.ReadTxns += int64((n + BurstBytes - 1) / BurstBytes)
+}
+
+// Counters returns the accumulated traffic counters.
+func (d *DRAM) Counters() Counters { return d.counters }
+
+// Alloc sets the live size of a named buffer (replacing any previous size;
+// a framebuffer slot being rewritten each frame keeps one allocation).
+func (d *DRAM) Alloc(name string, bytes int64) {
+	if bytes < 0 {
+		panic("memsim: negative allocation")
+	}
+	d.buffers[name] = bytes
+	if f := d.Footprint(); f > d.peak {
+		d.peak = f
+	}
+}
+
+// Free removes a named buffer.
+func (d *DRAM) Free(name string) { delete(d.buffers, name) }
+
+// Footprint returns the current live byte total across buffers.
+func (d *DRAM) Footprint() int64 {
+	var total int64
+	for _, b := range d.buffers {
+		total += b
+	}
+	return total
+}
+
+// PeakFootprint returns the maximum footprint observed.
+func (d *DRAM) PeakFootprint() int64 { return d.peak }
+
+// Tick snapshots the current footprint into the timeline (call once per
+// frame).
+func (d *DRAM) Tick() { d.timeline = append(d.timeline, d.Footprint()) }
+
+// Timeline returns the per-tick footprint history.
+func (d *DRAM) Timeline() []int64 { return d.timeline }
+
+// MeanFootprint returns the average footprint over the timeline, or 0 when
+// no ticks were recorded.
+func (d *DRAM) MeanFootprint() int64 {
+	if len(d.timeline) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, v := range d.timeline {
+		sum += v
+	}
+	return sum / int64(len(d.timeline))
+}
+
+// Throughput converts a byte count over a frame span at the given frame
+// rate into bytes per second.
+func Throughput(bytes int64, frames int, fps float64) float64 {
+	if frames <= 0 {
+		return 0
+	}
+	return float64(bytes) / float64(frames) * fps
+}
+
+// FormatBytes renders a byte count with binary-ish units for reports,
+// matching the MB figures in the paper (decimal megabytes).
+func FormatBytes(b int64) string {
+	switch {
+	case b >= 1e9:
+		return fmt.Sprintf("%.2f GB", float64(b)/1e9)
+	case b >= 1e6:
+		return fmt.Sprintf("%.2f MB", float64(b)/1e6)
+	case b >= 1e3:
+		return fmt.Sprintf("%.2f KB", float64(b)/1e3)
+	}
+	return fmt.Sprintf("%d B", b)
+}

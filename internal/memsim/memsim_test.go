@@ -1,0 +1,128 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{ReadBytes: 1, WriteBytes: 2, ReadTxns: 3, WriteTxns: 4}
+	b := Counters{ReadBytes: 10, WriteBytes: 20, ReadTxns: 30, WriteTxns: 40}
+	a.Add(b)
+	if a.ReadBytes != 11 || a.WriteBytes != 22 || a.ReadTxns != 33 || a.WriteTxns != 44 {
+		t.Errorf("Add = %+v", a)
+	}
+	if a.TotalBytes() != 33 {
+		t.Errorf("TotalBytes = %d", a.TotalBytes())
+	}
+}
+
+func TestDRAMReadWrite(t *testing.T) {
+	d := NewDRAM()
+	d.Write(100)
+	d.Read(64)
+	d.Read(65)
+	c := d.Counters()
+	if c.WriteBytes != 100 || c.ReadBytes != 129 {
+		t.Errorf("bytes = %+v", c)
+	}
+	if c.WriteTxns != 2 { // ceil(100/64)
+		t.Errorf("WriteTxns = %d, want 2", c.WriteTxns)
+	}
+	if c.ReadTxns != 3 { // 1 + ceil(65/64)=2
+		t.Errorf("ReadTxns = %d, want 3", c.ReadTxns)
+	}
+}
+
+func TestDRAMPanicsOnNegative(t *testing.T) {
+	d := NewDRAM()
+	for name, fn := range map[string]func(){
+		"Write": func() { d.Write(-1) },
+		"Read":  func() { d.Read(-1) },
+		"Alloc": func() { d.Alloc("x", -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s(-1) did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFootprintTracking(t *testing.T) {
+	d := NewDRAM()
+	d.Alloc("fb0", 1000)
+	d.Alloc("fb1", 500)
+	if d.Footprint() != 1500 {
+		t.Errorf("Footprint = %d", d.Footprint())
+	}
+	d.Tick()
+	d.Alloc("fb0", 200) // replaces, not accumulates
+	if d.Footprint() != 700 {
+		t.Errorf("after realloc Footprint = %d", d.Footprint())
+	}
+	d.Tick()
+	d.Free("fb1")
+	d.Tick()
+	if d.PeakFootprint() != 1500 {
+		t.Errorf("PeakFootprint = %d, want 1500", d.PeakFootprint())
+	}
+	tl := d.Timeline()
+	if len(tl) != 3 || tl[0] != 1500 || tl[1] != 700 || tl[2] != 200 {
+		t.Errorf("Timeline = %v", tl)
+	}
+	if d.MeanFootprint() != (1500+700+200)/3 {
+		t.Errorf("MeanFootprint = %d", d.MeanFootprint())
+	}
+}
+
+func TestMeanFootprintEmpty(t *testing.T) {
+	if NewDRAM().MeanFootprint() != 0 {
+		t.Error("empty timeline mean should be 0")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	// 30 frames of 1 MB at 30 fps = 30 MB/s.
+	if got := Throughput(30e6, 30, 30); got != 30e6 {
+		t.Errorf("Throughput = %v, want 30e6", got)
+	}
+	if Throughput(100, 0, 30) != 0 {
+		t.Error("zero frames should yield 0")
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		5:             "5 B",
+		1500:          "1.50 KB",
+		2_500_000:     "2.50 MB",
+		3_000_000_000: "3.00 GB",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// Property: txns are always ceil(bytes/burst) per call and bytes accumulate.
+func TestBurstRoundingProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		d := NewDRAM()
+		var bytes, txns int64
+		for _, s := range sizes {
+			d.Write(int(s))
+			bytes += int64(s)
+			txns += int64((int(s) + BurstBytes - 1) / BurstBytes)
+		}
+		c := d.Counters()
+		return c.WriteBytes == bytes && c.WriteTxns == txns
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

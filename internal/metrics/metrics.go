@@ -1,0 +1,241 @@
+// Package metrics implements the task accuracy metrics of the paper's
+// evaluation (§5.3.1): absolute trajectory error and relative pose error for
+// visual SLAM, and IoU-thresholded mean average precision for detection
+// tasks.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Pose2D is a planar pose (position plus heading), the trajectory element
+// of the simulated SLAM workload.
+type Pose2D struct {
+	X, Y  float64
+	Theta float64
+}
+
+// ATE returns the absolute trajectory error — the RMSE of positional error
+// between estimated and ground-truth trajectories of equal length — plus
+// the standard deviation of the per-frame errors (the paper reports
+// "43 ± 1.5 mm" style figures).
+func ATE(est, gt []Pose2D) (rmse, stddev float64, err error) {
+	if len(est) != len(gt) {
+		return 0, 0, fmt.Errorf("metrics: trajectory lengths differ: %d vs %d", len(est), len(gt))
+	}
+	if len(est) == 0 {
+		return 0, 0, fmt.Errorf("metrics: empty trajectories")
+	}
+	errs := make([]float64, len(est))
+	var sumSq float64
+	for i := range est {
+		e := math.Hypot(est[i].X-gt[i].X, est[i].Y-gt[i].Y)
+		errs[i] = e
+		sumSq += e * e
+	}
+	rmse = math.Sqrt(sumSq / float64(len(est)))
+	var mean float64
+	for _, e := range errs {
+		mean += e
+	}
+	mean /= float64(len(errs))
+	var varSum float64
+	for _, e := range errs {
+		varSum += (e - mean) * (e - mean)
+	}
+	stddev = math.Sqrt(varSum / float64(len(errs)))
+	return rmse, stddev, nil
+}
+
+// RPE returns the relative pose error over a fixed frame delta: the RMSE of
+// per-step translational error and the RMSE of per-step rotational error in
+// radians.
+func RPE(est, gt []Pose2D, delta int) (trans, rot float64, err error) {
+	if len(est) != len(gt) {
+		return 0, 0, fmt.Errorf("metrics: trajectory lengths differ: %d vs %d", len(est), len(gt))
+	}
+	if delta <= 0 || len(est) <= delta {
+		return 0, 0, fmt.Errorf("metrics: invalid delta %d for %d poses", delta, len(est))
+	}
+	var sumT, sumR float64
+	n := 0
+	for i := 0; i+delta < len(est); i++ {
+		dxE := est[i+delta].X - est[i].X
+		dyE := est[i+delta].Y - est[i].Y
+		dxG := gt[i+delta].X - gt[i].X
+		dyG := gt[i+delta].Y - gt[i].Y
+		te := math.Hypot(dxE-dxG, dyE-dyG)
+		re := angleDiff(est[i+delta].Theta-est[i].Theta, gt[i+delta].Theta-gt[i].Theta)
+		sumT += te * te
+		sumR += re * re
+		n++
+	}
+	return math.Sqrt(sumT / float64(n)), math.Sqrt(sumR / float64(n)), nil
+}
+
+// angleDiff returns the magnitude of the wrapped difference of two angles.
+func angleDiff(a, b float64) float64 {
+	d := math.Mod(a-b, 2*math.Pi)
+	if d > math.Pi {
+		d -= 2 * math.Pi
+	} else if d < -math.Pi {
+		d += 2 * math.Pi
+	}
+	return math.Abs(d)
+}
+
+// Detection is a scored bounding box prediction.
+type Detection struct {
+	X, Y, W, H int
+	Score      float64
+}
+
+// GroundTruth is an unscored bounding box.
+type GroundTruth struct {
+	X, Y, W, H int
+}
+
+// IoU returns the intersection-over-union of a detection and a ground
+// truth box.
+func IoU(d Detection, g GroundTruth) float64 {
+	x0 := max(d.X, g.X)
+	y0 := max(d.Y, g.Y)
+	x1 := min(d.X+d.W, g.X+g.W)
+	y1 := min(d.Y+d.H, g.Y+g.H)
+	if x1 <= x0 || y1 <= y0 {
+		return 0
+	}
+	inter := float64((x1 - x0) * (y1 - y0))
+	union := float64(d.W*d.H+g.W*g.H) - inter
+	return inter / union
+}
+
+// FrameResult pairs one frame's detections with its ground truths.
+type FrameResult struct {
+	Detections []Detection
+	Truths     []GroundTruth
+}
+
+// MAP computes mean average precision over a sequence at an IoU threshold:
+// detections across all frames are sorted by score; each is a true positive
+// when it overlaps an unmatched ground truth of its frame above the
+// threshold; AP is the area under the precision-recall curve (all-point
+// interpolation).
+func MAP(frames []FrameResult, iouThreshold float64) float64 {
+	type det struct {
+		frame int
+		d     Detection
+	}
+	var all []det
+	totalGT := 0
+	for fi, fr := range frames {
+		totalGT += len(fr.Truths)
+		for _, d := range fr.Detections {
+			all = append(all, det{fi, d})
+		}
+	}
+	if totalGT == 0 {
+		return 0
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].d.Score > all[j].d.Score })
+
+	matched := make([]map[int]bool, len(frames))
+	for i := range matched {
+		matched[i] = make(map[int]bool)
+	}
+	tps := make([]bool, len(all))
+	for i, a := range all {
+		bestIoU, bestJ := 0.0, -1
+		for j, g := range frames[a.frame].Truths {
+			if matched[a.frame][j] {
+				continue
+			}
+			if iou := IoU(a.d, g); iou > bestIoU {
+				bestIoU, bestJ = iou, j
+			}
+		}
+		if bestJ >= 0 && bestIoU >= iouThreshold {
+			matched[a.frame][bestJ] = true
+			tps[i] = true
+		}
+	}
+
+	// Precision-recall sweep.
+	var precisions, recalls []float64
+	tp, fp := 0, 0
+	for i := range all {
+		if tps[i] {
+			tp++
+		} else {
+			fp++
+		}
+		precisions = append(precisions, float64(tp)/float64(tp+fp))
+		recalls = append(recalls, float64(tp)/float64(totalGT))
+	}
+	if len(precisions) == 0 {
+		return 0
+	}
+	// Monotone precision envelope, then integrate over recall.
+	for i := len(precisions) - 2; i >= 0; i-- {
+		if precisions[i] < precisions[i+1] {
+			precisions[i] = precisions[i+1]
+		}
+	}
+	ap := 0.0
+	prevR := 0.0
+	for i := range recalls {
+		ap += precisions[i] * (recalls[i] - prevR)
+		prevR = recalls[i]
+	}
+	return ap
+}
+
+// DetectionAccuracy returns the paper's simpler TP/(TP+FP) detection
+// accuracy at an IoU threshold, greedily matching per frame.
+func DetectionAccuracy(frames []FrameResult, iouThreshold float64) float64 {
+	tp, total := 0, 0
+	for _, fr := range frames {
+		used := make([]bool, len(fr.Truths))
+		for _, d := range fr.Detections {
+			total++
+			for j, g := range fr.Truths {
+				if !used[j] && IoU(d, g) >= iouThreshold {
+					used[j] = true
+					tp++
+					break
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(tp) / float64(total)
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the population standard deviation of xs.
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		s += (x - m) * (x - m)
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}

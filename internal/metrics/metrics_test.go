@@ -1,0 +1,179 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestATE(t *testing.T) {
+	gt := []Pose2D{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}}
+	// Perfect estimate.
+	rmse, std, err := ATE(gt, gt)
+	if err != nil || rmse != 0 || std != 0 {
+		t.Errorf("perfect ATE = %v±%v, %v", rmse, std, err)
+	}
+	// Constant 3-4-5 offset: rmse 5, stddev 0.
+	est := []Pose2D{{X: 3, Y: 4}, {X: 4, Y: 4}, {X: 5, Y: 4}}
+	rmse, std, err = ATE(est, gt)
+	if err != nil || math.Abs(rmse-5) > 1e-12 || std > 1e-12 {
+		t.Errorf("offset ATE = %v±%v", rmse, std)
+	}
+	if _, _, err := ATE(est[:2], gt); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, err := ATE(nil, nil); err == nil {
+		t.Error("empty trajectories accepted")
+	}
+}
+
+func TestATEStddev(t *testing.T) {
+	gt := []Pose2D{{}, {}, {}, {}}
+	est := []Pose2D{{X: 0}, {X: 2}, {X: 0}, {X: 2}}
+	_, std, err := ATE(est, gt)
+	if err != nil || math.Abs(std-1) > 1e-12 {
+		t.Errorf("stddev = %v, want 1", std)
+	}
+}
+
+func TestRPE(t *testing.T) {
+	gt := []Pose2D{{X: 0}, {X: 1}, {X: 2}, {X: 3}}
+	// Estimate drifts: steps of 1.5 instead of 1.
+	est := []Pose2D{{X: 0}, {X: 1.5}, {X: 3}, {X: 4.5}}
+	trans, rot, err := RPE(est, gt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(trans-0.5) > 1e-12 {
+		t.Errorf("trans RPE = %v, want 0.5", trans)
+	}
+	if rot != 0 {
+		t.Errorf("rot RPE = %v, want 0", rot)
+	}
+	if _, _, err := RPE(est, gt, 0); err == nil {
+		t.Error("delta 0 accepted")
+	}
+	if _, _, err := RPE(est, gt, 4); err == nil {
+		t.Error("delta >= len accepted")
+	}
+	if _, _, err := RPE(est[:2], gt, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestRPERotationWrap(t *testing.T) {
+	// Heading crossing the ±pi seam should not inflate the error.
+	gt := []Pose2D{{Theta: math.Pi - 0.1}, {Theta: -math.Pi + 0.1}}
+	est := []Pose2D{{Theta: math.Pi - 0.1}, {Theta: -math.Pi + 0.1}}
+	_, rot, err := RPE(est, gt, 1)
+	if err != nil || rot > 1e-12 {
+		t.Errorf("wrapped rot RPE = %v, want 0", rot)
+	}
+	est2 := []Pose2D{{Theta: 0}, {Theta: 0.2}}
+	gt2 := []Pose2D{{Theta: 0}, {Theta: 0}}
+	_, rot2, _ := RPE(est2, gt2, 1)
+	if math.Abs(rot2-0.2) > 1e-12 {
+		t.Errorf("rot RPE = %v, want 0.2", rot2)
+	}
+}
+
+func TestIoU(t *testing.T) {
+	d := Detection{X: 0, Y: 0, W: 10, H: 10}
+	if IoU(d, GroundTruth{X: 0, Y: 0, W: 10, H: 10}) != 1 {
+		t.Error("identical IoU != 1")
+	}
+	if IoU(d, GroundTruth{X: 100, Y: 0, W: 10, H: 10}) != 0 {
+		t.Error("disjoint IoU != 0")
+	}
+	got := IoU(d, GroundTruth{X: 0, Y: 5, W: 10, H: 10})
+	if math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("half-overlap IoU = %v, want 1/3", got)
+	}
+}
+
+func TestMAPPerfect(t *testing.T) {
+	frames := []FrameResult{
+		{
+			Detections: []Detection{{X: 0, Y: 0, W: 10, H: 10, Score: 0.9}},
+			Truths:     []GroundTruth{{X: 0, Y: 0, W: 10, H: 10}},
+		},
+		{
+			Detections: []Detection{{X: 5, Y: 5, W: 8, H: 8, Score: 0.8}},
+			Truths:     []GroundTruth{{X: 5, Y: 5, W: 8, H: 8}},
+		},
+	}
+	if got := MAP(frames, 0.5); got != 1 {
+		t.Errorf("perfect mAP = %v", got)
+	}
+	if got := DetectionAccuracy(frames, 0.5); got != 1 {
+		t.Errorf("perfect accuracy = %v", got)
+	}
+}
+
+func TestMAPMisses(t *testing.T) {
+	frames := []FrameResult{
+		{
+			Detections: []Detection{
+				{X: 0, Y: 0, W: 10, H: 10, Score: 0.9},   // TP
+				{X: 50, Y: 50, W: 10, H: 10, Score: 0.8}, // FP
+			},
+			Truths: []GroundTruth{
+				{X: 0, Y: 0, W: 10, H: 10},
+				{X: 80, Y: 80, W: 10, H: 10}, // missed
+			},
+		},
+	}
+	got := MAP(frames, 0.5)
+	// One TP of two GT at precision 1 for the first detection: AP = 0.5.
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("mAP = %v, want 0.5", got)
+	}
+	acc := DetectionAccuracy(frames, 0.5)
+	if math.Abs(acc-0.5) > 1e-12 {
+		t.Errorf("accuracy = %v, want 0.5", acc)
+	}
+}
+
+func TestMAPNoDoubleMatch(t *testing.T) {
+	// Two detections on one ground truth: only one TP.
+	frames := []FrameResult{
+		{
+			Detections: []Detection{
+				{X: 0, Y: 0, W: 10, H: 10, Score: 0.9},
+				{X: 1, Y: 1, W: 10, H: 10, Score: 0.8},
+			},
+			Truths: []GroundTruth{{X: 0, Y: 0, W: 10, H: 10}},
+		},
+	}
+	got := MAP(frames, 0.5)
+	if got != 1 { // recall reaches 1 with the first detection at precision 1
+		t.Errorf("mAP = %v, want 1", got)
+	}
+	acc := DetectionAccuracy(frames, 0.5)
+	if math.Abs(acc-0.5) > 1e-12 {
+		t.Errorf("accuracy = %v, want 0.5 (second det is FP)", acc)
+	}
+}
+
+func TestMAPEmpty(t *testing.T) {
+	if MAP(nil, 0.5) != 0 {
+		t.Error("empty mAP != 0")
+	}
+	if MAP([]FrameResult{{Truths: []GroundTruth{{W: 1, H: 1}}}}, 0.5) != 0 {
+		t.Error("no detections mAP != 0")
+	}
+	if DetectionAccuracy(nil, 0.5) != 0 {
+		t.Error("empty accuracy != 0")
+	}
+}
+
+func TestMeanStddev(t *testing.T) {
+	if Mean(nil) != 0 || Stddev(nil) != 0 || Stddev([]float64{5}) != 0 {
+		t.Error("degenerate stats wrong")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("mean wrong")
+	}
+	if math.Abs(Stddev([]float64{1, 3})-1) > 1e-12 {
+		t.Errorf("stddev = %v, want 1", Stddev([]float64{1, 3}))
+	}
+}

@@ -1,0 +1,84 @@
+package policy
+
+import "repro/internal/region"
+
+// AdaptiveCycle implements the cycle-length refinement the paper sketches
+// in §4.3.1/§7: "The cycle length could also be adaptive, for example, by
+// using the motion in the frame or other semantics to guide the need for
+// more frequent or less frequent full captures." The policy shortens the
+// cycle under high scene motion (tracking error accumulates quickly, so
+// full captures must come sooner) and stretches it in static scenes.
+type AdaptiveCycle struct {
+	// MinCycle and MaxCycle bound the adaptation.
+	MinCycle, MaxCycle int
+	// FastMotion is the per-frame displacement (px) at which the cycle
+	// clamps to MinCycle; zero motion maps to MaxCycle.
+	FastMotion float64
+	// Source provides intermediate-frame labels.
+	Source Source
+	// W, H are the frame dimensions.
+	W, H int
+
+	cycle        int
+	lastFull     int
+	observedDisp float64
+	started      bool
+}
+
+// NewAdaptiveCycle returns an adaptive policy starting at MaxCycle.
+func NewAdaptiveCycle(minCycle, maxCycle, w, h int, fastMotion float64, src Source) *AdaptiveCycle {
+	if minCycle < 1 || maxCycle < minCycle {
+		panic("policy: need 1 <= minCycle <= maxCycle")
+	}
+	if fastMotion <= 0 {
+		panic("policy: fastMotion must be positive")
+	}
+	return &AdaptiveCycle{
+		MinCycle: minCycle, MaxCycle: maxCycle,
+		FastMotion: fastMotion,
+		Source:     src,
+		W:          w, H: h,
+		cycle: maxCycle,
+	}
+}
+
+// ObserveMotion feeds the policy the scene motion estimate for the current
+// frame (e.g. mean matched-feature displacement). Call once per frame.
+func (a *AdaptiveCycle) ObserveMotion(dispPxPerFrame float64) {
+	if dispPxPerFrame < 0 {
+		dispPxPerFrame = 0
+	}
+	// Exponential smoothing keeps the cycle from thrashing.
+	const alpha = 0.3
+	a.observedDisp = (1-alpha)*a.observedDisp + alpha*dispPxPerFrame
+	frac := a.observedDisp / a.FastMotion
+	if frac > 1 {
+		frac = 1
+	}
+	a.cycle = a.MaxCycle - int(float64(a.MaxCycle-a.MinCycle)*frac+0.5)
+}
+
+// CurrentCycle returns the adapted cycle length.
+func (a *AdaptiveCycle) CurrentCycle() int { return a.cycle }
+
+// IsFullCapture reports whether frameIndex triggers a full capture under
+// the current cycle.
+func (a *AdaptiveCycle) IsFullCapture(frameIndex int) bool {
+	if !a.started {
+		return true
+	}
+	return frameIndex-a.lastFull >= a.cycle
+}
+
+// Labels returns the capture workload for the frame.
+func (a *AdaptiveCycle) Labels(frameIndex int) region.List {
+	if a.IsFullCapture(frameIndex) {
+		a.lastFull = frameIndex
+		a.started = true
+		return region.List{region.FullFrame(a.W, a.H)}
+	}
+	if a.Source == nil {
+		return nil
+	}
+	return a.Source.Labels(frameIndex)
+}

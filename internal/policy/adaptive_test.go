@@ -1,0 +1,90 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/region"
+)
+
+func TestAdaptiveCycleValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"minZero":  func() { NewAdaptiveCycle(0, 10, 100, 100, 4, nil) },
+		"inverted": func() { NewAdaptiveCycle(10, 5, 100, 100, 4, nil) },
+		"badFast":  func() { NewAdaptiveCycle(5, 10, 100, 100, 0, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAdaptiveCycleShrinksUnderMotion(t *testing.T) {
+	a := NewAdaptiveCycle(5, 20, 320, 240, 4, nil)
+	if a.CurrentCycle() != 20 {
+		t.Errorf("initial cycle = %d, want MaxCycle", a.CurrentCycle())
+	}
+	// Sustained fast motion drives the cycle to the minimum.
+	for i := 0; i < 30; i++ {
+		a.ObserveMotion(10)
+	}
+	if a.CurrentCycle() != 5 {
+		t.Errorf("cycle under fast motion = %d, want 5", a.CurrentCycle())
+	}
+	// A static stretch relaxes it back.
+	for i := 0; i < 50; i++ {
+		a.ObserveMotion(0)
+	}
+	if a.CurrentCycle() != 20 {
+		t.Errorf("cycle after static stretch = %d, want 20", a.CurrentCycle())
+	}
+	// Negative motion is clamped.
+	a.ObserveMotion(-5)
+	if a.CurrentCycle() < 5 || a.CurrentCycle() > 20 {
+		t.Errorf("cycle out of bounds: %d", a.CurrentCycle())
+	}
+}
+
+func TestAdaptiveCycleFullCaptureCadence(t *testing.T) {
+	src := SourceFunc(func(int) region.List {
+		return region.List{{X: 0, Y: 0, W: 10, H: 10, Stride: 1, Skip: 1}}
+	})
+	a := NewAdaptiveCycle(3, 6, 320, 240, 4, src)
+	fulls := 0
+	for f := 0; f < 24; f++ {
+		a.ObserveMotion(10) // fast: cycle 3
+		ls := a.Labels(f)
+		if len(ls) == 1 && ls[0].W == 320 {
+			fulls++
+		}
+	}
+	// Cycle 3 over 24 frames: a full capture roughly every 3 frames.
+	if fulls < 7 || fulls > 9 {
+		t.Errorf("full captures = %d, want ~8 at cycle 3", fulls)
+	}
+
+	b := NewAdaptiveCycle(3, 6, 320, 240, 4, src)
+	fulls = 0
+	for f := 0; f < 24; f++ {
+		b.ObserveMotion(0) // static: cycle 6
+		ls := b.Labels(f)
+		if len(ls) == 1 && ls[0].W == 320 {
+			fulls++
+		}
+	}
+	if fulls < 4 || fulls > 5 {
+		t.Errorf("full captures = %d, want ~4 at cycle 6", fulls)
+	}
+}
+
+func TestAdaptiveCycleNilSource(t *testing.T) {
+	a := NewAdaptiveCycle(2, 4, 100, 100, 4, nil)
+	a.Labels(0) // full
+	if got := a.Labels(1); got != nil {
+		t.Errorf("nil source intermediate labels = %v", got)
+	}
+}

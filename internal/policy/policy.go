@@ -1,0 +1,322 @@
+// Package policy implements region label selection policies (§4.3.1): the
+// logic that converts what the vision task knows — feature positions and
+// attributes, tracked boxes, motion — into the rhythmic pixel region labels
+// for the next frame.
+//
+// Policies follow the paper's example: feature "size" guides region width
+// and height (with margin for frame-to-frame displacement), the "octave"
+// attribute guides stride, and feature velocity guides the temporal skip
+// rate; a cycle-length parameter inserts periodic full-frame captures so
+// objects entering the scene are discovered.
+package policy
+
+import (
+	"math"
+
+	"repro/internal/features"
+	"repro/internal/kalman"
+	"repro/internal/region"
+	"repro/internal/synth"
+)
+
+// FeatureParams maps keypoint attributes to region parameters.
+type FeatureParams struct {
+	// SizeMargin scales the keypoint size into the region side length,
+	// leaving slack for frame-to-frame displacement.
+	SizeMargin float64
+	// MinSide and MaxSide clamp region dimensions (Table 4 observes
+	// 70x70 to 230x230 for V-SLAM at 4K).
+	MinSide, MaxSide int
+	// OctaveStride[i] is the stride for octave i (clamped to the last
+	// entry); coarser octaves tolerate coarser sampling.
+	OctaveStride []int
+	// MaxSkip caps the temporal skip of slow regions.
+	MaxSkip int
+	// FastDisplacement is the per-frame motion (px) at or above which a
+	// region is sampled every frame.
+	FastDisplacement float64
+	// MaxRegions caps the emitted label count (encoder register capacity);
+	// 0 means unlimited.
+	MaxRegions int
+}
+
+// DefaultFeatureParams matches the evaluation configuration.
+func DefaultFeatureParams() FeatureParams {
+	return FeatureParams{
+		SizeMargin:       1.8,
+		MinSide:          20,
+		MaxSide:          230,
+		OctaveStride:     []int{1, 2, 2, 4, 4, 4},
+		MaxSkip:          3,
+		FastDisplacement: 4,
+		MaxRegions:       1600,
+	}
+}
+
+// FromKeypoints builds region labels around detected features. meanDisp is
+// the matched-feature displacement estimate for the frame (px/frame), used
+// for the temporal rate of every region; frameW/frameH clip the labels.
+// For per-feature temporal rates, use FromKeypointsVel.
+func FromKeypoints(kps []features.KeyPoint, meanDisp float64, frameW, frameH int, p FeatureParams) region.List {
+	return FromKeypointsVel(kps, nil, meanDisp, frameW, frameH, p)
+}
+
+// phaseFor staggers a region's rhythm within its skip interval by a stable
+// spatial hash, so different slow regions sample on different frames — the
+// "rhythmic" staircase of Fig. 1c. Without staggering, a scene whose
+// regions all share one skip value would store zero pixels on off-phase
+// frames and a burst on others.
+func phaseFor(x, y, skip int) int {
+	if skip <= 1 {
+		return 0
+	}
+	h := (x >> 4) + (y>>4)*31
+	return ((h % skip) + skip) % skip
+}
+
+// FromKeypointsVel builds region labels around detected features using
+// per-feature velocities: disps is aligned with kps (negative entries mean
+// "unknown", falling back to fallbackDisp). This is the paper's full
+// per-region temporal mapping — each feature's own frame-to-frame movement
+// sets its region's skip rate.
+func FromKeypointsVel(kps []features.KeyPoint, disps []float64, fallbackDisp float64, frameW, frameH int, p FeatureParams) region.List {
+	var out region.List
+	for i, kp := range kps {
+		disp := fallbackDisp
+		if disps != nil && i < len(disps) && disps[i] >= 0 {
+			disp = disps[i]
+		}
+		skip := skipForDisplacement(disp, p)
+		side := int(kp.Size * p.SizeMargin)
+		if side < p.MinSide {
+			side = p.MinSide
+		}
+		if p.MaxSide > 0 && side > p.MaxSide {
+			side = p.MaxSide
+		}
+		stride := 1
+		if len(p.OctaveStride) > 0 {
+			idx := kp.Octave
+			if idx >= len(p.OctaveStride) {
+				idx = len(p.OctaveStride) - 1
+			}
+			if idx < 0 {
+				idx = 0
+			}
+			stride = p.OctaveStride[idx]
+		}
+		x0, y0 := int(kp.X)-side/2, int(kp.Y)-side/2
+		l, ok := region.Clip(region.Label{
+			X:      x0,
+			Y:      y0,
+			W:      side,
+			H:      side,
+			Stride: stride,
+			Skip:   skip,
+			Phase:  phaseFor(x0, y0, skip),
+		}, frameW, frameH)
+		if ok {
+			out = append(out, l)
+		}
+		if p.MaxRegions > 0 && len(out) >= p.MaxRegions {
+			break
+		}
+	}
+	return out.SortByY()
+}
+
+// skipForDisplacement maps per-frame motion to a temporal skip: fast
+// regions are sampled every frame; slow ones skip up to MaxSkip.
+func skipForDisplacement(disp float64, p FeatureParams) int {
+	if p.MaxSkip <= 1 || p.FastDisplacement <= 0 {
+		return 1
+	}
+	if disp >= p.FastDisplacement {
+		return 1
+	}
+	// Linear in slowness: disp 0 → MaxSkip, disp fast → 1.
+	skip := 1 + int(float64(p.MaxSkip-1)*(1-disp/p.FastDisplacement)+0.5)
+	if skip > p.MaxSkip {
+		skip = p.MaxSkip
+	}
+	if skip < 1 {
+		skip = 1
+	}
+	return skip
+}
+
+// BoxParams maps tracked boxes to region parameters (face and pose tasks).
+type BoxParams struct {
+	// Margin inflates the box on each side by this fraction of its size.
+	Margin float64
+	// StrideForSide returns the stride for a given box side length; the
+	// default uses stride 1 under 128 px and 2 above (Table 4 face rows).
+	StrideForSide func(side int) int
+	// MaxSkip and FastDisplacement act as in FeatureParams.
+	MaxSkip          int
+	FastDisplacement float64
+}
+
+// DefaultBoxParams matches the evaluation configuration.
+func DefaultBoxParams() BoxParams {
+	return BoxParams{
+		Margin:           0.35,
+		MaxSkip:          2,
+		FastDisplacement: 3,
+	}
+}
+
+// FromBoxes builds region labels around tracked boxes. velocities[i] is the
+// per-frame motion of box i in pixels (pass nil for unknown → skip 1).
+func FromBoxes(boxes []synth.Box, velocities []float64, frameW, frameH int, p BoxParams) region.List {
+	strideFor := p.StrideForSide
+	if strideFor == nil {
+		strideFor = func(side int) int {
+			if side >= 96 {
+				return 2
+			}
+			return 1
+		}
+	}
+	var out region.List
+	for i, b := range boxes {
+		mx := int(float64(b.W) * p.Margin)
+		my := int(float64(b.H) * p.Margin)
+		skip := 1
+		if velocities != nil && i < len(velocities) {
+			skip = skipForDisplacement(velocities[i], FeatureParams{MaxSkip: p.MaxSkip, FastDisplacement: p.FastDisplacement})
+		}
+		side := b.W
+		if b.H > side {
+			side = b.H
+		}
+		l, ok := region.Clip(region.Label{
+			X:      b.X - mx,
+			Y:      b.Y - my,
+			W:      b.W + 2*mx,
+			H:      b.H + 2*my,
+			Stride: strideFor(side),
+			Skip:   skip,
+			Phase:  phaseFor(b.X-mx, b.Y-my, skip),
+		}, frameW, frameH)
+		if ok {
+			out = append(out, l)
+		}
+	}
+	return out.SortByY()
+}
+
+// Source supplies region labels for intermediate (non-full-capture) frames,
+// typically closing the loop from the vision task's previous-frame results.
+type Source interface {
+	// Labels returns the region labels for the given frame index.
+	Labels(frameIndex int) region.List
+}
+
+// SourceFunc adapts a function to the Source interface.
+type SourceFunc func(frameIndex int) region.List
+
+// Labels implements Source.
+func (f SourceFunc) Labels(frameIndex int) region.List { return f(frameIndex) }
+
+// Cycle is the paper's example policy (Fig. 7): a full-frame capture every
+// CycleLength frames for scene coverage, with Source-provided regions on
+// the intermediate frames.
+type Cycle struct {
+	// CycleLength is the number of frames between full captures (>= 1).
+	CycleLength int
+	// Source provides intermediate-frame labels.
+	Source Source
+	// W, H are the frame dimensions.
+	W, H int
+}
+
+// NewCycle returns a cycle policy.
+func NewCycle(cycleLength, w, h int, src Source) *Cycle {
+	if cycleLength < 1 {
+		panic("policy: cycle length must be >= 1")
+	}
+	return &Cycle{CycleLength: cycleLength, Source: src, W: w, H: h}
+}
+
+// IsFullCapture reports whether the frame is a full-frame capture.
+func (c *Cycle) IsFullCapture(frameIndex int) bool {
+	return frameIndex%c.CycleLength == 0
+}
+
+// Labels returns the frame's capture workload.
+func (c *Cycle) Labels(frameIndex int) region.List {
+	if c.IsFullCapture(frameIndex) {
+		return region.List{region.FullFrame(c.W, c.H)}
+	}
+	if c.Source == nil {
+		return nil
+	}
+	return c.Source.Labels(frameIndex)
+}
+
+// Predictive wraps tracked boxes in per-object Kalman filters and emits
+// regions centered on the *predicted* next-frame positions, with margins
+// inflated by filter uncertainty — the paper's suggested Kalman-based
+// policy refinement.
+type Predictive struct {
+	W, H   int
+	Params BoxParams
+	// Q and R are the Kalman process/measurement noise parameters.
+	Q, R float64
+
+	filters []*kalman.Filter2D
+	sizes   []synth.Box
+}
+
+// NewPredictive returns a predictive policy for the given frame size.
+func NewPredictive(w, h int, p BoxParams) *Predictive {
+	return &Predictive{W: w, H: h, Params: p, Q: 0.5, R: 2}
+}
+
+// Observe updates the filters with this frame's tracked boxes. Object
+// identity is positional: filters are matched to boxes by index, and the
+// filter set is resized to match.
+func (p *Predictive) Observe(boxes []synth.Box) {
+	for len(p.filters) < len(boxes) {
+		p.filters = append(p.filters, kalman.New(p.Q, p.R))
+	}
+	p.filters = p.filters[:len(boxes)]
+	p.sizes = append(p.sizes[:0], boxes...)
+	for i, b := range boxes {
+		cx, cy := b.Center()
+		p.filters[i].Predict()
+		p.filters[i].Update(cx, cy)
+	}
+}
+
+// Labels implements Source: regions around predicted next positions.
+func (p *Predictive) Labels(_ int) region.List {
+	var out region.List
+	for i, f := range p.filters {
+		if !f.Initialized() {
+			continue
+		}
+		x, y, vx, vy := f.State()
+		px, py := x+vx, y+vy // one-frame-ahead prediction
+		b := p.sizes[i]
+		inflate := int(f.Uncertainty()*2) + int(float64(max(b.W, b.H))*p.Params.Margin)
+		speed := math.Hypot(vx, vy)
+		skip := skipForDisplacement(speed, FeatureParams{MaxSkip: p.Params.MaxSkip, FastDisplacement: p.Params.FastDisplacement})
+		x0 := int(px) - b.W/2 - inflate
+		y0 := int(py) - b.H/2 - inflate
+		l, ok := region.Clip(region.Label{
+			X:      x0,
+			Y:      y0,
+			W:      b.W + 2*inflate,
+			H:      b.H + 2*inflate,
+			Stride: 1,
+			Skip:   skip,
+			Phase:  phaseFor(x0, y0, skip),
+		}, p.W, p.H)
+		if ok {
+			out = append(out, l)
+		}
+	}
+	return out.SortByY()
+}

@@ -1,0 +1,272 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/features"
+	"repro/internal/region"
+	"repro/internal/synth"
+)
+
+func TestFromKeypointsMapping(t *testing.T) {
+	p := DefaultFeatureParams()
+	kps := []features.KeyPoint{
+		{X: 100, Y: 100, Octave: 0, Size: 31}, // fine octave → stride 1
+		{X: 300, Y: 200, Octave: 4, Size: 80}, // coarse octave → stride 4
+	}
+	ls := FromKeypoints(kps, 10 /* fast */, 640, 480, p)
+	if len(ls) != 2 {
+		t.Fatalf("got %d labels", len(ls))
+	}
+	if err := ls.Validate(640, 480); err != nil {
+		t.Fatal(err)
+	}
+	// Fast motion → skip 1 everywhere.
+	for _, l := range ls {
+		if l.Skip != 1 {
+			t.Errorf("fast motion skip = %d, want 1", l.Skip)
+		}
+	}
+	var fine, coarse int
+	for _, l := range ls {
+		if l.W < 100 {
+			fine = l.Stride
+		} else {
+			coarse = l.Stride
+		}
+	}
+	if fine != 1 || coarse != 4 {
+		t.Errorf("strides fine=%d coarse=%d, want 1/4", fine, coarse)
+	}
+}
+
+func TestFromKeypointsSlowMotionSkips(t *testing.T) {
+	p := DefaultFeatureParams()
+	kps := []features.KeyPoint{{X: 100, Y: 100, Size: 31}}
+	ls := FromKeypoints(kps, 0 /* static */, 640, 480, p)
+	if ls[0].Skip != p.MaxSkip {
+		t.Errorf("static skip = %d, want %d", ls[0].Skip, p.MaxSkip)
+	}
+	mid := FromKeypoints(kps, p.FastDisplacement/2, 640, 480, p)
+	if mid[0].Skip <= 1 || mid[0].Skip > p.MaxSkip {
+		t.Errorf("mid-speed skip = %d, want in (1, %d]", mid[0].Skip, p.MaxSkip)
+	}
+}
+
+func TestFromKeypointsSizeClamps(t *testing.T) {
+	p := DefaultFeatureParams()
+	kps := []features.KeyPoint{
+		{X: 320, Y: 240, Size: 2},   // tiny → MinSide
+		{X: 320, Y: 240, Size: 500}, // huge → MaxSide
+	}
+	ls := FromKeypoints(kps, 5, 640, 480, p)
+	if ls[0].W != p.MaxSide && ls[1].W != p.MaxSide {
+		t.Errorf("no label clamped to MaxSide: %v", ls)
+	}
+	foundMin := false
+	for _, l := range ls {
+		if l.W == p.MinSide || l.H == p.MinSide {
+			foundMin = true
+		}
+	}
+	if !foundMin {
+		t.Errorf("no label clamped to MinSide: %v", ls)
+	}
+}
+
+func TestFromKeypointsCapsRegions(t *testing.T) {
+	p := DefaultFeatureParams()
+	p.MaxRegions = 5
+	var kps []features.KeyPoint
+	for i := 0; i < 50; i++ {
+		kps = append(kps, features.KeyPoint{X: float64(10 + i*10), Y: 100, Size: 31})
+	}
+	ls := FromKeypoints(kps, 5, 640, 480, p)
+	if len(ls) != 5 {
+		t.Errorf("got %d labels, want cap 5", len(ls))
+	}
+}
+
+func TestFromKeypointsClipsAtBorders(t *testing.T) {
+	p := DefaultFeatureParams()
+	kps := []features.KeyPoint{{X: 2, Y: 2, Size: 31}} // near corner
+	ls := FromKeypoints(kps, 5, 640, 480, p)
+	if len(ls) != 1 {
+		t.Fatalf("border keypoint produced %d labels", len(ls))
+	}
+	if err := ls.Validate(640, 480); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromBoxes(t *testing.T) {
+	p := DefaultBoxParams()
+	boxes := []synth.Box{
+		{X: 100, Y: 100, W: 60, H: 75},
+		{X: 300, Y: 200, W: 200, H: 150}, // large → stride 2
+	}
+	ls := FromBoxes(boxes, []float64{5, 0.5}, 640, 480, p)
+	if len(ls) != 2 {
+		t.Fatalf("got %d labels", len(ls))
+	}
+	if err := ls.Validate(640, 480); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range ls {
+		if l.W <= 60 && l.H <= 75 {
+			t.Errorf("margin not applied: %v", l)
+		}
+	}
+	var small, large *int
+	for i := range ls {
+		if ls[i].W < 200 {
+			small = &ls[i].Stride
+		} else {
+			large = &ls[i].Stride
+		}
+	}
+	if small == nil || large == nil || *small != 1 || *large != 2 {
+		t.Errorf("stride mapping wrong: %v", ls)
+	}
+	// Fast box skips less than slow box.
+	fast, slow := 0, 0
+	for _, l := range ls {
+		if l.W < 200 {
+			fast = l.Skip
+		} else {
+			slow = l.Skip
+		}
+	}
+	if fast != 1 || slow <= fast {
+		t.Errorf("skip mapping: fast=%d slow=%d", fast, slow)
+	}
+}
+
+func TestFromBoxesNilVelocities(t *testing.T) {
+	ls := FromBoxes([]synth.Box{{X: 10, Y: 10, W: 20, H: 20}}, nil, 100, 100, DefaultBoxParams())
+	if len(ls) != 1 || ls[0].Skip != 1 {
+		t.Errorf("nil velocities: %v", ls)
+	}
+}
+
+func TestCycle(t *testing.T) {
+	calls := 0
+	src := SourceFunc(func(frameIndex int) region.List {
+		calls++
+		return region.List{{X: 10, Y: 10, W: 20, H: 20, Stride: 1, Skip: 1}}
+	})
+	c := NewCycle(5, 320, 240, src)
+	for f := 0; f < 12; f++ {
+		ls := c.Labels(f)
+		if c.IsFullCapture(f) != (f%5 == 0) {
+			t.Errorf("IsFullCapture(%d) wrong", f)
+		}
+		if f%5 == 0 {
+			if len(ls) != 1 || ls[0].W != 320 || ls[0].H != 240 {
+				t.Errorf("frame %d: full capture labels = %v", f, ls)
+			}
+		} else if len(ls) != 1 || ls[0].W != 20 {
+			t.Errorf("frame %d: intermediate labels = %v", f, ls)
+		}
+	}
+	if calls != 12-3 { // frames 0, 5, 10 are full captures
+		t.Errorf("source consulted %d times, want 9", calls)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("cycle length 0 did not panic")
+		}
+	}()
+	NewCycle(0, 1, 1, nil)
+}
+
+func TestCycleNilSource(t *testing.T) {
+	c := NewCycle(3, 100, 100, nil)
+	if got := c.Labels(1); got != nil {
+		t.Errorf("nil source intermediate labels = %v", got)
+	}
+}
+
+func TestPredictivePolicy(t *testing.T) {
+	p := NewPredictive(640, 480, DefaultBoxParams())
+	if got := p.Labels(0); len(got) != 0 {
+		t.Errorf("labels before any observation: %v", got)
+	}
+	// Object moving right at 4 px/frame.
+	for i := 0; i < 20; i++ {
+		p.Observe([]synth.Box{{X: 100 + 4*i, Y: 200, W: 40, H: 40}})
+	}
+	ls := p.Labels(20)
+	if len(ls) != 1 {
+		t.Fatalf("got %d labels", len(ls))
+	}
+	l := ls[0]
+	if err := l.Validate(640, 480); err != nil {
+		t.Fatal(err)
+	}
+	// Prediction should lead the last observation (x=176 center=196):
+	// region center should be >= ~198.
+	cx := l.X + l.W/2
+	if cx < 197 {
+		t.Errorf("predicted region center x = %d, want ahead of 196", cx)
+	}
+	// Margin inflation: region wider than the box.
+	if l.W <= 40 {
+		t.Errorf("region width %d not inflated", l.W)
+	}
+	// Fast object → skip 1.
+	if l.Skip != 1 {
+		t.Errorf("fast object skip = %d", l.Skip)
+	}
+}
+
+func TestPredictiveShrinksFilterSet(t *testing.T) {
+	p := NewPredictive(640, 480, DefaultBoxParams())
+	p.Observe([]synth.Box{{X: 10, Y: 10, W: 20, H: 20}, {X: 200, Y: 200, W: 20, H: 20}})
+	p.Observe([]synth.Box{{X: 12, Y: 10, W: 20, H: 20}})
+	if got := len(p.Labels(0)); got != 1 {
+		t.Errorf("labels after shrink = %d, want 1", got)
+	}
+}
+
+func TestFromKeypointsVelPerFeatureSkip(t *testing.T) {
+	p := DefaultFeatureParams()
+	kps := []features.KeyPoint{
+		{X: 100, Y: 100, Size: 31}, // fast feature
+		{X: 300, Y: 200, Size: 31}, // static feature
+		{X: 500, Y: 300, Size: 31}, // unknown → fallback
+	}
+	disps := []float64{10, 0, -1}
+	ls := FromKeypointsVel(kps, disps, 10 /* fallback fast */, 640, 480, p)
+	if len(ls) != 3 {
+		t.Fatalf("got %d labels", len(ls))
+	}
+	skipAt := func(x int) int {
+		for _, l := range ls {
+			if l.Contains(x, l.Y+1) || (x >= l.X && x < l.X+l.W) {
+				return l.Skip
+			}
+		}
+		t.Fatalf("no label near x=%d", x)
+		return 0
+	}
+	if got := skipAt(100); got != 1 {
+		t.Errorf("fast feature skip = %d, want 1", got)
+	}
+	if got := skipAt(300); got != p.MaxSkip {
+		t.Errorf("static feature skip = %d, want %d", got, p.MaxSkip)
+	}
+	if got := skipAt(500); got != 1 {
+		t.Errorf("fallback feature skip = %d, want 1 (fast fallback)", got)
+	}
+}
+
+func TestFromKeypointsDelegatesToVel(t *testing.T) {
+	p := DefaultFeatureParams()
+	kps := []features.KeyPoint{{X: 100, Y: 100, Size: 31, Octave: 2}}
+	a := FromKeypoints(kps, 2, 640, 480, p)
+	b := FromKeypointsVel(kps, nil, 2, 640, 480, p)
+	if len(a) != 1 || len(b) != 1 || a[0] != b[0] {
+		t.Errorf("FromKeypoints %v != FromKeypointsVel %v", a, b)
+	}
+}

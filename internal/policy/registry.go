@@ -1,0 +1,209 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/features"
+	"repro/internal/region"
+	"repro/internal/synth"
+)
+
+// The paper's two-tier developer model (§4.3.1): "Policy Makers" write
+// policies; "Policy Users" select one from a pool by name, the way app
+// developers pick a cuDNN kernel rather than writing CUDA. The registry is
+// that pool.
+
+// Feedback carries the vision task's per-frame results into a policy.
+// Policies consume the fields relevant to them and ignore the rest.
+type Feedback struct {
+	// KeyPoints and their per-feature Displacements (aligned; negative =
+	// unknown) from a feature-based frontend.
+	KeyPoints     []features.KeyPoint
+	Displacements []float64
+	// MeanDisplacement is the global motion estimate in px/frame.
+	MeanDisplacement float64
+	// Boxes and BoxVelocities from a tracker-based frontend.
+	Boxes         []synth.Box
+	BoxVelocities []float64
+}
+
+// Policy is the full region-selection loop: observe task results, emit the
+// next frame's capture workload.
+type Policy interface {
+	// Observe feeds the current frame's task results.
+	Observe(fb Feedback)
+	// Labels returns the region labels for the given frame index.
+	Labels(frameIndex int) region.List
+}
+
+// Maker constructs a policy for a frame geometry and cycle length — the
+// policy-maker half of the paper's dichotomy.
+type Maker struct {
+	// Name selects the policy ("feature-cycle", ...).
+	Name string
+	// Description explains the policy to policy users.
+	Description string
+	// New builds an instance.
+	New func(w, h, cycleLength int) Policy
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Maker{}
+)
+
+// Register adds a policy maker to the pool. Registering a duplicate name
+// panics: policy names are an API surface.
+func Register(m Maker) {
+	if m.Name == "" || m.New == nil {
+		panic("policy: maker needs a name and constructor")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[m.Name]; dup {
+		panic(fmt.Sprintf("policy: duplicate registration of %q", m.Name))
+	}
+	registry[m.Name] = m
+}
+
+// Build instantiates a registered policy by name — the policy-user half.
+func Build(name string, w, h, cycleLength int) (Policy, error) {
+	registryMu.RLock()
+	m, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("policy: unknown policy %q (have %v)", name, Names())
+	}
+	return m.New(w, h, cycleLength), nil
+}
+
+// Names lists the registered policies, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe returns a maker's description.
+func Describe(name string) (string, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	m, ok := registry[name]
+	return m.Description, ok
+}
+
+// --- Built-in policies ---
+
+func init() {
+	Register(Maker{
+		Name:        "feature-cycle",
+		Description: "full frame every CL frames; feature-derived regions between (size→extent, octave→stride, velocity→skip)",
+		New: func(w, h, cl int) Policy {
+			p := &featureCyclePolicy{params: DefaultFeatureParams(), w: w, h: h}
+			p.cycle = NewCycle(cl, w, h, SourceFunc(func(int) region.List { return p.last }))
+			return p
+		},
+	})
+	Register(Maker{
+		Name:        "box-cycle",
+		Description: "full frame every CL frames; tracked-box regions with margins between",
+		New: func(w, h, cl int) Policy {
+			p := &boxCyclePolicy{params: DefaultBoxParams(), w: w, h: h}
+			p.cycle = NewCycle(cl, w, h, SourceFunc(func(int) region.List { return p.last }))
+			return p
+		},
+	})
+	Register(Maker{
+		Name:        "predictive",
+		Description: "full frame every CL frames; Kalman-predicted box regions with uncertainty margins between",
+		New: func(w, h, cl int) Policy {
+			pred := NewPredictive(w, h, DefaultBoxParams())
+			return &predictiveCyclePolicy{
+				pred:  pred,
+				cycle: NewCycle(cl, w, h, pred),
+			}
+		},
+	})
+	Register(Maker{
+		Name:        "adaptive-cycle",
+		Description: "feature regions with a motion-adaptive cycle length (CL/2 .. 2*CL)",
+		New: func(w, h, cl int) Policy {
+			minCL := cl / 2
+			if minCL < 1 {
+				minCL = 1
+			}
+			p := &adaptiveFeaturePolicy{params: DefaultFeatureParams(), w: w, h: h}
+			p.ada = NewAdaptiveCycle(minCL, cl*2, w, h, DefaultFeatureParams().FastDisplacement,
+				SourceFunc(func(int) region.List { return p.last }))
+			return p
+		},
+	})
+}
+
+// featureCyclePolicy is the paper's §3.4 case-study policy.
+type featureCyclePolicy struct {
+	params FeatureParams
+	w, h   int
+	cycle  *Cycle
+	last   region.List
+}
+
+func (p *featureCyclePolicy) Observe(fb Feedback) {
+	p.last = FromKeypointsVel(fb.KeyPoints, fb.Displacements, fb.MeanDisplacement, p.w, p.h, p.params)
+}
+
+func (p *featureCyclePolicy) Labels(frameIndex int) region.List {
+	return p.cycle.Labels(frameIndex)
+}
+
+// boxCyclePolicy drives regions from tracked boxes (face/pose tasks).
+type boxCyclePolicy struct {
+	params BoxParams
+	w, h   int
+	cycle  *Cycle
+	last   region.List
+}
+
+func (p *boxCyclePolicy) Observe(fb Feedback) {
+	p.last = FromBoxes(fb.Boxes, fb.BoxVelocities, p.w, p.h, p.params)
+}
+
+func (p *boxCyclePolicy) Labels(frameIndex int) region.List {
+	return p.cycle.Labels(frameIndex)
+}
+
+// predictiveCyclePolicy wraps the Kalman-predictive source in a cycle.
+type predictiveCyclePolicy struct {
+	pred  *Predictive
+	cycle *Cycle
+}
+
+func (p *predictiveCyclePolicy) Observe(fb Feedback) { p.pred.Observe(fb.Boxes) }
+
+func (p *predictiveCyclePolicy) Labels(frameIndex int) region.List {
+	return p.cycle.Labels(frameIndex)
+}
+
+// adaptiveFeaturePolicy pairs feature regions with the adaptive cycle.
+type adaptiveFeaturePolicy struct {
+	params FeatureParams
+	w, h   int
+	ada    *AdaptiveCycle
+	last   region.List
+}
+
+func (p *adaptiveFeaturePolicy) Observe(fb Feedback) {
+	p.ada.ObserveMotion(fb.MeanDisplacement)
+	p.last = FromKeypointsVel(fb.KeyPoints, fb.Displacements, fb.MeanDisplacement, p.w, p.h, p.params)
+}
+
+func (p *adaptiveFeaturePolicy) Labels(frameIndex int) region.List {
+	return p.ada.Labels(frameIndex)
+}

@@ -1,0 +1,137 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/features"
+	"repro/internal/region"
+	"repro/internal/synth"
+)
+
+func TestRegistryBuiltins(t *testing.T) {
+	names := Names()
+	for _, want := range []string{"feature-cycle", "box-cycle", "predictive", "adaptive-cycle"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("built-in policy %q not registered (have %v)", want, names)
+		}
+		desc, ok := Describe(want)
+		if !ok || desc == "" {
+			t.Errorf("%q has no description", want)
+		}
+	}
+	if _, ok := Describe("nope"); ok {
+		t.Error("unknown policy described")
+	}
+}
+
+func TestBuildUnknown(t *testing.T) {
+	if _, err := Build("nope", 100, 100, 10); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Errorf("unknown build err = %v", err)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	for name, m := range map[string]Maker{
+		"empty name": {New: func(int, int, int) Policy { return nil }},
+		"nil ctor":   {Name: "x"},
+		"duplicate":  {Name: "feature-cycle", New: func(int, int, int) Policy { return nil }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			Register(m)
+		}()
+	}
+}
+
+func TestFeatureCyclePolicyLoop(t *testing.T) {
+	p, err := Build("feature-cycle", 320, 240, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frame 0: full capture before any observation.
+	ls := p.Labels(0)
+	if len(ls) != 1 || ls[0].W != 320 {
+		t.Fatalf("frame 0 = %v", ls)
+	}
+	p.Observe(Feedback{
+		KeyPoints:        []features.KeyPoint{{X: 100, Y: 100, Size: 31}},
+		MeanDisplacement: 5,
+	})
+	ls = p.Labels(1)
+	if len(ls) != 1 || ls[0].W == 320 {
+		t.Fatalf("frame 1 = %v, want one feature region", ls)
+	}
+	if err := region.List(ls).Validate(320, 240); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoxCyclePolicyLoop(t *testing.T) {
+	p, err := Build("box-cycle", 320, 240, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Observe(Feedback{Boxes: []synth.Box{{X: 50, Y: 50, W: 40, H: 40}}, BoxVelocities: []float64{2}})
+	ls := p.Labels(1)
+	if len(ls) != 1 || ls[0].W <= 40 {
+		t.Fatalf("frame 1 = %v, want one inflated box region", ls)
+	}
+}
+
+func TestPredictivePolicyLoop(t *testing.T) {
+	p, err := Build("predictive", 320, 240, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		p.Observe(Feedback{Boxes: []synth.Box{{X: 50 + 3*i, Y: 50, W: 30, H: 30}}})
+	}
+	ls := p.Labels(1)
+	if len(ls) != 1 {
+		t.Fatalf("labels = %v", ls)
+	}
+	// Prediction leads the last observation.
+	if cx := ls[0].X + ls[0].W/2; cx < 77 {
+		t.Errorf("predicted center %d, want ahead of 77", cx)
+	}
+}
+
+func TestAdaptiveCyclePolicyLoop(t *testing.T) {
+	p, err := Build("adaptive-cycle", 320, 240, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sustained fast motion shortens the cycle: count full captures over a
+	// window with fast vs slow feedback.
+	countFulls := func(disp float64) int {
+		pol, _ := Build("adaptive-cycle", 320, 240, 10)
+		fulls := 0
+		for f := 0; f < 40; f++ {
+			pol.Observe(Feedback{
+				KeyPoints:        []features.KeyPoint{{X: 100, Y: 100, Size: 31}},
+				MeanDisplacement: disp,
+			})
+			ls := pol.Labels(f)
+			if len(ls) == 1 && ls[0].W == 320 {
+				fulls++
+			}
+		}
+		return fulls
+	}
+	fast, slow := countFulls(20), countFulls(0)
+	if fast <= slow {
+		t.Errorf("fast motion fulls %d <= slow %d; cycle not adapting", fast, slow)
+	}
+	_ = p
+}

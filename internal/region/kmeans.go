@@ -1,0 +1,190 @@
+package region
+
+import "math/rand"
+
+// pt is a 2D region-center point used by the k-means clustering.
+type pt struct{ x, y float64 }
+
+// ClusterKMeans merges a list of regions into at most k larger regions by
+// k-means clustering of region centers, as the paper does to model
+// commercial multi-ROI cameras (§5.3: "For workloads that use more regions,
+// we combine smaller regions into 16 larger regions through k-means
+// clustering"). Each output region is the bounding box of its cluster's
+// members with Stride=1, Skip=1 ("we do not implement stride or skip
+// adaptations" for the multi-ROI baseline), clipped to the frame.
+//
+// The function is deterministic for a given seed.
+func ClusterKMeans(ls List, k int, frameW, frameH int, seed int64) List {
+	if len(ls) == 0 {
+		return nil
+	}
+	if k <= 0 {
+		panic("region: k must be positive")
+	}
+	if len(ls) <= k {
+		out := make(List, 0, len(ls))
+		for _, l := range ls {
+			l.Stride, l.Skip, l.Phase = 1, 1, 0
+			out = append(out, l)
+		}
+		return out.SortByY()
+	}
+
+	centers := make([]pt, len(ls))
+	for i, l := range ls {
+		centers[i] = pt{float64(l.X) + float64(l.W)/2, float64(l.Y) + float64(l.H)/2}
+	}
+
+	// k-means++ style seeding: first center random, rest far from chosen.
+	rng := rand.New(rand.NewSource(seed))
+	seeds := make([]pt, 0, k)
+	seeds = append(seeds, centers[rng.Intn(len(centers))])
+	for len(seeds) < k {
+		best, bestD := 0, -1.0
+		for i, c := range centers {
+			d := minDist2(c.x, c.y, seeds)
+			if d > bestD {
+				best, bestD = i, d
+			}
+		}
+		seeds = append(seeds, centers[best])
+	}
+
+	assign := make([]int, len(centers))
+	for iter := 0; iter < 25; iter++ {
+		changed := false
+		for i, c := range centers {
+			best, bestD := 0, -1.0
+			for j, s := range seeds {
+				dx, dy := c.x-s.x, c.y-s.y
+				d := dx*dx + dy*dy
+				if bestD < 0 || d < bestD {
+					best, bestD = j, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids.
+		var sx, sy = make([]float64, k), make([]float64, k)
+		n := make([]int, k)
+		for i, a := range assign {
+			sx[a] += centers[i].x
+			sy[a] += centers[i].y
+			n[a]++
+		}
+		for j := 0; j < k; j++ {
+			if n[j] > 0 {
+				seeds[j] = pt{sx[j] / float64(n[j]), sy[j] / float64(n[j])}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Bounding box per cluster.
+	type box struct {
+		x0, y0, x1, y1 int
+		used           bool
+	}
+	boxes := make([]box, k)
+	for i, a := range assign {
+		l := ls[i]
+		if !boxes[a].used {
+			boxes[a] = box{l.X, l.Y, l.X + l.W, l.Y + l.H, true}
+			continue
+		}
+		b := &boxes[a]
+		b.x0 = min(b.x0, l.X)
+		b.y0 = min(b.y0, l.Y)
+		b.x1 = max(b.x1, l.X+l.W)
+		b.y1 = max(b.y1, l.Y+l.H)
+	}
+	var out List
+	for _, b := range boxes {
+		if !b.used {
+			continue
+		}
+		l, ok := Clip(Label{X: b.x0, Y: b.y0, W: b.x1 - b.x0, H: b.y1 - b.y0, Stride: 1, Skip: 1}, frameW, frameH)
+		if ok {
+			out = append(out, l)
+		}
+	}
+	return out.SortByY()
+}
+
+// MergeOverlapping greedily coalesces labels whose rectangles overlap by
+// more than overlapThreshold — measured as the overlap coefficient,
+// intersection over the smaller area, so nested and chained regions
+// collapse — into their bounding box, keeping the finer (smaller) stride
+// and the faster (smaller) skip of each merged pair so quality is never
+// reduced by merging. Policies use it to trade register pressure against
+// capture efficiency — the paper notes that grouping features into fewer
+// regions costs memory efficiency (§3.4), which the region-grouping
+// ablation quantifies.
+func MergeOverlapping(ls List, overlapThreshold float64, frameW, frameH int) List {
+	if len(ls) <= 1 {
+		return ls.Clone()
+	}
+	work := ls.Clone()
+	merged := true
+	for merged {
+		merged = false
+		for i := 0; i < len(work) && !merged; i++ {
+			for j := i + 1; j < len(work); j++ {
+				if overlapCoeff(work[i], work[j]) <= overlapThreshold {
+					continue
+				}
+				a, b := work[i], work[j]
+				box := Label{
+					X:      min(a.X, b.X),
+					Y:      min(a.Y, b.Y),
+					Stride: min(a.Stride, b.Stride),
+					Skip:   min(a.Skip, b.Skip),
+				}
+				box.W = max(a.X+a.W, b.X+b.W) - box.X
+				box.H = max(a.Y+a.H, b.Y+b.H) - box.Y
+				box.Phase = a.Phase % box.Skip
+				clipped, ok := Clip(box, frameW, frameH)
+				if !ok {
+					continue
+				}
+				work[i] = clipped
+				work = append(work[:j], work[j+1:]...)
+				merged = true
+				break
+			}
+		}
+	}
+	return work.SortByY()
+}
+
+// overlapCoeff returns the overlap coefficient of two labels: rectangle
+// intersection over the smaller rectangle's area (1 when either contains
+// the other).
+func overlapCoeff(a, b Label) float64 {
+	x0 := max(a.X, b.X)
+	y0 := max(a.Y, b.Y)
+	x1 := min(a.X+a.W, b.X+b.W)
+	y1 := min(a.Y+a.H, b.Y+b.H)
+	if x1 <= x0 || y1 <= y0 {
+		return 0
+	}
+	inter := float64((x1 - x0) * (y1 - y0))
+	return inter / float64(min(a.Area(), b.Area()))
+}
+
+func minDist2(x, y float64, pts []pt) float64 {
+	best := -1.0
+	for _, p := range pts {
+		dx, dy := x-p.x, y-p.y
+		d := dx*dx + dy*dy
+		if best < 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}

@@ -1,0 +1,105 @@
+package sensor
+
+import (
+	"testing"
+
+	"repro/internal/frame"
+)
+
+func TestCRC16KnownVectors(t *testing.T) {
+	// CRC-16/X-25 (reflected CCITT, init 0xFFFF, no final xor here):
+	// the classic "123456789" check value for X-25 is 0x906E before the
+	// final complement; without the xorout it is ^0x906E = 0x6F91.
+	if got := crc16CSI([]byte("123456789")); got != 0x6F91 {
+		t.Errorf("crc16(123456789) = %#04x, want 0x6F91", got)
+	}
+	if got := crc16CSI(nil); got != 0xFFFF {
+		t.Errorf("crc16(empty) = %#04x, want init 0xFFFF", got)
+	}
+	// Sensitivity: one flipped bit changes the CRC.
+	a := crc16CSI([]byte{1, 2, 3, 4})
+	b := crc16CSI([]byte{1, 2, 3, 5})
+	if a == b {
+		t.Error("CRC insensitive to payload change")
+	}
+}
+
+func TestPacketWireBytes(t *testing.T) {
+	if (Packet{Kind: PacketFrameStart}).WireBytes() != 4 {
+		t.Error("short packet size wrong")
+	}
+	p := Packet{Kind: PacketLine, PayloadBytes: 100}
+	if p.WireBytes() != 106 {
+		t.Errorf("line packet = %d bytes, want 106", p.WireBytes())
+	}
+	if PacketFrameStart.String() != "FS" || PacketLine.String() != "LINE" {
+		t.Error("packet kind names wrong")
+	}
+}
+
+func TestTransferFrameStructure(t *testing.T) {
+	l := NewCSILink()
+	fr := frame.New(64, 8, frame.Gray8)
+	for i := range fr.Pix {
+		fr.Pix[i] = uint8(i)
+	}
+	var lines [][]byte
+	for y := 0; y < fr.H; y++ {
+		lines = append(lines, fr.Pix[y*64:(y+1)*64])
+	}
+	ft, packets := l.TransferFrame(lines)
+	if ft.Packets != 10 { // FS + 8 lines + FE
+		t.Errorf("Packets = %d, want 10", ft.Packets)
+	}
+	if ft.PayloadBytes != 64*8 {
+		t.Errorf("PayloadBytes = %d", ft.PayloadBytes)
+	}
+	// Overhead: 2 short packets (8) + 8 * (4+2) = 56.
+	if ft.OverheadBytes != 56 {
+		t.Errorf("OverheadBytes = %d, want 56", ft.OverheadBytes)
+	}
+	if ft.OverheadFraction() <= 0 || ft.OverheadFraction() > 0.2 {
+		t.Errorf("OverheadFraction = %v", ft.OverheadFraction())
+	}
+	if ft.Seconds <= 0 {
+		t.Error("non-positive transfer time")
+	}
+	if l.BytesTransferred() != int64(ft.TotalBytes()) {
+		t.Error("link counter not updated")
+	}
+	// First and last packets frame the transmission.
+	if packets[0].Kind != PacketFrameStart || packets[len(packets)-1].Kind != PacketFrameEnd {
+		t.Error("framing packets wrong")
+	}
+	// Every line packet verifies against its payload.
+	for i, p := range packets[1 : len(packets)-1] {
+		if err := VerifyPacket(p, lines[i]); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+	}
+}
+
+func TestVerifyPacketDetectsCorruption(t *testing.T) {
+	l := NewCSILink()
+	line := []byte{10, 20, 30, 40}
+	_, packets := l.TransferFrame([][]byte{line})
+	p := packets[1]
+	corrupt := []byte{10, 20, 31, 40}
+	if err := VerifyPacket(p, corrupt); err == nil {
+		t.Error("corrupted payload passed CRC")
+	}
+	if err := VerifyPacket(p, line[:3]); err == nil {
+		t.Error("short payload accepted")
+	}
+	// Short packets always verify.
+	if err := VerifyPacket(packets[0], nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverheadFractionEmpty(t *testing.T) {
+	var ft FrameTransfer
+	if ft.OverheadFraction() != 0 {
+		t.Error("empty transfer overhead fraction != 0")
+	}
+}

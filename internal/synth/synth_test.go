@@ -1,0 +1,241 @@
+package synth
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewWorldTextured(t *testing.T) {
+	w := NewWorld(256, 256, 1)
+	// Texture must have real variance: count distinct values.
+	hist := map[uint8]int{}
+	for _, v := range w.Canvas.Pix {
+		hist[v]++
+	}
+	if len(hist) < 50 {
+		t.Errorf("only %d distinct gray levels; world too flat", len(hist))
+	}
+	// Deterministic by seed.
+	w2 := NewWorld(256, 256, 1)
+	if !w.Canvas.Equal(w2.Canvas) {
+		t.Error("same seed produced different worlds")
+	}
+	w3 := NewWorld(256, 256, 2)
+	if w.Canvas.Equal(w3.Canvas) {
+		t.Error("different seeds produced identical worlds")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("tiny world did not panic")
+		}
+	}()
+	NewWorld(10, 10, 1)
+}
+
+func TestRenderTranslationShiftsContent(t *testing.T) {
+	w := NewWorld(512, 512, 2)
+	a := w.Render(Pose{X: 256, Y: 256}, 64, 64)
+	b := w.Render(Pose{X: 266, Y: 256}, 64, 64)
+	// b shifted left by 10 should equal a's right portion.
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 54; x++ {
+			if a.Gray(x+10, y) != b.Gray(x, y) {
+				t.Fatalf("translation inconsistency at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestRenderRotationPreservesCenter(t *testing.T) {
+	w := NewWorld(512, 512, 3)
+	a := w.Render(Pose{X: 256, Y: 256, Theta: 0}, 65, 65)
+	b := w.Render(Pose{X: 256, Y: 256, Theta: 0.3}, 65, 65)
+	// The rotation center sits between pixel centers, so bilinear
+	// resampling perturbs the nearest pixels slightly; the 2x2 average
+	// around the center must stay close.
+	avg := func(fr interface{ Gray(x, y int) uint8 }) float64 {
+		return (float64(fr.Gray(31, 31)) + float64(fr.Gray(32, 31)) +
+			float64(fr.Gray(31, 32)) + float64(fr.Gray(32, 32))) / 4
+	}
+	if diff := avg(a) - avg(b); diff < -12 || diff > 12 {
+		t.Errorf("center neighborhood changed by %.1f under pure rotation", diff)
+	}
+	if a.Equal(b) {
+		t.Error("rotation had no effect")
+	}
+}
+
+func TestTrajectoryStaysInBounds(t *testing.T) {
+	w := NewWorld(800, 800, 4)
+	for _, prof := range []MotionProfile{ProfileStatic, ProfileSlow, ProfileMedium, ProfileFast} {
+		poses := w.Trajectory(200, 320, 240, prof, 7)
+		if len(poses) != 200 {
+			t.Fatalf("got %d poses", len(poses))
+		}
+		margin := math.Hypot(320, 240)/2 + 4
+		for i, p := range poses {
+			if p.X < margin-1 || p.X > 800-margin+1 || p.Y < margin-1 || p.Y > 800-margin+1 {
+				t.Fatalf("pose %d out of bounds: %+v (profile %+v)", i, p, prof)
+			}
+		}
+	}
+}
+
+func TestTrajectorySpeedMatchesProfile(t *testing.T) {
+	w := NewWorld(2000, 2000, 5)
+	slow := w.Trajectory(300, 320, 240, ProfileSlow, 8)
+	fast := w.Trajectory(300, 320, 240, ProfileFast, 8)
+	meanSpeed := func(poses []Pose) float64 {
+		var sum float64
+		for i := 1; i < len(poses); i++ {
+			sum += math.Hypot(poses[i].X-poses[i-1].X, poses[i].Y-poses[i-1].Y)
+		}
+		return sum / float64(len(poses)-1)
+	}
+	ms, mf := meanSpeed(slow), meanSpeed(fast)
+	if ms >= mf {
+		t.Errorf("slow speed %.2f >= fast speed %.2f", ms, mf)
+	}
+	if mf < 3 {
+		t.Errorf("fast profile mean speed %.2f too low", mf)
+	}
+}
+
+func TestBoxIoU(t *testing.T) {
+	a := Box{X: 0, Y: 0, W: 10, H: 10}
+	if got := a.IoU(a); got != 1 {
+		t.Errorf("self IoU = %v", got)
+	}
+	if got := a.IoU(Box{X: 20, Y: 20, W: 5, H: 5}); got != 0 {
+		t.Errorf("disjoint IoU = %v", got)
+	}
+	half := a.IoU(Box{X: 5, Y: 0, W: 10, H: 10}) // overlap 50, union 150
+	if math.Abs(half-1.0/3) > 1e-9 {
+		t.Errorf("partial IoU = %v, want 1/3", half)
+	}
+	cx, cy := a.Center()
+	if cx != 5 || cy != 5 {
+		t.Errorf("Center = (%v,%v)", cx, cy)
+	}
+}
+
+func TestFaceSequence(t *testing.T) {
+	s := NewFaceSequence(320, 240, 60, 3, 9)
+	if s.Frames != 60 || len(s.Truth) != 60 {
+		t.Fatalf("bad sequence shape")
+	}
+	// Some frame must contain at least one visible face.
+	total := 0
+	for t2 := 0; t2 < 60; t2++ {
+		total += len(s.Truth[t2])
+	}
+	if total == 0 {
+		t.Fatal("no ground-truth faces in whole sequence")
+	}
+	// Rendering a frame with faces differs from the bare background.
+	for t2 := 0; t2 < 60; t2++ {
+		if len(s.Truth[t2]) > 0 {
+			fr := s.RenderFrame(t2)
+			if fr.Equal(s.background) {
+				t.Error("face frame identical to background")
+			}
+			b := s.Truth[t2][0]
+			cx, cy := b.Center()
+			if !fr.InBounds(int(cx), int(cy)) {
+				t.Errorf("truth box center (%v,%v) outside frame", cx, cy)
+			}
+			break
+		}
+	}
+	// Deterministic.
+	s2 := NewFaceSequence(320, 240, 60, 3, 9)
+	if !s.RenderFrame(30).Equal(s2.RenderFrame(30)) {
+		t.Error("face sequence not deterministic")
+	}
+}
+
+func TestFaceVisibilityRespectsBorders(t *testing.T) {
+	s := NewFaceSequence(320, 240, 100, 4, 10)
+	for t2, boxes := range s.Truth {
+		for _, b := range boxes {
+			// At least half the box must be visible per the generator contract.
+			visX := min(b.X+b.W, 320) - max(b.X, 0)
+			if visX < b.W/2 {
+				t.Fatalf("frame %d: box %+v under half visible", t2, b)
+			}
+		}
+	}
+}
+
+func TestPoseSequence(t *testing.T) {
+	s := NewPoseSequence(320, 240, 50, 11)
+	if len(s.Truth) != 50 {
+		t.Fatalf("bad truth length %d", len(s.Truth))
+	}
+	for t2 := 0; t2 < 50; t2++ {
+		if len(s.Truth[t2]) != len(Joints) {
+			t.Fatalf("frame %d has %d joints, want %d", t2, len(s.Truth[t2]), len(Joints))
+		}
+	}
+	// The figure walks: head moves right over time.
+	h0 := s.Truth[0][0]
+	h49 := s.Truth[49][0]
+	if h49.X <= h0.X {
+		t.Error("figure did not advance")
+	}
+	// Head stays above hip.
+	for t2 := 0; t2 < 50; t2 += 10 {
+		var head, hip Box
+		for j, n := range Joints {
+			if n == "head" {
+				head = s.Truth[t2][j]
+			}
+			if n == "hip" {
+				hip = s.Truth[t2][j]
+			}
+		}
+		if head.Y >= hip.Y {
+			t.Fatalf("frame %d: head below hip", t2)
+		}
+	}
+	fr := s.RenderFrame(25)
+	if fr.Equal(s.background) {
+		t.Error("pose frame identical to background")
+	}
+}
+
+func TestMultiPoseSequence(t *testing.T) {
+	s := NewMultiPoseSequence(400, 300, 40, 3, 5)
+	if s.NumWalkers() != 3 {
+		t.Fatalf("NumWalkers = %d", s.NumWalkers())
+	}
+	if len(s.Truth[0]) != 3*len(Joints) {
+		t.Fatalf("truth has %d boxes, want %d", len(s.Truth[0]), 3*len(Joints))
+	}
+	// Walkers occupy distinct positions: the three head boxes differ.
+	h0 := s.Truth[10][0]
+	h1 := s.Truth[10][len(Joints)]
+	h2 := s.Truth[10][2*len(Joints)]
+	if h0 == h1 || h1 == h2 {
+		t.Error("walkers overlap exactly; parameters not varied")
+	}
+	// Rendering is deterministic and differs from background.
+	a := s.RenderFrame(10)
+	b := NewMultiPoseSequence(400, 300, 40, 3, 5).RenderFrame(10)
+	if !a.Equal(b) {
+		t.Error("multi-pose render not deterministic")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("zero walkers did not panic")
+		}
+	}()
+	NewMultiPoseSequence(100, 100, 10, 0, 1)
+}
+
+func TestSinglePoseBackCompat(t *testing.T) {
+	s := NewPoseSequence(320, 240, 20, 11)
+	if s.NumWalkers() != 1 || len(s.Truth[0]) != len(Joints) {
+		t.Error("single-walker shape changed")
+	}
+}

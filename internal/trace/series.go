@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"repro/internal/baseline"
+	"repro/internal/region"
+)
+
+// FrameSample is one frame's traffic in a per-frame series.
+type FrameSample struct {
+	Frame          int
+	WriteBytes     int64
+	ReadBytes      int64
+	FootprintBytes int64
+	PixelFraction  float64
+}
+
+// RunSeries is Run with full per-frame sampling: it returns the aggregate
+// Result plus one FrameSample per frame, for plotting traffic and footprint
+// over time (the timeline view behind Fig. 8's averages).
+func RunSeries(cfg Config, model baseline.Model, frames []region.List) (Result, []FrameSample, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, nil, err
+	}
+	if len(frames) == 0 {
+		return Result{}, nil, fmt.Errorf("trace: no frames to simulate")
+	}
+	res := Result{Model: model.Name(), Frames: len(frames)}
+	samples := make([]FrameSample, 0, len(frames))
+	total := float64(cfg.W * cfg.H)
+	var meanFoot, peakFoot int64
+	for i, labels := range frames {
+		if err := labels.Validate(cfg.W, cfg.H); err != nil {
+			return Result{}, nil, fmt.Errorf("trace: frame %d: %w", i, err)
+		}
+		t := model.FrameTraffic(labels, i)
+		res.WriteBytes += t.WriteBytes
+		res.ReadBytes += t.ReadBytes
+		frac := float64(t.PixelsStored) / total
+		res.PixelFractions = append(res.PixelFractions, frac)
+		samples = append(samples, FrameSample{
+			Frame:          i,
+			WriteBytes:     t.WriteBytes,
+			ReadBytes:      t.ReadBytes,
+			FootprintBytes: t.FootprintBytes,
+			PixelFraction:  frac,
+		})
+		meanFoot += t.FootprintBytes
+		if t.FootprintBytes > peakFoot {
+			peakFoot = t.FootprintBytes
+		}
+	}
+	n := int64(len(frames))
+	res.WriteMBps = float64(res.WriteBytes) / float64(n) * cfg.FPS / 1e6
+	res.ReadMBps = float64(res.ReadBytes) / float64(n) * cfg.FPS / 1e6
+	res.TotalMBps = res.WriteMBps + res.ReadMBps
+	res.MeanFootprintMB = float64(meanFoot/n) / 1e6
+	res.PeakFootprintMB = float64(peakFoot) / 1e6
+	return res, samples, nil
+}
+
+// WriteSeriesCSV emits a per-frame series as CSV for plotting.
+func WriteSeriesCSV(w io.Writer, model string, samples []FrameSample) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"model", "frame", "write_bytes", "read_bytes", "footprint_bytes", "pixel_fraction"}); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		rec := []string{
+			model,
+			fmt.Sprint(s.Frame),
+			fmt.Sprint(s.WriteBytes),
+			fmt.Sprint(s.ReadBytes),
+			fmt.Sprint(s.FootprintBytes),
+			fmt.Sprintf("%.4f", s.PixelFraction),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,105 @@
+// Package trace is the paper's throughput simulator (§5.3.1): it takes the
+// per-frame region label specification from the application, drives a
+// baseline traffic model with it, and reports read/write pixel throughput
+// in bytes per second along with the framebuffer footprint over time.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/memsim"
+	"repro/internal/region"
+)
+
+// Config describes the simulated stream.
+type Config struct {
+	W, H          int
+	BytesPerPixel int
+	FPS           float64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.W <= 0 || c.H <= 0 || c.BytesPerPixel <= 0 || c.FPS <= 0 {
+		return fmt.Errorf("trace: invalid config %+v", c)
+	}
+	return nil
+}
+
+// Result summarizes a simulated run.
+type Result struct {
+	Model  string
+	Frames int
+
+	WriteBytes int64
+	ReadBytes  int64
+
+	// WriteMBps/ReadMBps/TotalMBps are sustained throughputs at Config.FPS.
+	WriteMBps float64
+	ReadMBps  float64
+	TotalMBps float64
+
+	// MeanFootprintMB and PeakFootprintMB track the framebuffer memory.
+	MeanFootprintMB float64
+	PeakFootprintMB float64
+
+	// PixelFractions is, per frame, stored pixels / (W*H) — the series the
+	// paper's appendix figures (Figs. 10-15) report.
+	PixelFractions []float64
+}
+
+// Run drives the model with one label list per frame and accumulates the
+// traffic into a fresh DRAM model.
+func Run(cfg Config, model baseline.Model, frames []region.List) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(frames) == 0 {
+		return Result{}, fmt.Errorf("trace: no frames to simulate")
+	}
+	dram := memsim.NewDRAM()
+	res := Result{Model: model.Name(), Frames: len(frames)}
+	total := float64(cfg.W * cfg.H)
+	for i, labels := range frames {
+		if err := labels.Validate(cfg.W, cfg.H); err != nil {
+			return Result{}, fmt.Errorf("trace: frame %d: %w", i, err)
+		}
+		t := model.FrameTraffic(labels, i)
+		dram.Write(int(t.WriteBytes))
+		dram.Read(int(t.ReadBytes))
+		dram.Alloc("framebuffers", t.FootprintBytes)
+		dram.Tick()
+		res.PixelFractions = append(res.PixelFractions, float64(t.PixelsStored)/total)
+	}
+	c := dram.Counters()
+	res.WriteBytes, res.ReadBytes = c.WriteBytes, c.ReadBytes
+	res.WriteMBps = memsim.Throughput(c.WriteBytes, len(frames), cfg.FPS) / 1e6
+	res.ReadMBps = memsim.Throughput(c.ReadBytes, len(frames), cfg.FPS) / 1e6
+	res.TotalMBps = res.WriteMBps + res.ReadMBps
+	res.MeanFootprintMB = float64(dram.MeanFootprint()) / 1e6
+	res.PeakFootprintMB = float64(dram.PeakFootprint()) / 1e6
+	return res, nil
+}
+
+// MeanPixelFraction returns the average stored-pixel fraction across frames.
+func (r Result) MeanPixelFraction() float64 {
+	if len(r.PixelFractions) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, f := range r.PixelFractions {
+		sum += f
+	}
+	return sum / float64(len(r.PixelFractions))
+}
+
+// Reduction returns the fractional traffic reduction of r against a
+// reference result (e.g. FCH): 0.43 means 43% less total traffic.
+func (r Result) Reduction(ref Result) float64 {
+	refTotal := float64(ref.WriteBytes + ref.ReadBytes)
+	if refTotal == 0 {
+		return 0
+	}
+	return 1 - float64(r.WriteBytes+r.ReadBytes)/refTotal
+}

@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/region"
+)
+
+func TestRunFrameBased(t *testing.T) {
+	cfg := Config{W: 640, H: 480, BytesPerPixel: 1, FPS: 30}
+	frames := make([]region.List, 30)
+	res, err := Run(cfg, baseline.NewFCH(640, 480, 1), frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := int64(640 * 480)
+	if res.WriteBytes != 30*size || res.ReadBytes != 30*size {
+		t.Errorf("bytes = %d/%d", res.WriteBytes, res.ReadBytes)
+	}
+	// 30 frames over 1 second: write throughput = 640*480*30 B/s ≈ 9.2 MB/s.
+	if math.Abs(res.WriteMBps-9.216) > 0.01 {
+		t.Errorf("WriteMBps = %v, want ~9.216", res.WriteMBps)
+	}
+	if math.Abs(res.TotalMBps-res.WriteMBps-res.ReadMBps) > 1e-9 {
+		t.Error("TotalMBps inconsistent")
+	}
+	if res.MeanFootprintMB <= 0 || res.PeakFootprintMB < res.MeanFootprintMB {
+		t.Errorf("footprint stats: mean=%v peak=%v", res.MeanFootprintMB, res.PeakFootprintMB)
+	}
+	if len(res.PixelFractions) != 30 || res.PixelFractions[0] != 1.0 {
+		t.Errorf("pixel fractions = %v...", res.PixelFractions[:3])
+	}
+	if res.MeanPixelFraction() != 1.0 {
+		t.Errorf("MeanPixelFraction = %v", res.MeanPixelFraction())
+	}
+}
+
+func TestRunRhythmicCycle(t *testing.T) {
+	const w, h = 320, 240
+	cfg := Config{W: w, H: h, BytesPerPixel: 1, FPS: 30}
+	// Cycle length 5: full frame on frames 0 and 5, regions between.
+	regionsOnly := region.List{{X: 40, Y: 40, W: 80, H: 60, Stride: 2, Skip: 1}}
+	var frames []region.List
+	for i := 0; i < 10; i++ {
+		if i%5 == 0 {
+			frames = append(frames, region.List{region.FullFrame(w, h)})
+		} else {
+			frames = append(frames, regionsOnly.Clone())
+		}
+	}
+	rp, err := Run(cfg, baseline.NewRhythmic(5, w, h, 1), frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fch, err := Run(cfg, baseline.NewFCH(w, h, 1), frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.WriteBytes >= fch.WriteBytes {
+		t.Errorf("rhythmic write %d >= FCH %d", rp.WriteBytes, fch.WriteBytes)
+	}
+	red := rp.Reduction(fch)
+	if red < 0.3 || red > 0.95 {
+		t.Errorf("reduction = %v, want substantial", red)
+	}
+	// Full-capture frames have fraction 1, region frames ~0.026 (40x30 lattice).
+	if rp.PixelFractions[0] != 1.0 || rp.PixelFractions[1] > 0.05 {
+		t.Errorf("fractions = %v", rp.PixelFractions[:3])
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	good := Config{W: 10, H: 10, BytesPerPixel: 1, FPS: 30}
+	if _, err := Run(Config{}, baseline.NewFCH(10, 10, 1), make([]region.List, 1)); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := Run(good, baseline.NewFCH(10, 10, 1), nil); err == nil {
+		t.Error("empty frames accepted")
+	}
+	bad := []region.List{{{X: 0, Y: 0, W: 100, H: 100, Stride: 1, Skip: 1}}}
+	if _, err := Run(good, baseline.NewFCH(10, 10, 1), bad); err == nil {
+		t.Error("out-of-frame label accepted")
+	}
+}
+
+func TestReductionEdgeCases(t *testing.T) {
+	var zero Result
+	if zero.Reduction(Result{}) != 0 {
+		t.Error("zero reference should yield 0")
+	}
+	if (Result{}).MeanPixelFraction() != 0 {
+		t.Error("empty fractions should yield 0")
+	}
+}
+
+func TestHigherCycleLengthReducesTraffic(t *testing.T) {
+	// §6.2: "memory traffic decreases by 5-10% with every 5 step increase
+	// in cycle length". Verify monotonicity CL5 > CL10 > CL15 in traffic.
+	const w, h = 320, 240
+	cfg := Config{W: w, H: h, BytesPerPixel: 1, FPS: 30}
+	regionsOnly := region.List{{X: 40, Y: 40, W: 120, H: 100, Stride: 2, Skip: 1}}
+	mkFrames := func(cl, n int) []region.List {
+		var out []region.List
+		for i := 0; i < n; i++ {
+			if i%cl == 0 {
+				out = append(out, region.List{region.FullFrame(w, h)})
+			} else {
+				out = append(out, regionsOnly.Clone())
+			}
+		}
+		return out
+	}
+	var prev int64 = math.MaxInt64
+	for _, cl := range []int{5, 10, 15} {
+		res, err := Run(cfg, baseline.NewRhythmic(cl, w, h, 1), mkFrames(cl, 60))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := res.WriteBytes + res.ReadBytes
+		if total >= prev {
+			t.Errorf("CL=%d total %d not below previous %d", cl, total, prev)
+		}
+		prev = total
+	}
+}
+
+func TestRunSeriesMatchesRun(t *testing.T) {
+	const w, h = 160, 120
+	cfg := Config{W: w, H: h, BytesPerPixel: 1, FPS: 30}
+	var frames []region.List
+	for i := 0; i < 12; i++ {
+		if i%4 == 0 {
+			frames = append(frames, region.List{region.FullFrame(w, h)})
+		} else {
+			frames = append(frames, region.List{{X: 20, Y: 20, W: 40, H: 30, Stride: 2, Skip: 1}})
+		}
+	}
+	agg, err := Run(cfg, baseline.NewRhythmic(4, w, h, 1), frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, samples, err := RunSeries(cfg, baseline.NewRhythmic(4, w, h, 1), frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 12 {
+		t.Fatalf("got %d samples", len(samples))
+	}
+	if res.WriteBytes != agg.WriteBytes || res.ReadBytes != agg.ReadBytes {
+		t.Errorf("aggregate mismatch: series %d/%d vs run %d/%d",
+			res.WriteBytes, res.ReadBytes, agg.WriteBytes, agg.ReadBytes)
+	}
+	// Per-frame sums equal the aggregate.
+	var sumW int64
+	for _, s := range samples {
+		sumW += s.WriteBytes
+	}
+	if sumW != res.WriteBytes {
+		t.Errorf("sample write sum %d != aggregate %d", sumW, res.WriteBytes)
+	}
+	// Full-capture frames carry fraction 1.
+	if samples[0].PixelFraction != 1 || samples[1].PixelFraction >= 1 {
+		t.Errorf("fractions: %v %v", samples[0].PixelFraction, samples[1].PixelFraction)
+	}
+}
+
+func TestRunSeriesErrors(t *testing.T) {
+	good := Config{W: 10, H: 10, BytesPerPixel: 1, FPS: 30}
+	if _, _, err := RunSeries(Config{}, baseline.NewFCH(10, 10, 1), make([]region.List, 1)); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, _, err := RunSeries(good, baseline.NewFCH(10, 10, 1), nil); err == nil {
+		t.Error("empty frames accepted")
+	}
+	bad := []region.List{{{X: 0, Y: 0, W: 100, H: 100, Stride: 1, Skip: 1}}}
+	if _, _, err := RunSeries(good, baseline.NewFCH(10, 10, 1), bad); err == nil {
+		t.Error("invalid labels accepted")
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	samples := []FrameSample{{Frame: 0, WriteBytes: 100, ReadBytes: 50, FootprintBytes: 400, PixelFraction: 0.5}}
+	if err := WriteSeriesCSV(&buf, "RP10", samples); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.Contains(got, "model,frame") || !strings.Contains(got, "RP10,0,100,50,400,0.5000") {
+		t.Errorf("csv:\n%s", got)
+	}
+}

@@ -1,0 +1,236 @@
+package track
+
+import (
+	"math"
+
+	"repro/internal/frame"
+	"repro/internal/metrics"
+	"repro/internal/synth"
+)
+
+// FaceDetector is a multi-scale NCC template detector for the synthetic
+// face pattern: the stand-in for the RetinaNet face detector. It matches an
+// *inner-face* template (the eyes-and-mouth region, which lies entirely
+// inside the face oval, so no mismatched background dilutes the
+// correlation) on a half-resolution copy of the frame for throughput,
+// mirroring mobile detector practice.
+type FaceDetector struct {
+	// templates are inner-face crops at several scales (half-res).
+	templates []*frame.Frame
+	// geom maps each template back to a full-resolution face box:
+	// [fullW, fullH, innerOffX, innerOffY].
+	geom [][4]int
+	// Threshold is the minimum NCC acceptance score.
+	Threshold float64
+	// Step is the half-res scan stride.
+	Step int
+}
+
+// NewFaceDetector builds the template bank covering the synthetic
+// sequences' face sizes (40-100 px wide).
+func NewFaceDetector() *FaceDetector {
+	d := &FaceDetector{Threshold: 0.62, Step: 2}
+	for _, w := range []int{40, 54, 72, 96} {
+		h := w + w/4
+		canvas := frame.New(w, h, frame.Gray8)
+		canvas.Fill(100)
+		synthDrawFace(canvas, 0, 0, w, h)
+		// Inner region holding both eyes and the mouth, fully inside the
+		// oval (see synthDrawFace geometry).
+		ix, iy := w*15/100, h*25/100
+		iw, ih := w*70/100, h*50/100
+		inner := canvas.Crop(ix, iy, iw, ih)
+		d.templates = append(d.templates, inner.Downscale(2))
+		d.geom = append(d.geom, [4]int{w, h, ix, iy})
+	}
+	return d
+}
+
+// synthDrawFace renders the canonical face pattern matching synth's
+// generator: bright oval, dark eyes and mouth.
+func synthDrawFace(fr *frame.Frame, x, y, w, h int) {
+	cx, cy := x+w/2, y+h/2
+	rx, ry := w/2, h/2
+	for dy := -ry; dy <= ry; dy++ {
+		for dx := -rx; dx <= rx; dx++ {
+			nx := float64(dx) / float64(rx)
+			ny := float64(dy) / float64(ry)
+			if nx*nx+ny*ny <= 1 && fr.InBounds(cx+dx, cy+dy) {
+				fr.SetGray(cx+dx, cy+dy, 195)
+			}
+		}
+	}
+	eyeR := w / 10
+	if eyeR < 1 {
+		eyeR = 1
+	}
+	fr.FillCircle(cx-rx/2, cy-ry/3, eyeR, 30)
+	fr.FillCircle(cx+rx/2, cy-ry/3, eyeR, 30)
+	mh := ry / 8
+	if mh < 1 {
+		mh = 1
+	}
+	fr.FillRect(cx-rx/3, cy+ry/3, 2*rx/3, mh, 30)
+}
+
+// Detect scans the frame and returns face detections in full-resolution
+// coordinates, non-maximum suppressed.
+func (d *FaceDetector) Detect(img *frame.Frame) []metrics.Detection {
+	half := img.ToGray().Downscale(2)
+	var raw []metrics.Detection
+	for si, tmpl := range d.templates {
+		g := d.geom[si]
+		for y := 0; y+tmpl.H <= half.H; y += d.Step {
+			for x := 0; x+tmpl.W <= half.W; x += d.Step {
+				if s := NCC(half, tmpl, x, y); s >= d.Threshold {
+					raw = append(raw, metrics.Detection{
+						X: x*2 - g[2], Y: y*2 - g[3],
+						W: g[0], H: g[1],
+						Score: s,
+					})
+				}
+			}
+		}
+	}
+	return nmsDetections(raw, 0.3)
+}
+
+// nmsDetections greedily keeps the highest-scoring detections, suppressing
+// others that overlap a kept one above the IoU threshold.
+func nmsDetections(dets []metrics.Detection, iou float64) []metrics.Detection {
+	var out []metrics.Detection
+	used := make([]bool, len(dets))
+	for {
+		best, bestScore := -1, -math.MaxFloat64
+		for i, d := range dets {
+			if !used[i] && d.Score > bestScore {
+				best, bestScore = i, d.Score
+			}
+		}
+		if best < 0 {
+			break
+		}
+		used[best] = true
+		out = append(out, dets[best])
+		for i, d := range dets {
+			if used[i] {
+				continue
+			}
+			g := metrics.GroundTruth{X: dets[best].X, Y: dets[best].Y, W: dets[best].W, H: dets[best].H}
+			if metrics.IoU(d, g) > iou {
+				used[i] = true
+			}
+		}
+	}
+	return out
+}
+
+// FaceWorkload runs the face-detection task: periodic full detection for
+// discovery plus per-frame NCC tracking, the detector-plus-tracker pattern
+// mobile vision pipelines use. Frame quality affects both stages.
+type FaceWorkload struct {
+	Detector *FaceDetector
+	// DetectEvery runs the full detector on every Nth frame.
+	DetectEvery int
+	// MaxLostFrames drops a track after this many consecutive misses.
+	MaxLostFrames int
+
+	tracks []*faceTrackState
+}
+
+type faceTrackState struct {
+	tracker *Tracker
+	lost    int
+	// missedConfirms counts consecutive detection passes that failed to
+	// re-confirm this track; stale tracks (background lock-ons, faces that
+	// left the scene) are culled after MaxMissedConfirms.
+	missedConfirms int
+}
+
+// MaxMissedConfirms is the number of detection passes a track may go
+// unconfirmed before it is dropped.
+const MaxMissedConfirms = 2
+
+// NewFaceWorkload returns a workload with a fresh detector.
+func NewFaceWorkload(detectEvery int) *FaceWorkload {
+	if detectEvery < 1 {
+		detectEvery = 10
+	}
+	return &FaceWorkload{Detector: NewFaceDetector(), DetectEvery: detectEvery, MaxLostFrames: 8}
+}
+
+// Boxes returns the live track rectangles (policy input).
+func (w *FaceWorkload) Boxes() []synth.Box {
+	var out []synth.Box
+	for _, t := range w.tracks {
+		x, y, bw, bh := t.tracker.Box()
+		out = append(out, synth.Box{X: x, Y: y, W: bw, H: bh})
+	}
+	return out
+}
+
+// Step processes frame t and returns the frame's face detections.
+func (w *FaceWorkload) Step(img *frame.Frame, t int) []metrics.Detection {
+	gray := img
+	if img.Format != frame.Gray8 {
+		gray = img.ToGray()
+	}
+	// Track existing faces.
+	for _, tr := range w.tracks {
+		if tr.tracker.Track(gray) {
+			tr.lost = 0
+		} else {
+			tr.lost++
+		}
+	}
+	// Periodic detection: re-confirm matched tracks, spawn new ones.
+	if t%w.DetectEvery == 0 {
+		dets := w.Detector.Detect(gray)
+		confirmed := make([]bool, len(w.tracks))
+		for _, d := range dets {
+			matched := false
+			for i, tr := range w.tracks {
+				x, y, bw, bh := tr.tracker.Box()
+				if metrics.IoU(d, metrics.GroundTruth{X: x, Y: y, W: bw, H: bh}) > 0.25 {
+					matched = true
+					confirmed[i] = true
+					tr.lost = 0
+					break
+				}
+			}
+			if !matched && d.X >= 0 && d.Y >= 0 && d.X+d.W <= gray.W && d.Y+d.H <= gray.H {
+				w.tracks = append(w.tracks, &faceTrackState{
+					tracker: NewTracker(gray, d.X, d.Y, d.W, d.H),
+				})
+				confirmed = append(confirmed, true)
+			}
+		}
+		for i, tr := range w.tracks {
+			if confirmed[i] {
+				tr.missedConfirms = 0
+			} else {
+				tr.missedConfirms++
+			}
+		}
+	}
+	// Cull dead or stale tracks.
+	live := w.tracks[:0]
+	for _, tr := range w.tracks {
+		if tr.lost <= w.MaxLostFrames && tr.missedConfirms <= MaxMissedConfirms {
+			live = append(live, tr)
+		}
+	}
+	w.tracks = live
+
+	// Emit detections from live tracks.
+	var out []metrics.Detection
+	for _, tr := range w.tracks {
+		x, y, bw, bh := tr.tracker.Box()
+		score := tr.tracker.LastScore()
+		if tr.lost > 0 {
+			score *= 0.5 // coasting tracks are less confident
+		}
+		out = append(out, metrics.Detection{X: x, Y: y, W: bw, H: bh, Score: score})
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+// Package track implements the face-detection and human-pose-estimation
+// workloads of the paper's evaluation: template trackers over decoded
+// frames, producing bounding boxes scored against ground truth with
+// IoU/mAP. They substitute for RetinaNet on ChokePoint and PoseNet on
+// PoseTrack; the substitution preserves the property the experiments
+// measure — detection quality degrades as decoded frames lose spatial or
+// temporal resolution.
+package track
+
+import (
+	"math"
+
+	"repro/internal/frame"
+)
+
+// NCC computes the normalized cross-correlation between a template and the
+// same-size window of img at (x, y). Returns -1..1; flat windows yield 0.
+func NCC(img, tmpl *frame.Frame, x, y int) float64 {
+	if img.Format != frame.Gray8 || tmpl.Format != frame.Gray8 {
+		panic("track: NCC requires Gray8")
+	}
+	tw, th := tmpl.W, tmpl.H
+	if x < 0 || y < 0 || x+tw > img.W || y+th > img.H {
+		return -1
+	}
+	n := float64(tw * th)
+	var sumI, sumT, sumII, sumTT, sumIT float64
+	for ty := 0; ty < th; ty++ {
+		irow := (y + ty) * img.W
+		trow := ty * tw
+		for tx := 0; tx < tw; tx++ {
+			iv := float64(img.Pix[irow+x+tx])
+			tv := float64(tmpl.Pix[trow+tx])
+			sumI += iv
+			sumT += tv
+			sumII += iv * iv
+			sumTT += tv * tv
+			sumIT += iv * tv
+		}
+	}
+	varI := sumII - sumI*sumI/n
+	varT := sumTT - sumT*sumT/n
+	if varI <= 1e-9 || varT <= 1e-9 {
+		return 0
+	}
+	cov := sumIT - sumI*sumT/n
+	return cov / math.Sqrt(varI*varT)
+}
+
+// SearchNCC scans the window [x0, x1] x [y0, y1] of top-left positions with
+// the given step and returns the best-scoring position.
+func SearchNCC(img, tmpl *frame.Frame, x0, y0, x1, y1, step int) (bestX, bestY int, bestScore float64) {
+	if step < 1 {
+		step = 1
+	}
+	bestScore = -2
+	for y := y0; y <= y1; y += step {
+		for x := x0; x <= x1; x += step {
+			if s := NCC(img, tmpl, x, y); s > bestScore {
+				bestX, bestY, bestScore = x, y, s
+			}
+		}
+	}
+	return bestX, bestY, bestScore
+}
+
+// Tracker follows one object with NCC template matching: coarse-to-fine
+// search in a window around the last known position.
+type Tracker struct {
+	tmpl *frame.Frame
+	x, y int // current top-left
+	// SearchRadius bounds the displacement searched per frame.
+	SearchRadius int
+	// MinScore below which the track is reported lost for the frame.
+	MinScore float64
+	// Adapt blends the matched window into the template (0 disables,
+	// 0.1 is a typical drift-resistant rate).
+	Adapt float64
+
+	lastScore float64
+}
+
+// NewTracker initializes a tracker from the template cropped at (x, y) in
+// the first frame.
+func NewTracker(first *frame.Frame, x, y, w, h int) *Tracker {
+	return &Tracker{
+		tmpl:         first.Crop(x, y, w, h).ToGray(),
+		x:            x,
+		y:            y,
+		SearchRadius: 24,
+		MinScore:     0.35,
+		Adapt:        0.08,
+	}
+}
+
+// Box returns the current track rectangle.
+func (t *Tracker) Box() (x, y, w, h int) { return t.x, t.y, t.tmpl.W, t.tmpl.H }
+
+// LastScore returns the NCC score of the most recent Track call.
+func (t *Tracker) LastScore() float64 { return t.lastScore }
+
+// Track searches for the object in the next frame. It reports whether the
+// match cleared MinScore; on failure the position is left unchanged
+// (coasting).
+func (t *Tracker) Track(img *frame.Frame) bool {
+	r := t.SearchRadius
+	x0 := clampI(t.x-r, 0, img.W-t.tmpl.W)
+	y0 := clampI(t.y-r, 0, img.H-t.tmpl.H)
+	x1 := clampI(t.x+r, 0, img.W-t.tmpl.W)
+	y1 := clampI(t.y+r, 0, img.H-t.tmpl.H)
+	// Coarse pass.
+	cx, cy, _ := SearchNCC(img, t.tmpl, x0, y0, x1, y1, 3)
+	// Fine pass around the coarse peak.
+	fx0 := clampI(cx-3, 0, img.W-t.tmpl.W)
+	fy0 := clampI(cy-3, 0, img.H-t.tmpl.H)
+	fx1 := clampI(cx+3, 0, img.W-t.tmpl.W)
+	fy1 := clampI(cy+3, 0, img.H-t.tmpl.H)
+	bx, by, score := SearchNCC(img, t.tmpl, fx0, fy0, fx1, fy1, 1)
+	t.lastScore = score
+	if score < t.MinScore {
+		return false
+	}
+	t.x, t.y = bx, by
+	if t.Adapt > 0 {
+		window := img.Crop(bx, by, t.tmpl.W, t.tmpl.H)
+		for i := range t.tmpl.Pix {
+			t.tmpl.Pix[i] = uint8(float64(t.tmpl.Pix[i])*(1-t.Adapt) + float64(window.Pix[i])*t.Adapt + 0.5)
+		}
+	}
+	return true
+}
+
+func clampI(v, lo, hi int) int {
+	if hi < lo {
+		hi = lo
+	}
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

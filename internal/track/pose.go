@@ -1,0 +1,66 @@
+package track
+
+import (
+	"repro/internal/frame"
+	"repro/internal/metrics"
+	"repro/internal/synth"
+)
+
+// PoseWorkload runs the human-pose-estimation task: one NCC tracker per
+// skeletal joint, initialized from the first frame's joint boxes (the
+// standard pose-tracking protocol initializes from a detection on the first
+// frame) and tracked through the decoded stream thereafter.
+type PoseWorkload struct {
+	trackers []*Tracker
+}
+
+// NewPoseWorkload initializes joint trackers from the first (decoded) frame
+// and its ground-truth joint boxes.
+func NewPoseWorkload(first *frame.Frame, joints []synth.Box) *PoseWorkload {
+	gray := first
+	if first.Format != frame.Gray8 {
+		gray = first.ToGray()
+	}
+	w := &PoseWorkload{}
+	for _, b := range joints {
+		x := clampI(b.X, 0, gray.W-b.W)
+		y := clampI(b.Y, 0, gray.H-b.H)
+		bw := min(b.W, gray.W)
+		bh := min(b.H, gray.H)
+		tr := NewTracker(gray, x, y, bw, bh)
+		tr.SearchRadius = 16 // joints move a few px/frame
+		tr.MinScore = 0.25   // joints are small, low-texture patches
+		w.trackers = append(w.trackers, tr)
+	}
+	return w
+}
+
+// Boxes returns the current joint rectangles (policy input).
+func (w *PoseWorkload) Boxes() []synth.Box {
+	out := make([]synth.Box, len(w.trackers))
+	for i, tr := range w.trackers {
+		x, y, bw, bh := tr.Box()
+		out[i] = synth.Box{X: x, Y: y, W: bw, H: bh}
+	}
+	return out
+}
+
+// Step tracks every joint in the next frame and returns per-joint
+// detections.
+func (w *PoseWorkload) Step(img *frame.Frame) []metrics.Detection {
+	gray := img
+	if img.Format != frame.Gray8 {
+		gray = img.ToGray()
+	}
+	out := make([]metrics.Detection, len(w.trackers))
+	for i, tr := range w.trackers {
+		ok := tr.Track(gray)
+		x, y, bw, bh := tr.Box()
+		score := tr.LastScore()
+		if !ok {
+			score *= 0.5
+		}
+		out[i] = metrics.Detection{X: x, Y: y, W: bw, H: bh, Score: score}
+	}
+	return out
+}

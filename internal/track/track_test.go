@@ -1,0 +1,195 @@
+package track
+
+import (
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/metrics"
+	"repro/internal/synth"
+)
+
+func TestNCCIdentity(t *testing.T) {
+	world := synth.NewWorld(128, 128, 1)
+	tmpl := world.Canvas.Crop(30, 30, 20, 20)
+	if s := NCC(world.Canvas, tmpl, 30, 30); s < 0.999 {
+		t.Errorf("self NCC = %v, want ~1", s)
+	}
+	if s := NCC(world.Canvas, tmpl, 60, 60); s >= 0.95 {
+		t.Errorf("off-position NCC = %v, want < 0.95", s)
+	}
+}
+
+func TestNCCEdgeCases(t *testing.T) {
+	img := frame.New(10, 10, frame.Gray8)
+	tmpl := frame.New(4, 4, frame.Gray8)
+	if NCC(img, tmpl, -1, 0) != -1 || NCC(img, tmpl, 7, 0) != -1 {
+		t.Error("out-of-bounds NCC should return -1")
+	}
+	// Flat image and template: zero variance → 0.
+	if NCC(img, tmpl, 0, 0) != 0 {
+		t.Error("flat NCC should be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-gray NCC did not panic")
+		}
+	}()
+	NCC(frame.New(8, 8, frame.RGB24), tmpl, 0, 0)
+}
+
+func TestNCCInvariantToGainOffset(t *testing.T) {
+	world := synth.NewWorld(128, 128, 2)
+	tmpl := world.Canvas.Crop(40, 40, 16, 16)
+	// Scale/offset the image: NCC at the true position stays ~1.
+	mod := world.Canvas.Clone()
+	for i, v := range mod.Pix {
+		mod.Pix[i] = uint8(min(int(float64(v)*0.7)+40, 255))
+	}
+	if s := NCC(mod, tmpl, 40, 40); s < 0.98 {
+		t.Errorf("gain/offset NCC = %v, want ~1", s)
+	}
+}
+
+func TestSearchNCCFindsPeak(t *testing.T) {
+	world := synth.NewWorld(200, 200, 3)
+	tmpl := world.Canvas.Crop(77, 91, 24, 24)
+	x, y, s := SearchNCC(world.Canvas, tmpl, 50, 60, 110, 120, 1)
+	if x != 77 || y != 91 || s < 0.999 {
+		t.Errorf("peak at (%d,%d) score %v, want (77,91) ~1", x, y, s)
+	}
+}
+
+func TestTrackerFollowsMovingPatch(t *testing.T) {
+	world := synth.NewWorld(600, 600, 4)
+	// Camera pans; a fixed world patch moves in image space.
+	mk := func(ox float64) *frame.Frame {
+		return world.Render(synth.Pose{X: 300 + ox, Y: 300}, 200, 200)
+	}
+	first := mk(0)
+	tr := NewTracker(first, 80, 80, 30, 30)
+	for i := 1; i <= 10; i++ {
+		img := mk(float64(2 * i)) // content shifts left 2 px/frame
+		if !tr.Track(img) {
+			t.Fatalf("lost at frame %d (score %v)", i, tr.LastScore())
+		}
+	}
+	x, _, _, _ := tr.Box()
+	if x < 80-24 || x > 80-16 {
+		t.Errorf("tracked x = %d, want ~60 after 20 px content shift", x)
+	}
+}
+
+func TestTrackerReportsLossOnVanishedPattern(t *testing.T) {
+	world := synth.NewWorld(300, 300, 5)
+	img := world.Render(synth.Pose{X: 150, Y: 150}, 128, 128)
+	tr := NewTracker(img, 40, 40, 24, 24)
+	blank := frame.New(128, 128, frame.Gray8)
+	blank.Fill(128)
+	if tr.Track(blank) {
+		t.Error("tracker matched a blank frame")
+	}
+	// Position coasts on failure.
+	x, y, _, _ := tr.Box()
+	if x != 40 || y != 40 {
+		t.Error("position moved despite miss")
+	}
+}
+
+func TestFaceDetectorFindsFaces(t *testing.T) {
+	seq := synth.NewFaceSequence(320, 240, 40, 2, 6)
+	det := NewFaceDetector()
+	found := false
+	for fi := 0; fi < 40; fi += 5 {
+		truths := seq.Truth[fi]
+		if len(truths) == 0 {
+			continue
+		}
+		dets := det.Detect(seq.RenderFrame(fi))
+		for _, d := range dets {
+			for _, g := range truths {
+				if metrics.IoU(d, metrics.GroundTruth{X: g.X, Y: g.Y, W: g.W, H: g.H}) > 0.4 {
+					found = true
+				}
+			}
+		}
+		if found {
+			break
+		}
+	}
+	if !found {
+		t.Fatal("detector never located a ground-truth face")
+	}
+}
+
+func TestFaceWorkloadEndToEnd(t *testing.T) {
+	seq := synth.NewFaceSequence(320, 240, 50, 2, 7)
+	w := NewFaceWorkload(5)
+	var results []metrics.FrameResult
+	hadLiveTracks := false
+	for fi := 0; fi < 50; fi++ {
+		img := seq.RenderFrame(fi)
+		dets := w.Step(img, fi)
+		if len(w.Boxes()) > 0 {
+			hadLiveTracks = true
+		}
+		var gts []metrics.GroundTruth
+		for _, b := range seq.Truth[fi] {
+			gts = append(gts, metrics.GroundTruth{X: b.X, Y: b.Y, W: b.W, H: b.H})
+		}
+		results = append(results, metrics.FrameResult{Detections: dets, Truths: gts})
+	}
+	mAP := metrics.MAP(results, 0.4)
+	if mAP < 0.3 {
+		t.Errorf("clean-frame face mAP = %.2f, want >= 0.3", mAP)
+	}
+	if !hadLiveTracks {
+		t.Error("workload never held a live track")
+	}
+}
+
+func TestFaceWorkloadDefaults(t *testing.T) {
+	w := NewFaceWorkload(0)
+	if w.DetectEvery != 10 {
+		t.Errorf("DetectEvery = %d, want default 10", w.DetectEvery)
+	}
+}
+
+func TestPoseWorkloadTracksJoints(t *testing.T) {
+	seq := synth.NewPoseSequence(320, 240, 40, 8)
+	first := seq.RenderFrame(0)
+	w := NewPoseWorkload(first, seq.Truth[0])
+	if len(w.Boxes()) != len(synth.Joints) {
+		t.Fatalf("%d trackers, want %d", len(w.Boxes()), len(synth.Joints))
+	}
+	var results []metrics.FrameResult
+	for fi := 1; fi < 40; fi++ {
+		dets := w.Step(seq.RenderFrame(fi))
+		var gts []metrics.GroundTruth
+		for _, b := range seq.Truth[fi] {
+			gts = append(gts, metrics.GroundTruth{X: b.X, Y: b.Y, W: b.W, H: b.H})
+		}
+		results = append(results, metrics.FrameResult{Detections: dets, Truths: gts})
+	}
+	acc := metrics.DetectionAccuracy(results, 0.3)
+	if acc < 0.25 {
+		t.Errorf("clean-frame pose accuracy = %.2f, want >= 0.25", acc)
+	}
+}
+
+func TestNMS(t *testing.T) {
+	dets := []metrics.Detection{
+		{X: 0, Y: 0, W: 10, H: 10, Score: 0.9},
+		{X: 1, Y: 1, W: 10, H: 10, Score: 0.8}, // overlaps first
+		{X: 50, Y: 50, W: 10, H: 10, Score: 0.7},
+	}
+	out := nmsDetections(dets, 0.3)
+	if len(out) != 2 {
+		t.Fatalf("NMS kept %d, want 2", len(out))
+	}
+	if out[0].Score != 0.9 || out[1].Score != 0.7 {
+		t.Errorf("NMS order wrong: %+v", out)
+	}
+	if nmsDetections(nil, 0.3) != nil {
+		t.Error("empty NMS should return nil")
+	}
+}

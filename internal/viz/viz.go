@@ -1,0 +1,168 @@
+// Package viz renders EncMasks, region layouts, and frames as compact
+// ASCII art for CLI inspection and debugging — the fastest way to see what
+// the encoder actually kept.
+package viz
+
+import (
+	"strings"
+
+	"repro/internal/bitpack"
+	"repro/internal/core"
+	"repro/internal/frame"
+	"repro/internal/region"
+)
+
+// maskGlyphs maps EncMask codes to display characters: non-regional is
+// blank, strided is light, skipped is medium, captured is solid.
+var maskGlyphs = [4]byte{'.', '-', 'o', '#'}
+
+// Mask renders an encoded frame's EncMask downsampled to at most maxCols
+// columns. Each output cell shows the dominant code of its pixel block.
+func Mask(ef *core.EncodedFrame, maxCols int) string {
+	if maxCols < 8 {
+		maxCols = 8
+	}
+	step := (ef.W + maxCols - 1) / maxCols
+	if step < 1 {
+		step = 1
+	}
+	var b strings.Builder
+	for y := 0; y < ef.H; y += step {
+		for x := 0; x < ef.W; x += step {
+			var counts [4]int
+			for dy := 0; dy < step && y+dy < ef.H; dy++ {
+				base := (y + dy) * ef.W
+				for dx := 0; dx < step && x+dx < ef.W; dx++ {
+					counts[ef.Mask.Get(base+x+dx)]++
+				}
+			}
+			best := 0
+			for c := 1; c < 4; c++ {
+				if counts[c] > counts[best] {
+					best = c
+				}
+			}
+			b.WriteByte(maskGlyphs[best])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Legend describes the Mask glyphs.
+func Legend() string {
+	return ". non-regional   - strided   o temporally skipped   # captured"
+}
+
+// Regions renders a region label layout over a w x h frame downsampled to
+// maxCols columns: cells covered by any region print its stride digit
+// (capped at 9), empty cells print '.'.
+func Regions(ls region.List, w, h, maxCols int) string {
+	if maxCols < 8 {
+		maxCols = 8
+	}
+	step := (w + maxCols - 1) / maxCols
+	if step < 1 {
+		step = 1
+	}
+	var b strings.Builder
+	for y := 0; y < h; y += step {
+		for x := 0; x < w; x += step {
+			ch := byte('.')
+			for _, l := range ls {
+				if l.Contains(x, y) {
+					s := l.Stride
+					if s > 9 {
+						s = 9
+					}
+					ch = byte('0' + s)
+					break
+				}
+			}
+			b.WriteByte(ch)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// grayRamp maps luminance to ASCII density.
+const grayRamp = " .:-=+*#%@"
+
+// Frame renders a Gray8 (or converted) frame as ASCII downsampled to
+// maxCols columns.
+func Frame(fr *frame.Frame, maxCols int) string {
+	g := fr
+	if fr.Format != frame.Gray8 {
+		g = fr.ToGray()
+	}
+	if maxCols < 8 {
+		maxCols = 8
+	}
+	step := (g.W + maxCols - 1) / maxCols
+	if step < 1 {
+		step = 1
+	}
+	var b strings.Builder
+	for y := 0; y < g.H; y += step * 2 { // character cells are ~2:1
+		for x := 0; x < g.W; x += step {
+			var sum, n int
+			for dy := 0; dy < step*2 && y+dy < g.H; dy++ {
+				for dx := 0; dx < step && x+dx < g.W; dx++ {
+					sum += int(g.Pix[(y+dy)*g.W+x+dx])
+					n++
+				}
+			}
+			idx := sum / n * (len(grayRamp) - 1) / 255
+			b.WriteByte(grayRamp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CodeHistogramBar renders the EncMask code distribution as a labeled bar.
+func CodeHistogramBar(ef *core.EncodedFrame, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	h := ef.Mask.Histogram()
+	total := ef.W * ef.H
+	var b strings.Builder
+	for code := 3; code >= 0; code-- {
+		n := h[code]
+		fill := n * width / total
+		name := bitpack.Code(code).String()
+		b.WriteString(name)
+		b.WriteString(strings.Repeat(" ", 3-len(name)))
+		b.WriteByte('|')
+		b.WriteString(strings.Repeat("█", fill))
+		b.WriteString(strings.Repeat(" ", width-fill))
+		b.WriteString("| ")
+		b.WriteString(percent(n, total))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func percent(n, total int) string {
+	if total == 0 {
+		return "0%"
+	}
+	v := n * 1000 / total
+	return itoa(v/10) + "." + itoa(v%10) + "%"
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,102 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/frame"
+	"repro/internal/region"
+)
+
+func encodedFixture(t *testing.T) *core.EncodedFrame {
+	t.Helper()
+	enc := core.NewEncoder(64, 48, frame.Gray8)
+	err := enc.SetRegionLabels(region.List{
+		{X: 8, Y: 8, W: 24, H: 24, Stride: 1, Skip: 1},
+		{X: 40, Y: 24, W: 16, H: 16, Stride: 2, Skip: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef, err := enc.EncodeFrame(frame.New(64, 48, frame.Gray8), 1) // frame 1: second region skipped
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ef
+}
+
+func TestMaskRendering(t *testing.T) {
+	ef := encodedFixture(t)
+	out := Mask(ef, 32)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 24 { // 48 rows at step 2
+		t.Fatalf("%d lines", len(lines))
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("no captured cells rendered")
+	}
+	if !strings.Contains(out, "o") {
+		t.Error("no skipped cells rendered")
+	}
+	if !strings.Contains(out, ".") {
+		t.Error("no empty cells rendered")
+	}
+	if Legend() == "" {
+		t.Error("empty legend")
+	}
+	// Tiny maxCols clamps without panicking.
+	if Mask(ef, 1) == "" {
+		t.Error("clamped render empty")
+	}
+}
+
+func TestRegionsRendering(t *testing.T) {
+	ls := region.List{
+		{X: 0, Y: 0, W: 32, H: 32, Stride: 1, Skip: 1},
+		{X: 48, Y: 0, W: 16, H: 16, Stride: 12, Skip: 1}, // stride digit capped at 9
+	}
+	out := Regions(ls, 64, 48, 32)
+	if !strings.Contains(out, "1") || !strings.Contains(out, "9") || !strings.Contains(out, ".") {
+		t.Errorf("region render missing glyphs:\n%s", out)
+	}
+}
+
+func TestFrameRendering(t *testing.T) {
+	fr := frame.New(64, 48, frame.Gray8)
+	fr.FillRect(0, 0, 32, 48, 255)
+	out := Frame(fr, 32)
+	if !strings.Contains(out, "@") || !strings.Contains(out, " ") {
+		t.Errorf("frame render missing contrast:\n%s", out)
+	}
+	// RGB input converts.
+	rgb := frame.New(16, 16, frame.RGB24)
+	if Frame(rgb, 8) == "" {
+		t.Error("RGB render empty")
+	}
+}
+
+func TestCodeHistogramBar(t *testing.T) {
+	ef := encodedFixture(t)
+	out := CodeHistogramBar(ef, 20)
+	for _, want := range []string{"R", "St", "Sk", "N", "%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("histogram missing %q:\n%s", want, out)
+		}
+	}
+	if CodeHistogramBar(ef, 1) == "" { // width clamps
+		t.Error("clamped histogram empty")
+	}
+}
+
+func TestPercentItoa(t *testing.T) {
+	if percent(0, 0) != "0%" {
+		t.Error("degenerate percent")
+	}
+	if percent(1, 2) != "50.0%" {
+		t.Errorf("percent(1,2) = %q", percent(1, 2))
+	}
+	if itoa(0) != "0" || itoa(407) != "407" {
+		t.Error("itoa wrong")
+	}
+}

@@ -1,0 +1,144 @@
+// Package workloads runs the paper's three vision tasks end-to-end against
+// every evaluated capture system: frames flow from the synthetic scene
+// through a capture model (frame-based, rhythmic, multi-ROI, H.264) into
+// the vision algorithm, whose results drive the region policy for the next
+// frame — the full closed loop of §4.3. The runners return both task
+// accuracy and the per-frame region label traces the traffic simulator
+// consumes.
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/frame"
+	"repro/internal/region"
+	"repro/rpx"
+)
+
+// Capture models how a capture system transforms the sensor frame into the
+// frame the vision algorithm observes.
+type Capture interface {
+	// Name identifies the system ("FCH", "RP10", ...).
+	Name() string
+	// Process ingests the sensor frame for time t under the given region
+	// labels and returns the frame the application reads back.
+	Process(in *frame.Frame, t int, labels region.List) (*frame.Frame, error)
+}
+
+// FCH is frame-based computing at full (high) resolution: the application
+// sees the sensor frame unchanged.
+type FCH struct{}
+
+// Name implements Capture.
+func (FCH) Name() string { return "FCH" }
+
+// Process implements Capture.
+func (FCH) Process(in *frame.Frame, _ int, _ region.List) (*frame.Frame, error) {
+	return in, nil
+}
+
+// FCL is frame-based computing at low resolution: the sensor frame is
+// captured at 1/Factor resolution; the application sees it upsampled back
+// to canvas size (so coordinates stay comparable), with the corresponding
+// loss of detail.
+type FCL struct {
+	Factor int
+}
+
+// Name implements Capture.
+func (c FCL) Name() string { return "FCL" }
+
+// Process implements Capture.
+func (c FCL) Process(in *frame.Frame, _ int, _ region.List) (*frame.Frame, error) {
+	f := c.Factor
+	if f < 2 {
+		f = 2
+	}
+	return in.Downscale(f).UpscaleNearest(f), nil
+}
+
+// RP is the rhythmic pixel region system at a given cycle length: labels
+// pass through the runtime to the encoder; the application reads the
+// decoder's reconstruction.
+type RP struct {
+	CycleLength int
+	Sys         *rpx.System
+}
+
+// NewRP builds a rhythmic capture at the given cycle length for w x h
+// frames.
+func NewRP(cycleLength, w, h int) (*RP, error) {
+	sys, err := rpx.NewSystem(w, h, rpx.Gray8)
+	if err != nil {
+		return nil, err
+	}
+	return &RP{CycleLength: cycleLength, Sys: sys}, nil
+}
+
+// Name implements Capture.
+func (r *RP) Name() string { return fmt.Sprintf("RP%d", r.CycleLength) }
+
+// Process implements Capture.
+func (r *RP) Process(in *frame.Frame, t int, labels region.List) (*frame.Frame, error) {
+	if err := r.Sys.SetRegionLabels(labels); err != nil {
+		return nil, err
+	}
+	if _, err := r.Sys.Capture(in); err != nil {
+		return nil, err
+	}
+	return r.Sys.Decoded()
+}
+
+// MultiROI models an off-the-shelf multi-ROI camera: at most 16 regions,
+// merged by k-means, no stride or skip. The merged boxes run through the
+// same encode/decode machinery (stride/skip stripped), so the application
+// sees full-resolution pixels inside the boxes and black outside.
+type MultiROI struct {
+	Sys        *rpx.System
+	MaxRegions int
+	w, h       int
+}
+
+// NewMultiROI builds the multi-ROI capture for w x h frames.
+func NewMultiROI(w, h int) (*MultiROI, error) {
+	sys, err := rpx.NewSystem(w, h, rpx.Gray8)
+	if err != nil {
+		return nil, err
+	}
+	return &MultiROI{Sys: sys, MaxRegions: 16, w: w, h: h}, nil
+}
+
+// Name implements Capture.
+func (m *MultiROI) Name() string { return "Multi-ROI" }
+
+// Process implements Capture.
+func (m *MultiROI) Process(in *frame.Frame, t int, labels region.List) (*frame.Frame, error) {
+	boxes := region.ClusterKMeans(labels, m.MaxRegions, m.w, m.h, 1)
+	if err := m.Sys.SetRegionLabels(boxes); err != nil {
+		return nil, err
+	}
+	if _, err := m.Sys.Capture(in); err != nil {
+		return nil, err
+	}
+	return m.Sys.Decoded()
+}
+
+// H264 models the codec baseline's effect on the application: compression
+// at the paper's Baseline/5.2 configuration is visually mild, so the
+// application sees the full frame with light quantization softening. Its
+// memory traffic (the dimension the paper evaluates) is modeled separately
+// in internal/baseline.
+type H264 struct{}
+
+// Name implements Capture.
+func (H264) Name() string { return "H.264" }
+
+// Process implements Capture.
+func (H264) Process(in *frame.Frame, _ int, _ region.List) (*frame.Frame, error) {
+	out := in.ToGray().GaussianBlur(0.6)
+	// Coarsen levels slightly, as quantization would.
+	for i, v := range out.Pix {
+		out.Pix[i] = v &^ 0x3
+	}
+	return out, nil
+}

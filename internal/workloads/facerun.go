@@ -1,0 +1,113 @@
+package workloads
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/region"
+	"repro/internal/synth"
+	"repro/internal/track"
+)
+
+// FaceConfig describes one face-detection run.
+type FaceConfig struct {
+	W, H        int
+	Frames      int
+	NumFaces    int
+	CycleLength int
+	Seed        int64
+	// IoUThreshold scores detections (paper uses IoU-thresholded mAP).
+	IoUThreshold float64
+}
+
+// DefaultFaceConfig returns the evaluation shape (SVGA-class scene).
+func DefaultFaceConfig() FaceConfig {
+	return FaceConfig{W: 480, H: 360, Frames: 100, NumFaces: 5, CycleLength: 10, Seed: 1, IoUThreshold: 0.4}
+}
+
+// DetectionResult reports a detection-style run (face or pose).
+type DetectionResult struct {
+	System string
+	// MAP is IoU-thresholded mean average precision.
+	MAP float64
+	// Accuracy is the paper's TP/(TP+FP) detection accuracy.
+	Accuracy float64
+	// LabelTrace is the per-frame region workload for the traffic sim.
+	LabelTrace []region.List
+	// AvgRegions is the mean region count on intermediate frames.
+	AvgRegions float64
+}
+
+// RunFace executes the face-detection workload against a capture system.
+func RunFace(cfg FaceConfig, cap Capture) (DetectionResult, error) {
+	seq := synth.NewFaceSequence(cfg.W, cfg.H, cfg.Frames, cfg.NumFaces, cfg.Seed)
+	workload := track.NewFaceWorkload(cfg.CycleLength)
+	params := policy.DefaultBoxParams()
+
+	var lastBoxes []synth.Box
+	var lastVels []float64
+	prevCenters := map[int][2]float64{}
+	src := policy.SourceFunc(func(int) region.List {
+		return policy.FromBoxes(lastBoxes, lastVels, cfg.W, cfg.H, params)
+	})
+	pol := policy.NewCycle(cfg.CycleLength, cfg.W, cfg.H, src)
+
+	res := DetectionResult{System: cap.Name()}
+	var results []metrics.FrameResult
+	var regionCounts []float64
+	for t := 0; t < cfg.Frames; t++ {
+		labels := pol.Labels(t)
+		if len(labels) == 0 {
+			labels = region.List{region.FullFrame(cfg.W, cfg.H)}
+		}
+		res.LabelTrace = append(res.LabelTrace, labels.Clone())
+		if !pol.IsFullCapture(t) {
+			regionCounts = append(regionCounts, float64(len(labels)))
+		}
+
+		in := seq.RenderFrame(t)
+		seen, err := cap.Process(in, t, labels)
+		if err != nil {
+			return res, err
+		}
+		dets := workload.Step(seen, t)
+
+		// Update policy inputs: boxes and their per-frame velocities.
+		lastBoxes = workload.Boxes()
+		lastVels = make([]float64, len(lastBoxes))
+		centers := map[int][2]float64{}
+		for i, b := range lastBoxes {
+			cx, cy := b.Center()
+			centers[i] = [2]float64{cx, cy}
+			if prev, ok := prevCenters[i]; ok {
+				lastVels[i] = hypot(cx-prev[0], cy-prev[1])
+			} else {
+				lastVels[i] = params.FastDisplacement // unknown: assume fast
+			}
+		}
+		prevCenters = centers
+
+		var gts []metrics.GroundTruth
+		for _, b := range seq.Truth[t] {
+			gts = append(gts, metrics.GroundTruth{X: b.X, Y: b.Y, W: b.W, H: b.H})
+		}
+		results = append(results, metrics.FrameResult{Detections: dets, Truths: gts})
+	}
+	res.MAP = metrics.MAP(results, cfg.IoUThreshold)
+	res.Accuracy = metrics.DetectionAccuracy(results, cfg.IoUThreshold)
+	res.AvgRegions = metrics.Mean(regionCounts)
+	return res, nil
+}
+
+func hypot(a, b float64) float64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	// Cheap sufficient approximation for velocity bucketing.
+	if a > b {
+		return a + b/2
+	}
+	return b + a/2
+}

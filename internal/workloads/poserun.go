@@ -1,0 +1,91 @@
+package workloads
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/region"
+	"repro/internal/synth"
+	"repro/internal/track"
+)
+
+// PoseConfig describes one human-pose-estimation run.
+type PoseConfig struct {
+	W, H         int
+	Frames       int
+	CycleLength  int
+	Seed         int64
+	IoUThreshold float64
+	// PoseMargin is the region margin around joint boxes (0 uses the
+	// default); tighter margins make the workload more sensitive to stale
+	// regions between full captures.
+	PoseMargin float64
+	// People is the number of walkers in the scene (0 = 1; PoseTrack
+	// scenes contain several).
+	People int
+}
+
+// DefaultPoseConfig returns the evaluation shape (720p-class scene scaled
+// to simulation size).
+func DefaultPoseConfig() PoseConfig {
+	return PoseConfig{W: 480, H: 360, Frames: 80, CycleLength: 10, Seed: 1, IoUThreshold: 0.3, PoseMargin: 0.35, People: 1}
+}
+
+// RunPose executes the pose-estimation workload against a capture system.
+// Joint trackers initialize from the first (decoded) frame with the
+// ground-truth joint boxes, the standard pose-tracking protocol.
+func RunPose(cfg PoseConfig, cap Capture) (DetectionResult, error) {
+	people := cfg.People
+	if people < 1 {
+		people = 1
+	}
+	seq := synth.NewMultiPoseSequence(cfg.W, cfg.H, cfg.Frames, people, cfg.Seed)
+	params := policy.DefaultBoxParams()
+	params.Margin = cfg.PoseMargin
+	if params.Margin <= 0 {
+		params.Margin = 0.35
+	}
+
+	var workload *track.PoseWorkload
+	var lastBoxes []synth.Box
+	src := policy.SourceFunc(func(int) region.List {
+		return policy.FromBoxes(lastBoxes, nil, cfg.W, cfg.H, params)
+	})
+	pol := policy.NewCycle(cfg.CycleLength, cfg.W, cfg.H, src)
+
+	res := DetectionResult{System: cap.Name()}
+	var results []metrics.FrameResult
+	var regionCounts []float64
+	for t := 0; t < cfg.Frames; t++ {
+		labels := pol.Labels(t)
+		if len(labels) == 0 {
+			labels = region.List{region.FullFrame(cfg.W, cfg.H)}
+		}
+		res.LabelTrace = append(res.LabelTrace, labels.Clone())
+		if !pol.IsFullCapture(t) {
+			regionCounts = append(regionCounts, float64(len(labels)))
+		}
+
+		in := seq.RenderFrame(t)
+		seen, err := cap.Process(in, t, labels)
+		if err != nil {
+			return res, err
+		}
+		if workload == nil {
+			workload = track.NewPoseWorkload(seen, seq.Truth[0])
+			lastBoxes = workload.Boxes()
+			continue // initialization frame is not scored
+		}
+		dets := workload.Step(seen)
+		lastBoxes = workload.Boxes()
+
+		var gts []metrics.GroundTruth
+		for _, b := range seq.Truth[t] {
+			gts = append(gts, metrics.GroundTruth{X: b.X, Y: b.Y, W: b.W, H: b.H})
+		}
+		results = append(results, metrics.FrameResult{Detections: dets, Truths: gts})
+	}
+	res.MAP = metrics.MAP(results, cfg.IoUThreshold)
+	res.Accuracy = metrics.DetectionAccuracy(results, cfg.IoUThreshold)
+	res.AvgRegions = metrics.Mean(regionCounts)
+	return res, nil
+}

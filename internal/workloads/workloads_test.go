@@ -1,0 +1,229 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/region"
+	"repro/internal/synth"
+)
+
+func smallSLAM() SLAMConfig {
+	cfg := DefaultSLAMConfig()
+	cfg.W, cfg.H = 320, 240
+	cfg.Frames = 30
+	cfg.WorldSize = 1024
+	cfg.Profile = synth.ProfileSlow
+	return cfg
+}
+
+func TestCaptureModels(t *testing.T) {
+	in := frame.New(32, 32, frame.Gray8)
+	in.FillRect(8, 8, 16, 16, 200)
+	full := region.List{region.FullFrame(32, 32)}
+
+	fch, err := FCH{}.Process(in, 0, full)
+	if err != nil || !fch.Equal(in) {
+		t.Error("FCH must pass frames through")
+	}
+
+	textured := synth.NewWorld(128, 128, 3).Canvas.Crop(0, 0, 32, 32)
+	fcl, err := FCL{Factor: 4}.Process(textured, 0, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fcl.Equal(textured) {
+		t.Error("FCL should lose detail")
+	}
+	if fcl.W != 32 || fcl.H != 32 {
+		t.Error("FCL must preserve canvas size")
+	}
+	// Zero factor defaults to 2.
+	if _, err := (FCL{}).Process(in, 0, full); err != nil {
+		t.Error(err)
+	}
+
+	rp, err := NewRP(10, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Name() != "RP10" {
+		t.Errorf("Name = %q", rp.Name())
+	}
+	out, err := rp.Process(in, 0, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(in) {
+		t.Error("RP with full-frame labels must be lossless")
+	}
+	partial := region.List{{X: 8, Y: 8, W: 16, H: 16, Stride: 1, Skip: 1}}
+	out2, err := rp.Process(in, 1, partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Gray(10, 10) != 200 || out2.Gray(0, 0) != 0 {
+		t.Error("RP partial capture wrong")
+	}
+
+	mr, err := NewMultiROI(32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manySmall := region.List{}
+	for i := 0; i < 30; i++ {
+		manySmall = append(manySmall, region.Label{X: i, Y: i, W: 2, H: 2, Stride: 2, Skip: 2})
+	}
+	out3, err := mr.Process(in, 0, manySmall.SortByY())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out3.W != 32 {
+		t.Error("MultiROI output shape wrong")
+	}
+
+	h264, err := H264{}.Process(in, 0, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h264.Equal(in) {
+		t.Error("H264 model should mildly degrade the frame")
+	}
+	// But only mildly: MAE small.
+	mae, _ := frame.MAE(h264, in)
+	if mae > 6 {
+		t.Errorf("H264 degradation MAE = %v, want mild", mae)
+	}
+}
+
+func TestRunSLAMOnFCH(t *testing.T) {
+	res, err := RunSLAM(smallSLAM(), FCH{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.System != "FCH" {
+		t.Errorf("System = %q", res.System)
+	}
+	if len(res.LabelTrace) != 30 {
+		t.Fatalf("label trace length %d", len(res.LabelTrace))
+	}
+	if res.ATE > 10 {
+		t.Errorf("FCH ATE = %.2f px, want small on slow motion", res.ATE)
+	}
+	if res.AvgRegions <= 0 {
+		t.Error("no regions recorded")
+	}
+	// Intermediate frames should carry many feature regions.
+	if n := len(res.LabelTrace[1]); n < 10 {
+		t.Errorf("frame 1 has %d regions, want many", n)
+	}
+	// Full-capture frames carry the full-frame label.
+	if res.LabelTrace[0][0].W != 320 {
+		t.Error("frame 0 should be a full capture")
+	}
+}
+
+func TestRunSLAMOnRPAccuracyOrdering(t *testing.T) {
+	cfg := smallSLAM()
+	fch, err := RunSLAM(cfg, FCH{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := NewRP(cfg.CycleLength, cfg.W, cfg.H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpRes, err := RunSLAM(cfg, rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcl, err := RunSLAM(cfg, FCL{Factor: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper shape: RP close to FCH; FCL substantially worse.
+	if rpRes.ATE > fch.ATE*4+2 {
+		t.Errorf("RP10 ATE %.2f too far above FCH %.2f", rpRes.ATE, fch.ATE)
+	}
+	if fcl.ATE < rpRes.ATE*0.8 {
+		t.Errorf("FCL ATE %.2f should exceed RP10 %.2f", fcl.ATE, rpRes.ATE)
+	}
+	if len(rpRes.PixelFractions) == 0 {
+		t.Error("RP run should record pixel fractions")
+	}
+	// Rhythmic capture stores well under the full stream.
+	last := rpRes.PixelFractions[len(rpRes.PixelFractions)-1]
+	if last > 0.9 {
+		t.Errorf("cumulative pixel fraction %.2f, want < 0.9", last)
+	}
+}
+
+func TestRunFaceOnFCH(t *testing.T) {
+	cfg := DefaultFaceConfig()
+	res, err := RunFace(cfg, FCH{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MAP < 0.5 {
+		t.Errorf("FCH face mAP = %.2f, want >= 0.5", res.MAP)
+	}
+	if len(res.LabelTrace) != cfg.Frames {
+		t.Errorf("trace length %d", len(res.LabelTrace))
+	}
+}
+
+func TestRunPoseOnFCH(t *testing.T) {
+	cfg := DefaultPoseConfig()
+	cfg.W, cfg.H = 320, 240
+	cfg.Frames = 40
+	res, err := RunPose(cfg, FCH{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy < 0.25 {
+		t.Errorf("FCH pose accuracy = %.2f, want reasonable", res.Accuracy)
+	}
+	if res.AvgRegions <= 0 {
+		t.Error("no regions recorded")
+	}
+}
+
+func TestRunPoseOnRP(t *testing.T) {
+	cfg := DefaultPoseConfig()
+	cfg.W, cfg.H = 320, 240
+	cfg.Frames = 30
+	rp, err := NewRP(cfg.CycleLength, cfg.W, cfg.H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunPose(cfg, rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.System != "RP10" {
+		t.Errorf("System = %q", res.System)
+	}
+	// The rhythmic capture must have stored fewer pixels than the stream.
+	st := rp.Sys.Stats()
+	if st.PixelsStored >= st.PixelsIn {
+		t.Error("RP stored the full stream")
+	}
+}
+
+func TestRunPoseMultiPerson(t *testing.T) {
+	cfg := DefaultPoseConfig()
+	cfg.W, cfg.H = 320, 240
+	cfg.Frames = 25
+	cfg.People = 3
+	res, err := RunPose(cfg, FCH{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 walkers × 13 joints tracked → region count scales with people.
+	if res.AvgRegions < 20 {
+		t.Errorf("AvgRegions = %.0f, want >= 20 with 3 walkers", res.AvgRegions)
+	}
+	if res.MAP <= 0 {
+		t.Errorf("multi-person mAP = %v", res.MAP)
+	}
+}

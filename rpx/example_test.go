@@ -1,0 +1,96 @@
+package rpx_test
+
+import (
+	"fmt"
+
+	"repro/rpx"
+)
+
+// The canonical flow: configure regions, capture, decode, inspect savings.
+func Example() {
+	sys, err := rpx.NewSystem(64, 64, rpx.Gray8)
+	if err != nil {
+		panic(err)
+	}
+	// One detailed region at full density, the rest of the frame discarded.
+	err = sys.SetRegionLabels([]rpx.RegionLabel{
+		{X: 16, Y: 16, W: 32, H: 32, Stride: 1, Skip: 1},
+	})
+	if err != nil {
+		panic(err)
+	}
+	in := rpx.NewFrame(64, 64, rpx.Gray8)
+	in.Fill(200)
+	cs, err := sys.Capture(in)
+	if err != nil {
+		panic(err)
+	}
+	decoded, err := sys.Decoded()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("stored %d of %d pixels\n", cs.EncodedPixels, 64*64)
+	fmt.Printf("inside region: %d, outside: %d\n", decoded.Gray(32, 32), decoded.Gray(0, 0))
+	// Output:
+	// stored 1024 of 4096 pixels
+	// inside region: 200, outside: 0
+}
+
+// Stride trades spatial resolution for traffic inside one region.
+func ExampleRegionLabel_stride() {
+	sys, _ := rpx.NewSystem(16, 16, rpx.Gray8)
+	_ = sys.SetRegionLabels([]rpx.RegionLabel{
+		{X: 0, Y: 0, W: 16, H: 16, Stride: 4, Skip: 1},
+	})
+	in := rpx.NewFrame(16, 16, rpx.Gray8)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			in.SetGray(x, y, uint8(16*y+x))
+		}
+	}
+	cs, _ := sys.Capture(in)
+	decoded, _ := sys.Decoded()
+	fmt.Printf("stored %d pixels (stride 4 keeps 1 in 16)\n", cs.EncodedPixels)
+	// Non-lattice pixels hold their top-left lattice neighbor.
+	fmt.Printf("lattice (4,4)=%d held (6,7)=%d\n", decoded.Gray(4, 4), decoded.Gray(6, 7))
+	// Output:
+	// stored 16 pixels (stride 4 keeps 1 in 16)
+	// lattice (4,4)=68 held (6,7)=68
+}
+
+// Skip trades temporal resolution: skipped frames decode from history.
+func ExampleRegionLabel_skip() {
+	sys, _ := rpx.NewSystem(8, 8, rpx.Gray8)
+	_ = sys.SetRegionLabels([]rpx.RegionLabel{
+		{X: 0, Y: 0, W: 8, H: 8, Stride: 1, Skip: 2},
+	})
+	a := rpx.NewFrame(8, 8, rpx.Gray8)
+	a.Fill(100)
+	b := rpx.NewFrame(8, 8, rpx.Gray8)
+	b.Fill(250)
+
+	csA, _ := sys.Capture(a) // frame 0: on the rhythm, captured
+	csB, _ := sys.Capture(b) // frame 1: skipped
+	decoded, _ := sys.Decoded()
+	fmt.Printf("frame 0 stored %d, frame 1 stored %d\n", csA.EncodedPixels, csB.EncodedPixels)
+	fmt.Printf("frame 1 decodes frame 0's pixels: %d\n", decoded.Gray(4, 4))
+	// Output:
+	// frame 0 stored 64, frame 1 stored 0
+	// frame 1 decodes frame 0's pixels: 100
+}
+
+// A cycle policy alternates full captures with task-driven regions.
+func ExampleCyclePolicy() {
+	regions := rpx.RegionList{{X: 10, Y: 10, W: 20, H: 20, Stride: 1, Skip: 1}}
+	pol := rpx.NewCyclePolicy(3, 100, 100,
+		rpx.PolicySourceFunc(func(int) rpx.RegionList { return regions }))
+	for t := 0; t < 4; t++ {
+		labels := pol.Labels(t)
+		fmt.Printf("frame %d: full=%v regions=%d\n", t, pol.IsFullCapture(t), len(labels))
+	}
+	// Output:
+	// frame 0: full=true regions=1
+	// frame 1: full=false regions=1
+	// frame 2: full=false regions=1
+	// frame 3: full=true regions=1
+}

@@ -1,0 +1,121 @@
+package rpx
+
+import (
+	"fmt"
+
+	"repro/internal/frame"
+	"repro/internal/isp"
+	"repro/internal/sensor"
+)
+
+// CameraPipeline is the end-to-end video pipeline of the paper's platform
+// (Table 2): a raster-scan image sensor, a CSI-class serial link, ISP
+// stages (demosaic, gamma, color conversion), and the rhythmic pixel
+// System at the ISP output. It turns RGB scene frames into encoded
+// framebuffer contents exactly the way the FPGA prototype does, and
+// accounts for sensor and link activity for energy analysis.
+type CameraPipeline struct {
+	// Sys is the rhythmic pixel system fed by the ISP output.
+	Sys *System
+
+	sensor *sensor.Sensor
+	link   *sensor.CSILink
+	isp    *isp.Pipeline
+}
+
+// CameraConfig configures NewCameraPipeline.
+type CameraConfig struct {
+	W, H int
+	// FPS is the capture rate (default 30).
+	FPS float64
+	// ReadNoiseSigma adds sensor read noise in 8-bit codes (default 1.5).
+	ReadNoiseSigma float64
+	// Seed makes sensor noise deterministic.
+	Seed int64
+	// Options configure the underlying System.
+	Options []Option
+}
+
+// NewCameraPipeline builds the full pipeline. Dimensions must be even
+// (Bayer mosaic).
+func NewCameraPipeline(cfg CameraConfig) (*CameraPipeline, error) {
+	if cfg.FPS == 0 {
+		cfg.FPS = 30
+	}
+	if cfg.ReadNoiseSigma == 0 {
+		cfg.ReadNoiseSigma = 1.5
+	}
+	sen, err := sensor.New(sensor.Config{
+		W: cfg.W, H: cfg.H, FPS: cfg.FPS,
+		ReadNoiseSigma: cfg.ReadNoiseSigma, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sys, err := NewSystem(cfg.W, cfg.H, Gray8, cfg.Options...)
+	if err != nil {
+		return nil, err
+	}
+	p := &CameraPipeline{
+		Sys:    sys,
+		sensor: sen,
+		link:   sensor.NewCSILink(),
+		isp:    isp.NewPipeline(),
+	}
+	if !p.isp.MeetsRate(cfg.W, cfg.H, cfg.FPS) {
+		return nil, fmt.Errorf("rpx: %dx%d @ %.0f fps exceeds the ISP's 2 px/clock budget", cfg.W, cfg.H, cfg.FPS)
+	}
+	return p, nil
+}
+
+// CaptureScene drives one frame through the whole pipeline: the sensor
+// samples the RGB (or gray) scene through its Bayer mosaic with read noise,
+// the mosaic crosses the CSI link, the ISP demosaics/gammas/converts, and
+// the rhythmic encoder packs the result into the framebuffer under the
+// currently installed region labels.
+func (p *CameraPipeline) CaptureScene(scene *Frame) (CaptureStats, error) {
+	bayer, err := p.sensor.Capture(scene)
+	if err != nil {
+		return CaptureStats{}, err
+	}
+	// Serialize the mosaic over the CSI link as framed line packets.
+	lines := make([][]byte, 0, bayer.H)
+	p.sensor.Stream(bayer, func(_ int, line []byte) {
+		lines = append(lines, line)
+	})
+	p.link.TransferFrame(lines)
+	processed, err := p.isp.Process(bayer)
+	if err != nil {
+		return CaptureStats{}, err
+	}
+	return p.Sys.Capture(processed)
+}
+
+// SetRegionLabels forwards to the underlying System.
+func (p *CameraPipeline) SetRegionLabels(labels []RegionLabel) error {
+	return p.Sys.SetRegionLabels(labels)
+}
+
+// Decoded forwards to the underlying System.
+func (p *CameraPipeline) Decoded() (*Frame, error) { return p.Sys.Decoded() }
+
+// PipelineStats reports front-end activity for energy accounting.
+type PipelineStats struct {
+	FramesSensed     int
+	CSIBytes         int64
+	ISPPixels        int64
+	EncoderWriteByte int64
+}
+
+// FrontEndStats returns sensor/link/ISP activity counters.
+func (p *CameraPipeline) FrontEndStats() PipelineStats {
+	return PipelineStats{
+		FramesSensed:     p.sensor.FramesCaptured(),
+		CSIBytes:         p.link.BytesTransferred(),
+		ISPPixels:        p.isp.PixelsProcessed(),
+		EncoderWriteByte: p.Sys.Stats().BytesWritten,
+	}
+}
+
+// ProcessedFormat returns the format frames leave the ISP in.
+func (p *CameraPipeline) ProcessedFormat() frame.Format { return frame.Gray8 }
