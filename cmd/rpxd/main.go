@@ -1,0 +1,108 @@
+// Command rpxd serves rhythmic-pixel capture/decode sessions over TCP.
+//
+// Each client connection negotiates one session (geometry, pixel format,
+// decoder history depth, queue depth, backpressure mode) via the rpxd wire
+// protocol and then streams frames in and reconstructed pixels out. Every
+// session runs its own encoder/decoder pipeline on a dedicated worker
+// goroutine behind a bounded request queue, so N clients capture and decode
+// concurrently with independent rhythms.
+//
+// Usage:
+//
+//	rpxd -addr :7621 -max-sessions 64 -queue-depth 16
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, queued
+// requests drain, and the final statistics snapshot is written to stderr as
+// JSON.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	var (
+		addr         = flag.String("addr", ":7621", "listen address")
+		maxSessions  = flag.Int("max-sessions", server.DefaultMaxSessions, "maximum concurrent sessions")
+		queueDepth   = flag.Int("queue-depth", server.DefaultQueueDepth, "default per-session request queue bound")
+		readTimeout  = flag.Duration("read-timeout", server.DefaultReadTimeout, "per-read connection deadline")
+		writeTimeout = flag.Duration("write-timeout", server.DefaultWriteTimeout, "per-write connection deadline")
+		maxPayload   = flag.Int("max-payload", 0, "per-message payload cap in bytes (0 = 32 MiB)")
+		drainTime    = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain budget")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, *addr, server.Config{
+		MaxSessions: *maxSessions,
+		QueueDepth:  *queueDepth,
+	}, server.TCPConfig{
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+		MaxPayload:   *maxPayload,
+	}, *drainTime, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "rpxd:", err)
+		return 1
+	}
+	return 0
+}
+
+// run serves until ctx is cancelled, then drains and flushes stats to logw.
+func run(ctx context.Context, addr string, mcfg server.Config, tcfg server.TCPConfig, drainTime time.Duration, logw io.Writer) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return serveAndDrain(ctx, ln, mcfg, tcfg, drainTime, logw)
+}
+
+// serveAndDrain runs the server on an existing listener until ctx is
+// cancelled, then performs the graceful shutdown sequence: close the
+// listener, drain session queues, flush the final stats snapshot.
+func serveAndDrain(ctx context.Context, ln net.Listener, mcfg server.Config, tcfg server.TCPConfig, drainTime time.Duration, logw io.Writer) error {
+	srv := server.NewTCPServer(server.NewManager(mcfg), tcfg)
+	fmt.Fprintf(logw, "rpxd: listening on %s (max sessions %d, queue depth %d)\n",
+		ln.Addr(), mcfg.MaxSessions, mcfg.QueueDepth)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		srv.Shutdown(context.Background())
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(logw, "rpxd: shutting down, draining sessions")
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTime)
+	defer cancel()
+	shutdownErr := srv.Shutdown(drainCtx)
+	<-serveErr // Serve returns nil once the listener closes under drain
+
+	snap := srv.Manager().Snapshot()
+	if b, err := json.MarshalIndent(snap, "", "  "); err == nil {
+		fmt.Fprintf(logw, "rpxd: final stats\n%s\n", b)
+	}
+	if shutdownErr != nil {
+		return fmt.Errorf("drain incomplete: %w", shutdownErr)
+	}
+	return nil
+}

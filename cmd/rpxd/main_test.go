@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/rpx"
+	"repro/rpx/client"
+)
+
+// TestServeAndDrain boots the daemon loop on a loopback listener, runs a
+// client session against it, then cancels the context and verifies the
+// graceful shutdown path: clean return, sessions drained, stats flushed.
+func TestServeAndDrain(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var log bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- serveAndDrain(ctx, ln, server.Config{}, server.TCPConfig{}, 5*time.Second, &log)
+	}()
+
+	sess, err := client.Dial(ln.Addr().String(), client.Config{W: 32, H: 32, Format: rpx.Gray8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.SetRegionLabels([]rpx.RegionLabel{rpx.FullFrame(32, 32)}); err != nil {
+		t.Fatal(err)
+	}
+	fr := rpx.NewFrame(32, 32, rpx.Gray8)
+	for i := range fr.Pix {
+		fr.Pix[i] = byte(i)
+	}
+	if _, err := sess.Capture(fr); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := sess.Decoded()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Equal(fr) {
+		t.Fatal("daemon round trip mismatch")
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serveAndDrain: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	out := log.String()
+	if !strings.Contains(out, "final stats") || !strings.Contains(out, "\"frames_captured\": 1") {
+		t.Fatalf("final stats not flushed:\n%s", out)
+	}
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/frame"
+	"repro/internal/region"
+)
+
+// These tests drive the .rpxs container across a net.Pipe, where reads are
+// incremental and writer-paced — the shape rpxd relies on. A synchronous
+// pipe also catches any reader that over-reads past a frame boundary: the
+// writer side would block forever instead of round-tripping.
+
+// pipeConns returns both ends of a net.Pipe with a test-scoped deadline so a
+// deadlocked reader/writer pair fails fast instead of hanging the suite.
+func pipeConns(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	cw, cr := net.Pipe()
+	deadline := time.Now().Add(10 * time.Second)
+	cw.SetDeadline(deadline)
+	cr.SetDeadline(deadline)
+	t.Cleanup(func() { cw.Close(); cr.Close() })
+	return cw, cr
+}
+
+func TestStreamOverPipeRoundTrip(t *testing.T) {
+	const w, h, frames = 32, 24, 6
+	cw, cr := pipeConns(t)
+
+	enc := NewEncoder(w, h, frame.Gray8)
+	if err := enc.SetRegionLabels(region.List{{X: 4, Y: 4, W: 20, H: 16, Stride: 1, Skip: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	var inputs []*frame.Frame
+	for i := 0; i < frames; i++ {
+		inputs = append(inputs, testFrame(w, h, frame.Gray8, int64(300+i)))
+	}
+
+	writeErr := make(chan error, 1)
+	go func() {
+		defer cw.Close()
+		sw := NewStreamWriter(cw)
+		for i, fr := range inputs {
+			ef, err := enc.EncodeFrame(fr, i)
+			if err != nil {
+				writeErr <- err
+				return
+			}
+			if err := sw.WriteFrame(ef); err != nil {
+				writeErr <- err
+				return
+			}
+		}
+		writeErr <- nil
+	}()
+
+	// Reference decode: the same frames through an in-process decoder.
+	refDec := NewDecoder(w, h, frame.Gray8)
+	refEnc := NewEncoder(w, h, frame.Gray8)
+	if err := refEnc.SetRegionLabels(region.List{{X: 4, Y: 4, W: 20, H: 16, Stride: 1, Skip: 2}}); err != nil {
+		t.Fatal(err)
+	}
+
+	n := 0
+	err := DecodeStream(cr, frame.Gray8, func(idx int, dec *frame.Frame) error {
+		ef, err := refEnc.EncodeFrame(inputs[idx], idx)
+		if err != nil {
+			return err
+		}
+		if err := refDec.Push(ef); err != nil {
+			return err
+		}
+		want, err := refDec.DecodeFrame()
+		if err != nil {
+			return err
+		}
+		if !dec.Equal(want) {
+			t.Errorf("frame %d: piped decode differs from in-process decode", idx)
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("DecodeStream: %v", err)
+	}
+	if n != frames {
+		t.Fatalf("decoded %d frames, want %d", n, frames)
+	}
+	if err := <-writeErr; err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+}
+
+func TestStreamOverPipeTruncatedHeader(t *testing.T) {
+	cw, cr := pipeConns(t)
+	go func() {
+		cw.Write([]byte{0x53, 0x58, 0x50, 0x52, 1, 0}) // 6 of 20 header bytes
+		cw.Close()
+	}()
+	_, err := NewStreamReader(cr)
+	if err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	if !strings.Contains(err.Error(), "short stream header") {
+		t.Fatalf("err = %v, want short-header error", err)
+	}
+}
+
+func TestStreamOverPipeBadMagic(t *testing.T) {
+	cw, cr := pipeConns(t)
+	go func() {
+		hdr := make([]byte, 20)
+		binary.LittleEndian.PutUint32(hdr, 0xDEADBEEF)
+		binary.LittleEndian.PutUint32(hdr[4:], 1)
+		cw.Write(hdr)
+		cw.Close()
+	}()
+	if _, err := NewStreamReader(cr); err == nil || !strings.Contains(err.Error(), "bad stream magic") {
+		t.Fatalf("err = %v, want bad-magic error", err)
+	}
+}
+
+func TestStreamOverPipeMismatchedGeometry(t *testing.T) {
+	// A stream whose header declares 16x16 but whose first frame is 8x8.
+	// StreamWriter refuses to produce this, so splice it by hand.
+	enc := NewEncoder(8, 8, frame.Gray8)
+	if err := enc.SetRegionLabels(region.List{region.FullFrame(8, 8)}); err != nil {
+		t.Fatal(err)
+	}
+	ef, err := enc.EncodeFrame(frame.New(8, 8, frame.Gray8), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spliced bytes.Buffer
+	hdr := make([]byte, 0, 20)
+	hdr = binary.LittleEndian.AppendUint32(hdr, streamMagic)
+	hdr = binary.LittleEndian.AppendUint32(hdr, 1)
+	hdr = binary.LittleEndian.AppendUint32(hdr, 16)
+	hdr = binary.LittleEndian.AppendUint32(hdr, 16)
+	hdr = binary.LittleEndian.AppendUint32(hdr, 1)
+	spliced.Write(hdr)
+	if _, err := ef.WriteTo(&spliced); err != nil {
+		t.Fatal(err)
+	}
+
+	cw, cr := pipeConns(t)
+	go func() {
+		cw.Write(spliced.Bytes())
+		cw.Close()
+	}()
+	sr, err := NewStreamReader(cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.W != 16 || sr.H != 16 {
+		t.Fatalf("header geometry = %dx%d, want 16x16", sr.W, sr.H)
+	}
+	if _, err := sr.ReadFrame(); err == nil || !strings.Contains(err.Error(), "geometry mismatch") {
+		t.Fatalf("err = %v, want geometry-mismatch error", err)
+	}
+}
+
+func TestStreamOverPipeTruncatedFrame(t *testing.T) {
+	// A writer that dies mid-frame must surface a hard error, not io.EOF.
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf)
+	enc := NewEncoder(16, 16, frame.Gray8)
+	if err := enc.SetRegionLabels(region.List{region.FullFrame(16, 16)}); err != nil {
+		t.Fatal(err)
+	}
+	ef, err := enc.EncodeFrame(testFrame(16, 16, frame.Gray8, 400), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.WriteFrame(ef); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	cw, cr := pipeConns(t)
+	go func() {
+		cw.Write(full[:len(full)-7])
+		cw.Close()
+	}()
+	sr, err := NewStreamReader(cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr.ReadFrame(); err == nil || err == io.EOF {
+		t.Fatalf("truncated frame over pipe: err = %v, want hard error", err)
+	}
+}

@@ -1,0 +1,437 @@
+// Package server is the concurrent heart of rpxd: a session manager that
+// multiplexes many independent rhythmic-pixel pipelines behind one process.
+//
+// rpx.System is single-goroutine by contract, so the manager gives every
+// session a dedicated worker goroutine and a bounded request queue. Callers
+// submit operations (label updates, captures, decodes) and either block or
+// fail fast with ErrBacklog when a session falls behind — backpressure is
+// explicit, never unbounded buffering. All cross-session statistics are
+// atomic snapshots, so the stats endpoint can run hot without touching a
+// worker.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/frame"
+	"repro/internal/region"
+	"repro/rpx"
+)
+
+// Typed failures the manager surfaces to transports and clients.
+var (
+	// ErrBacklog means the session's bounded request queue is full and the
+	// session was opened in fail-fast mode.
+	ErrBacklog = errors.New("server: session request queue full")
+	// ErrSessionClosed means the session no longer accepts requests.
+	ErrSessionClosed = errors.New("server: session closed")
+	// ErrManagerClosed means the manager is shut down.
+	ErrManagerClosed = errors.New("server: manager closed")
+	// ErrSessionLimit means the manager is at MaxSessions.
+	ErrSessionLimit = errors.New("server: session limit reached")
+)
+
+// Op identifies a session operation for latency accounting.
+type Op uint8
+
+// Session operations.
+const (
+	OpSetLabels Op = iota
+	OpCapture
+	OpDecode
+	OpDecodeWindow
+	OpLastEncoded
+	numOps
+)
+
+// String returns the op's stats key.
+func (o Op) String() string {
+	switch o {
+	case OpSetLabels:
+		return "set_labels"
+	case OpCapture:
+		return "capture"
+	case OpDecode:
+		return "decode"
+	case OpDecodeWindow:
+		return "decode_window"
+	case OpLastEncoded:
+		return "last_encoded"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Config tunes a Manager.
+type Config struct {
+	// MaxSessions caps concurrently open sessions (default 64).
+	MaxSessions int
+	// QueueDepth is the default per-session request queue bound
+	// (default 16); sessions may negotiate their own at open.
+	QueueDepth int
+}
+
+// DefaultMaxSessions is the session cap when Config.MaxSessions is zero.
+const DefaultMaxSessions = 64
+
+// DefaultQueueDepth is the per-session queue bound when unset.
+const DefaultQueueDepth = 16
+
+// Manager owns the sessions of one rpxd process.
+type Manager struct {
+	cfg Config
+
+	mu       sync.Mutex
+	sessions map[uint64]*Session
+	nextID   uint64
+	closed   bool
+
+	// Aggregate counters, atomic so Snapshot never blocks a worker.
+	sessionsOpened atomic.Int64
+	framesCaptured atomic.Int64
+	encodedBytes   atomic.Int64
+	decodedFrames  atomic.Int64
+	backlogRejects atomic.Int64
+
+	opHist [numOps]Histogram
+
+	// testOpGate, when set (tests only), runs inside the worker before each
+	// operation executes — it lets tests hold a worker mid-request to fill
+	// queues deterministically.
+	testOpGate func(Op)
+}
+
+// NewManager returns a Manager with cfg defaults applied.
+func NewManager(cfg Config) *Manager {
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	return &Manager{cfg: cfg, sessions: make(map[uint64]*Session)}
+}
+
+// SessionConfig describes one session's negotiated pipeline.
+type SessionConfig struct {
+	// W, H and Format fix the session's frame geometry.
+	W, H   int
+	Format frame.Format
+	// HistoryDepth is the decoder scratchpad depth (0 = rpx default).
+	HistoryDepth int
+	// QueueDepth bounds this session's request queue (0 = manager default).
+	QueueDepth int
+	// Block selects blocking backpressure instead of ErrBacklog.
+	Block bool
+}
+
+// Session is one client's rhythmic-pixel pipeline: an rpx.System owned by a
+// dedicated worker goroutine, fed through a bounded request queue. Session
+// methods are safe for concurrent use; operations are serialized by the
+// worker in arrival order.
+type Session struct {
+	id  uint64
+	cfg SessionConfig
+	mgr *Manager
+	sys *rpx.System
+
+	reqs chan *request
+	quit chan struct{}
+	done chan struct{}
+
+	mu      sync.Mutex
+	closed  bool
+	pending sync.WaitGroup
+}
+
+type request struct {
+	op     Op
+	labels region.List
+	frame  *frame.Frame
+	window wire4
+	start  time.Time
+	reply  chan result
+}
+
+type wire4 struct{ x, y, w, h int }
+
+type result struct {
+	cs  rpx.CaptureStats
+	fr  *frame.Frame
+	ef  *core.EncodedFrame
+	err error
+}
+
+// Open creates a session and starts its worker.
+func (m *Manager) Open(cfg SessionConfig) (*Session, error) {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = m.cfg.QueueDepth
+	}
+	var opts []rpx.Option
+	if cfg.HistoryDepth > 0 {
+		opts = append(opts, rpx.WithHistoryDepth(cfg.HistoryDepth))
+	}
+	sys, err := rpx.NewSystem(cfg.W, cfg.H, cfg.Format, opts...)
+	if err != nil {
+		return nil, err
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrManagerClosed
+	}
+	if len(m.sessions) >= m.cfg.MaxSessions {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w (%d)", ErrSessionLimit, m.cfg.MaxSessions)
+	}
+	m.nextID++
+	s := &Session{
+		id:   m.nextID,
+		cfg:  cfg,
+		mgr:  m,
+		sys:  sys,
+		reqs: make(chan *request, cfg.QueueDepth),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	m.sessions[s.id] = s
+	m.mu.Unlock()
+	m.sessionsOpened.Add(1)
+
+	go s.worker()
+	return s, nil
+}
+
+// worker drains the request queue until it is closed, executing each
+// operation against the single-goroutine rpx.System.
+func (s *Session) worker() {
+	defer close(s.done)
+	for req := range s.reqs {
+		if gate := s.mgr.testOpGate; gate != nil {
+			gate(req.op)
+		}
+		res := s.execute(req)
+		s.mgr.opHist[req.op].Observe(time.Since(req.start))
+		req.reply <- res
+	}
+}
+
+func (s *Session) execute(req *request) result {
+	switch req.op {
+	case OpSetLabels:
+		return result{err: s.sys.SetRegionLabels(req.labels)}
+	case OpCapture:
+		cs, err := s.sys.Capture(req.frame)
+		if err == nil {
+			s.mgr.framesCaptured.Add(1)
+			s.mgr.encodedBytes.Add(int64(cs.EncodedBytes))
+		}
+		return result{cs: cs, err: err}
+	case OpDecode:
+		fr, err := s.sys.Decoded()
+		if err == nil {
+			s.mgr.decodedFrames.Add(1)
+		}
+		return result{fr: fr, err: err}
+	case OpDecodeWindow:
+		fr, err := s.sys.DecodeWindow(req.window.x, req.window.y, req.window.w, req.window.h)
+		if err == nil {
+			s.mgr.decodedFrames.Add(1)
+		}
+		return result{fr: fr, err: err}
+	case OpLastEncoded:
+		ef := s.sys.LastEncoded()
+		if ef == nil {
+			return result{err: fmt.Errorf("server: no frame captured yet")}
+		}
+		return result{ef: ef}
+	}
+	return result{err: fmt.Errorf("server: unknown op %d", req.op)}
+}
+
+// submit enqueues one operation and waits for its result, honouring the
+// session's backpressure mode.
+func (s *Session) submit(req *request) result {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return result{err: ErrSessionClosed}
+	}
+	s.pending.Add(1)
+	s.mu.Unlock()
+	defer s.pending.Done()
+
+	req.start = time.Now()
+	req.reply = make(chan result, 1)
+	if s.cfg.Block {
+		select {
+		case s.reqs <- req:
+		case <-s.quit:
+			return result{err: ErrSessionClosed}
+		}
+	} else {
+		select {
+		case s.reqs <- req:
+		default:
+			s.mgr.backlogRejects.Add(1)
+			return result{err: ErrBacklog}
+		}
+	}
+	// The worker serves every enqueued request, even during close: the
+	// queue is only closed after all submitters have drained.
+	return <-req.reply
+}
+
+// ID returns the manager-assigned session id.
+func (s *Session) ID() uint64 { return s.id }
+
+// Config returns the negotiated session configuration.
+func (s *Session) Config() SessionConfig { return s.cfg }
+
+// QueueDepth returns the number of queued (unserved) requests.
+func (s *Session) QueueDepth() int { return len(s.reqs) }
+
+// SetRegionLabels installs the capture workload for the next frame.
+func (s *Session) SetRegionLabels(labels region.List) error {
+	return s.submit(&request{op: OpSetLabels, labels: labels}).err
+}
+
+// Capture encodes one frame into the session's framebuffer.
+func (s *Session) Capture(fr *frame.Frame) (rpx.CaptureStats, error) {
+	res := s.submit(&request{op: OpCapture, frame: fr})
+	return res.cs, res.err
+}
+
+// Decoded reconstructs the newest frame.
+func (s *Session) Decoded() (*frame.Frame, error) {
+	res := s.submit(&request{op: OpDecode})
+	return res.fr, res.err
+}
+
+// DecodeWindow reconstructs a sub-rectangle of the newest frame.
+func (s *Session) DecodeWindow(x, y, w, h int) (*frame.Frame, error) {
+	res := s.submit(&request{op: OpDecodeWindow, window: wire4{x, y, w, h}})
+	return res.fr, res.err
+}
+
+// LastEncoded returns the newest encoded frame.
+func (s *Session) LastEncoded() (*core.EncodedFrame, error) {
+	res := s.submit(&request{op: OpLastEncoded})
+	return res.ef, res.err
+}
+
+// SystemStats snapshots the underlying pipeline's traffic counters without
+// entering the request queue (safe per rpx.System's concurrency contract).
+func (s *Session) SystemStats() rpx.SystemStats { return s.sys.Stats() }
+
+// Close drains the queue and stops the worker. Requests submitted after
+// Close fail with ErrSessionClosed; requests already queued are served.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	close(s.quit)    // release blocked submitters
+	s.pending.Wait() // all submitters have enqueued or bailed
+	close(s.reqs)    // worker drains the remainder and exits
+	<-s.done
+
+	s.mgr.mu.Lock()
+	delete(s.mgr.sessions, s.id)
+	s.mgr.mu.Unlock()
+	return nil
+}
+
+// Close shuts every session down and rejects future opens.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	open := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		open = append(open, s)
+	}
+	m.mu.Unlock()
+	for _, s := range open {
+		s.Close()
+	}
+	return nil
+}
+
+// SessionsOpen returns the number of live sessions.
+func (m *Manager) SessionsOpen() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// QueueStat reports one session's queue occupancy in a Snapshot.
+type QueueStat struct {
+	SessionID uint64 `json:"session_id"`
+	W         int    `json:"w"`
+	H         int    `json:"h"`
+	Depth     int    `json:"depth"`
+	Capacity  int    `json:"capacity"`
+	Frames    int    `json:"frames_captured"`
+}
+
+// Snapshot is a point-in-time view of the whole manager, the payload of the
+// STATS wire message (JSON-encoded).
+type Snapshot struct {
+	SessionsOpen   int                          `json:"sessions_open"`
+	SessionsOpened int64                        `json:"sessions_opened"`
+	FramesCaptured int64                        `json:"frames_captured"`
+	EncodedBytes   int64                        `json:"encoded_bytes"`
+	DecodedFrames  int64                        `json:"decoded_frames"`
+	BacklogRejects int64                        `json:"backlog_rejects"`
+	Queues         []QueueStat                  `json:"queues,omitempty"`
+	OpLatency      map[string]HistogramSnapshot `json:"op_latency,omitempty"`
+}
+
+// Snapshot collects the manager-wide statistics.
+func (m *Manager) Snapshot() Snapshot {
+	snap := Snapshot{
+		SessionsOpened: m.sessionsOpened.Load(),
+		FramesCaptured: m.framesCaptured.Load(),
+		EncodedBytes:   m.encodedBytes.Load(),
+		DecodedFrames:  m.decodedFrames.Load(),
+		BacklogRejects: m.backlogRejects.Load(),
+	}
+	m.mu.Lock()
+	snap.SessionsOpen = len(m.sessions)
+	for _, s := range m.sessions {
+		snap.Queues = append(snap.Queues, QueueStat{
+			SessionID: s.id,
+			W:         s.cfg.W,
+			H:         s.cfg.H,
+			Depth:     s.QueueDepth(),
+			Capacity:  s.cfg.QueueDepth,
+			Frames:    s.SystemStats().FramesCaptured,
+		})
+	}
+	m.mu.Unlock()
+	sort.Slice(snap.Queues, func(i, j int) bool { return snap.Queues[i].SessionID < snap.Queues[j].SessionID })
+
+	snap.OpLatency = make(map[string]HistogramSnapshot, int(numOps))
+	for op := Op(0); op < numOps; op++ {
+		hs := m.opHist[op].Snapshot()
+		if hs.Count > 0 {
+			snap.OpLatency[op.String()] = hs
+		}
+	}
+	return snap
+}

@@ -1,0 +1,318 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/frame"
+	"repro/internal/region"
+	"repro/rpx"
+)
+
+func testFrame(w, h int, f frame.Format, seed int) *frame.Frame {
+	fr := frame.New(w, h, f)
+	for i := range fr.Pix {
+		fr.Pix[i] = byte(seed + i*3)
+	}
+	return fr
+}
+
+func TestSessionMatchesInProcessSystem(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+	sess, err := m.Open(SessionConfig{W: 80, H: 60, Format: frame.Gray8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := rpx.NewSystem(80, 60, rpx.Gray8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	labels := region.List{{X: 8, Y: 8, W: 40, H: 30, Stride: 2, Skip: 2}}
+	if err := sess.SetRegionLabels(labels); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.SetRegionLabels(labels); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		fr := testFrame(80, 60, frame.Gray8, i)
+		got, err := sess.Capture(fr)
+		if err != nil {
+			t.Fatalf("session capture %d: %v", i, err)
+		}
+		want, err := ref.Capture(fr)
+		if err != nil {
+			t.Fatalf("ref capture %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("capture stats %d = %+v, want %+v", i, got, want)
+		}
+		dGot, err := sess.Decoded()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dWant, err := ref.Decoded()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dGot.Equal(dWant) {
+			t.Fatalf("decoded frame %d differs from in-process system", i)
+		}
+	}
+	wGot, err := sess.DecodeWindow(8, 8, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wWant, err := ref.DecodeWindow(8, 8, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wGot.Equal(wWant) {
+		t.Fatal("decode window differs from in-process system")
+	}
+	ef, err := sess.LastEncoded()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ef.FrameIndex != ref.LastEncoded().FrameIndex {
+		t.Fatalf("LastEncoded index = %d, want %d", ef.FrameIndex, ref.LastEncoded().FrameIndex)
+	}
+}
+
+func TestBacklogFailFast(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var gateOnce sync.Once
+	m.testOpGate = func(Op) { gateOnce.Do(func() { close(entered); <-release }) }
+
+	sess, err := m.Open(SessionConfig{W: 16, H: 16, Format: frame.Gray8, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := testFrame(16, 16, frame.Gray8, 0)
+
+	// First capture occupies the worker (held at the gate); second fills
+	// the 1-deep queue; third must fail fast with ErrBacklog.
+	errs := make(chan error, 2)
+	go func() {
+		_, err := sess.Capture(fr)
+		errs <- err
+	}()
+	<-entered // the worker now holds request 1, the queue is empty
+	go func() {
+		_, err := sess.Capture(fr)
+		errs <- err
+	}()
+	// Wait until the queue is verifiably full.
+	deadline := time.After(5 * time.Second)
+	for sess.QueueDepth() != 1 {
+		select {
+		case <-deadline:
+			t.Fatal("queue never filled")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if _, err := sess.Capture(fr); !errors.Is(err, ErrBacklog) {
+		t.Fatalf("capture on full queue = %v, want ErrBacklog", err)
+	}
+	if got := m.Snapshot().BacklogRejects; got != 1 {
+		t.Fatalf("BacklogRejects = %d, want 1", got)
+	}
+
+	close(release) // release the worker; the queued captures must drain
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("queued capture failed: %v", err)
+		}
+	}
+}
+
+func TestBacklogBlocking(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	m.testOpGate = func(Op) { gateOnce.Do(func() { <-gate }) }
+
+	sess, err := m.Open(SessionConfig{W: 16, H: 16, Format: frame.Gray8, QueueDepth: 1, Block: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := testFrame(16, 16, frame.Gray8, 0)
+
+	const waiters = 3
+	errs := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			_, err := sess.Capture(fr)
+			errs <- err
+		}()
+	}
+	select {
+	case err := <-errs:
+		t.Fatalf("blocking capture returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+		// Good: everyone is blocked, nobody got ErrBacklog.
+	}
+	close(gate)
+	for i := 0; i < waiters; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("blocked capture failed: %v", err)
+		}
+	}
+	if got := m.Snapshot().BacklogRejects; got != 0 {
+		t.Fatalf("BacklogRejects = %d, want 0 in blocking mode", got)
+	}
+}
+
+func TestSessionLimitAndClose(t *testing.T) {
+	m := NewManager(Config{MaxSessions: 2})
+	defer m.Close()
+	s1, err := m.Open(SessionConfig{W: 8, H: 8, Format: frame.Gray8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Open(SessionConfig{W: 8, H: 8, Format: frame.Gray8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Open(SessionConfig{W: 8, H: 8, Format: frame.Gray8}); !errors.Is(err, ErrSessionLimit) {
+		t.Fatalf("open above limit = %v, want ErrSessionLimit", err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Capture(testFrame(8, 8, frame.Gray8, 0)); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("capture after close = %v, want ErrSessionClosed", err)
+	}
+	// The freed slot must be reusable.
+	if _, err := m.Open(SessionConfig{W: 8, H: 8, Format: frame.Gray8}); err != nil {
+		t.Fatalf("open after close: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Open(SessionConfig{W: 8, H: 8, Format: frame.Gray8}); !errors.Is(err, ErrManagerClosed) {
+		t.Fatalf("open after manager close = %v, want ErrManagerClosed", err)
+	}
+}
+
+func TestOpenRejectsBadGeometry(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+	if _, err := m.Open(SessionConfig{W: 0, H: 8, Format: frame.Gray8}); err == nil {
+		t.Fatal("zero width accepted")
+	}
+}
+
+func TestConcurrentSessionsIndependent(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+	type geom struct {
+		w, h int
+		f    frame.Format
+	}
+	geoms := []geom{{32, 24, frame.Gray8}, {48, 48, frame.RGB24}, {64, 16, frame.Gray8}, {20, 20, frame.YUV444}}
+	var wg sync.WaitGroup
+	for gi, g := range geoms {
+		wg.Add(1)
+		go func(gi int, g geom) {
+			defer wg.Done()
+			sess, err := m.Open(SessionConfig{W: g.w, H: g.h, Format: g.f})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer sess.Close()
+			if err := sess.SetRegionLabels(region.List{region.FullFrame(g.w, g.h)}); err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 10; i++ {
+				fr := testFrame(g.w, g.h, g.f, gi*100+i)
+				if _, err := sess.Capture(fr); err != nil {
+					t.Errorf("session %d capture %d: %v", gi, i, err)
+					return
+				}
+				dec, err := sess.Decoded()
+				if err != nil {
+					t.Errorf("session %d decode %d: %v", gi, i, err)
+					return
+				}
+				if !dec.Equal(fr) {
+					t.Errorf("session %d frame %d: full-frame round trip mismatch", gi, i)
+					return
+				}
+			}
+		}(gi, g)
+	}
+	wg.Wait()
+
+	snap := m.Snapshot()
+	if snap.FramesCaptured != int64(len(geoms)*10) {
+		t.Fatalf("FramesCaptured = %d, want %d", snap.FramesCaptured, len(geoms)*10)
+	}
+	if snap.DecodedFrames != int64(len(geoms)*10) {
+		t.Fatalf("DecodedFrames = %d, want %d", snap.DecodedFrames, len(geoms)*10)
+	}
+	if snap.EncodedBytes == 0 {
+		t.Fatal("EncodedBytes = 0")
+	}
+	cap := snap.OpLatency[OpCapture.String()]
+	if cap.Count != uint64(len(geoms)*10) {
+		t.Fatalf("capture latency count = %d, want %d", cap.Count, len(geoms)*10)
+	}
+	if cap.MeanNanos() <= 0 || cap.QuantileMicros(0.99) <= 0 {
+		t.Fatalf("degenerate latency summary: %+v", cap)
+	}
+}
+
+func TestSnapshotQueues(t *testing.T) {
+	m := NewManager(Config{QueueDepth: 4})
+	defer m.Close()
+	s1, _ := m.Open(SessionConfig{W: 8, H: 8, Format: frame.Gray8})
+	s2, _ := m.Open(SessionConfig{W: 16, H: 16, Format: frame.Gray8, QueueDepth: 9})
+	snap := m.Snapshot()
+	if snap.SessionsOpen != 2 || len(snap.Queues) != 2 {
+		t.Fatalf("snapshot sessions = %d queues = %d, want 2/2", snap.SessionsOpen, len(snap.Queues))
+	}
+	if snap.Queues[0].SessionID != s1.ID() || snap.Queues[1].SessionID != s2.ID() {
+		t.Fatalf("queues not sorted by id: %+v", snap.Queues)
+	}
+	if snap.Queues[0].Capacity != 4 || snap.Queues[1].Capacity != 9 {
+		t.Fatalf("queue capacities = %d/%d, want 4/9", snap.Queues[0].Capacity, snap.Queues[1].Capacity)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot(); s.Count != 0 || s.QuantileMicros(0.5) != 0 {
+		t.Fatalf("empty histogram snapshot = %+v", s)
+	}
+	h.Observe(500 * time.Nanosecond) // bucket 0 (<= 1 µs)
+	h.Observe(3 * time.Microsecond)  // bucket 2 (<= 4 µs)
+	h.Observe(100 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("Count = %d, want 3", s.Count)
+	}
+	if s.MaxNanos != int64(100*time.Millisecond) {
+		t.Fatalf("MaxNanos = %d", s.MaxNanos)
+	}
+	if s.Buckets[0] != 1 || s.Buckets[2] != 1 {
+		t.Fatalf("buckets = %v", s.Buckets)
+	}
+	if q := s.QuantileMicros(0.5); q != 4 {
+		t.Fatalf("p50 = %d µs, want 4", q)
+	}
+	if q := s.QuantileMicros(1.0); q < 65536 {
+		t.Fatalf("p100 = %d µs, want >= 65536 (100 ms bucket)", q)
+	}
+}

@@ -1,0 +1,310 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/frame"
+	"repro/internal/wire"
+)
+
+// TCPConfig tunes the network front end.
+type TCPConfig struct {
+	// ReadTimeout bounds each blocking message read — an idle or stalled
+	// client is disconnected after this long (default 2 minutes).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each reply write (default 30 seconds).
+	WriteTimeout time.Duration
+	// MaxPayload caps a single message payload in bytes
+	// (default wire.DefaultMaxPayload).
+	MaxPayload int
+}
+
+// Defaults for TCPConfig zero values.
+const (
+	DefaultReadTimeout  = 2 * time.Minute
+	DefaultWriteTimeout = 30 * time.Second
+)
+
+// TCPServer speaks the wire protocol on a listener, one session per
+// connection, translating messages into Manager calls.
+type TCPServer struct {
+	mgr *Manager
+	cfg TCPConfig
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+	wg       sync.WaitGroup
+}
+
+// NewTCPServer wraps a manager with the network front end.
+func NewTCPServer(mgr *Manager, cfg TCPConfig) *TCPServer {
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = DefaultReadTimeout
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = DefaultWriteTimeout
+	}
+	if cfg.MaxPayload <= 0 {
+		cfg.MaxPayload = wire.DefaultMaxPayload
+	}
+	return &TCPServer{mgr: mgr, cfg: cfg, conns: make(map[net.Conn]struct{})}
+}
+
+// Manager returns the session manager behind the server.
+func (s *TCPServer) Manager() *Manager { return s.mgr }
+
+// Serve accepts connections until the listener is closed (via Shutdown).
+// It returns nil on graceful shutdown.
+func (s *TCPServer) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return ErrManagerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Shutdown stops accepting, interrupts blocked reads, drains per-session
+// queues, and waits for handlers to finish or ctx to expire. The manager is
+// closed either way, so queued work is flushed before the process exits.
+func (s *TCPServer) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	ln := s.ln
+	for conn := range s.conns {
+		// Wake handlers blocked in ReadMessage; they observe draining and
+		// close their session gracefully (serving already-queued requests).
+		conn.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+	}
+	s.mgr.Close()
+	return err
+}
+
+// handle runs one connection's session loop.
+func (s *TCPServer) handle(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+
+	writeMsg := func(typ byte, payload []byte) error {
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		if err := wire.WriteMessage(bw, typ, payload, s.cfg.MaxPayload); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	writeErr := func(code uint16, msg string) error {
+		return writeMsg(wire.MsgError, wire.MarshalError(code, msg))
+	}
+
+	// The first message must be a valid HELLO.
+	conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+	typ, payload, err := wire.ReadMessage(br, s.cfg.MaxPayload)
+	if err != nil {
+		return
+	}
+	if typ != wire.MsgHello {
+		writeErr(wire.CodeProto, fmt.Sprintf("first message must be HELLO, got %d", typ))
+		return
+	}
+	hello, err := wire.UnmarshalHello(payload)
+	if err != nil {
+		writeErr(wire.CodeProto, err.Error())
+		return
+	}
+	sess, err := s.mgr.Open(SessionConfig{
+		W: hello.W, H: hello.H, Format: hello.Format,
+		HistoryDepth: hello.HistoryDepth,
+		QueueDepth:   hello.QueueDepth,
+		Block:        hello.Block,
+	})
+	if err != nil {
+		code := wire.CodeBadRequest
+		if errors.Is(err, ErrSessionLimit) || errors.Is(err, ErrManagerClosed) {
+			code = wire.CodeSessionLimit
+		}
+		writeErr(code, err.Error())
+		return
+	}
+	defer sess.Close()
+	if err := writeMsg(wire.MsgHelloAck, wire.MarshalHelloAck(wire.HelloAck{
+		SessionID:  sess.ID(),
+		MaxPayload: s.cfg.MaxPayload,
+	})); err != nil {
+		return
+	}
+
+	frameBytes := hello.W * hello.H * hello.Format.BytesPerPixel()
+	for {
+		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		typ, payload, err := wire.ReadMessage(br, s.cfg.MaxPayload)
+		if err != nil {
+			if errors.Is(err, wire.ErrTooLarge) {
+				writeErr(wire.CodeTooLarge, err.Error())
+			}
+			// Disconnect, timeout, or shutdown wake-up: close the session
+			// (its queued requests are drained by Close).
+			return
+		}
+		if done := s.serveMsg(sess, writeMsg, writeErr, typ, payload, hello, frameBytes); done {
+			return
+		}
+	}
+}
+
+// serveMsg dispatches one request message; it reports true when the
+// connection should end.
+func (s *TCPServer) serveMsg(sess *Session, writeMsg func(byte, []byte) error, writeErr func(uint16, string) error, typ byte, payload []byte, hello wire.Hello, frameBytes int) bool {
+	fail := func(err error) bool {
+		code := wire.CodeInternal
+		switch {
+		case errors.Is(err, ErrBacklog):
+			code = wire.CodeBacklog
+		case errors.Is(err, ErrSessionClosed), errors.Is(err, ErrManagerClosed):
+			code = wire.CodeSessionLimit
+		}
+		return writeErr(code, err.Error()) != nil
+	}
+	switch typ {
+	case wire.MsgSetLabels:
+		labels, err := wire.UnmarshalLabels(payload)
+		if err != nil {
+			return writeErr(wire.CodeProto, err.Error()) != nil
+		}
+		if err := sess.SetRegionLabels(labels); err != nil {
+			if errors.Is(err, ErrBacklog) || errors.Is(err, ErrSessionClosed) {
+				return fail(err)
+			}
+			return writeErr(wire.CodeBadRequest, err.Error()) != nil
+		}
+		return writeMsg(wire.MsgAck, nil) != nil
+
+	case wire.MsgCapture:
+		if len(payload) != frameBytes {
+			return writeErr(wire.CodeBadRequest, fmt.Sprintf(
+				"CAPTURE carries %d bytes, session %dx%d %v needs %d",
+				len(payload), hello.W, hello.H, hello.Format, frameBytes)) != nil
+		}
+		fr, err := frame.FromPix(hello.W, hello.H, hello.Format, payload)
+		if err != nil {
+			return writeErr(wire.CodeBadRequest, err.Error()) != nil
+		}
+		cs, err := sess.Capture(fr)
+		if err != nil {
+			return fail(err)
+		}
+		return writeMsg(wire.MsgCaptureAck, wire.MarshalCaptureAck(wire.CaptureAck{
+			FrameIndex:    cs.FrameIndex,
+			EncodedPixels: cs.EncodedPixels,
+			EncodedBytes:  cs.EncodedBytes,
+			PixelFraction: cs.PixelFraction,
+		})) != nil
+
+	case wire.MsgDecode:
+		fr, err := sess.Decoded()
+		if err != nil {
+			return fail(err)
+		}
+		return writeMsg(wire.MsgFrame, wire.MarshalFrame(fr)) != nil
+
+	case wire.MsgDecodeWindow:
+		win, err := wire.UnmarshalWindow(payload)
+		if err != nil {
+			return writeErr(wire.CodeProto, err.Error()) != nil
+		}
+		fr, err := sess.DecodeWindow(win.X, win.Y, win.W, win.H)
+		if err != nil {
+			if errors.Is(err, ErrBacklog) || errors.Is(err, ErrSessionClosed) {
+				return fail(err)
+			}
+			return writeErr(wire.CodeBadRequest, err.Error()) != nil
+		}
+		return writeMsg(wire.MsgFrame, wire.MarshalFrame(fr)) != nil
+
+	case wire.MsgGetEncoded:
+		ef, err := sess.LastEncoded()
+		if err != nil {
+			return fail(err)
+		}
+		var buf bytes.Buffer
+		if _, err := ef.WriteTo(&buf); err != nil {
+			return fail(err)
+		}
+		return writeMsg(wire.MsgEncoded, buf.Bytes()) != nil
+
+	case wire.MsgStats:
+		b, err := json.Marshal(s.mgr.Snapshot())
+		if err != nil {
+			return fail(err)
+		}
+		return writeMsg(wire.MsgStatsAck, b) != nil
+
+	case wire.MsgClose:
+		writeMsg(wire.MsgAck, nil)
+		return true
+
+	default:
+		return writeErr(wire.CodeProto, fmt.Sprintf("unexpected message type %d", typ)) != nil
+	}
+}

@@ -1,0 +1,183 @@
+package server
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/frame"
+	"repro/internal/wire"
+)
+
+// startTestServer returns a serving TCPServer and its address.
+func startTestServer(t *testing.T, mcfg Config, tcfg TCPConfig) (*TCPServer, string) {
+	t.Helper()
+	srv := NewTCPServer(NewManager(mcfg), tcfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := contextWithTimeout(5 * time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return srv, ln.Addr().String()
+}
+
+func dialRaw(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func readExpect(t *testing.T, conn net.Conn, want byte) []byte {
+	t.Helper()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	typ, payload, err := wire.ReadMessage(conn, 0)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if typ != want {
+		if typ == wire.MsgError {
+			re, _ := wire.UnmarshalError(payload)
+			t.Fatalf("got error reply %v, want type %d", re, want)
+		}
+		t.Fatalf("got message type %d, want %d", typ, want)
+	}
+	return payload
+}
+
+func readError(t *testing.T, conn net.Conn, wantCode uint16) *wire.RemoteError {
+	t.Helper()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	typ, payload, err := wire.ReadMessage(conn, 0)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if typ != wire.MsgError {
+		t.Fatalf("got message type %d, want ERROR", typ)
+	}
+	re, err := wire.UnmarshalError(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Code != wantCode {
+		t.Fatalf("error code = %d (%s), want %d", re.Code, re.Message, wantCode)
+	}
+	return re
+}
+
+func TestTCPRejectsNonHelloFirst(t *testing.T) {
+	_, addr := startTestServer(t, Config{}, TCPConfig{})
+	conn := dialRaw(t, addr)
+	if err := wire.WriteMessage(conn, wire.MsgDecode, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	readError(t, conn, wire.CodeProto)
+}
+
+func TestTCPRejectsBadHello(t *testing.T) {
+	_, addr := startTestServer(t, Config{}, TCPConfig{})
+	conn := dialRaw(t, addr)
+	payload := wire.MarshalHello(wire.Hello{W: 16, H: 16, Format: frame.Gray8})
+	payload[4] = 99 // corrupt the protocol version
+	if err := wire.WriteMessage(conn, wire.MsgHello, payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	readError(t, conn, wire.CodeProto)
+}
+
+func TestTCPEnforcesPayloadCap(t *testing.T) {
+	_, addr := startTestServer(t, Config{}, TCPConfig{MaxPayload: 4096})
+	conn := dialRaw(t, addr)
+	if err := wire.WriteMessage(conn, wire.MsgHello, wire.MarshalHello(wire.Hello{W: 16, H: 16, Format: frame.Gray8}), 0); err != nil {
+		t.Fatal(err)
+	}
+	readExpect(t, conn, wire.MsgHelloAck)
+	// A message above the cap draws TOO_LARGE and a disconnect — not an OOM.
+	if err := wire.WriteMessage(conn, wire.MsgCapture, make([]byte, 8192), 0); err != nil {
+		t.Fatal(err)
+	}
+	readError(t, conn, wire.CodeTooLarge)
+}
+
+func TestTCPSessionLimitOverWire(t *testing.T) {
+	_, addr := startTestServer(t, Config{MaxSessions: 1}, TCPConfig{})
+	hello := wire.MarshalHello(wire.Hello{W: 16, H: 16, Format: frame.Gray8})
+	c1 := dialRaw(t, addr)
+	if err := wire.WriteMessage(c1, wire.MsgHello, hello, 0); err != nil {
+		t.Fatal(err)
+	}
+	readExpect(t, c1, wire.MsgHelloAck)
+	c2 := dialRaw(t, addr)
+	if err := wire.WriteMessage(c2, wire.MsgHello, hello, 0); err != nil {
+		t.Fatal(err)
+	}
+	readError(t, c2, wire.CodeSessionLimit)
+}
+
+func TestTCPCaptureSizeMismatch(t *testing.T) {
+	_, addr := startTestServer(t, Config{}, TCPConfig{})
+	conn := dialRaw(t, addr)
+	if err := wire.WriteMessage(conn, wire.MsgHello, wire.MarshalHello(wire.Hello{W: 16, H: 16, Format: frame.Gray8}), 0); err != nil {
+		t.Fatal(err)
+	}
+	readExpect(t, conn, wire.MsgHelloAck)
+	if err := wire.WriteMessage(conn, wire.MsgCapture, make([]byte, 100), 0); err != nil {
+		t.Fatal(err)
+	}
+	readError(t, conn, wire.CodeBadRequest)
+	// The connection survives a bad request: a correct capture still works.
+	if err := wire.WriteMessage(conn, wire.MsgSetLabels, wire.MarshalLabels(nil), 0); err != nil {
+		t.Fatal(err)
+	}
+	readExpect(t, conn, wire.MsgAck)
+	if err := wire.WriteMessage(conn, wire.MsgCapture, make([]byte, 16*16), 0); err != nil {
+		t.Fatal(err)
+	}
+	readExpect(t, conn, wire.MsgCaptureAck)
+}
+
+func TestTCPGracefulShutdownDisconnectsIdleClients(t *testing.T) {
+	srv, addr := startTestServer(t, Config{}, TCPConfig{})
+	conn := dialRaw(t, addr)
+	if err := wire.WriteMessage(conn, wire.MsgHello, wire.MarshalHello(wire.Hello{W: 16, H: 16, Format: frame.Gray8}), 0); err != nil {
+		t.Fatal(err)
+	}
+	readExpect(t, conn, wire.MsgHelloAck)
+	if srv.Manager().SessionsOpen() != 1 {
+		t.Fatalf("SessionsOpen = %d, want 1", srv.Manager().SessionsOpen())
+	}
+
+	ctx, cancel := contextWithTimeout(5 * time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if srv.Manager().SessionsOpen() != 0 {
+		t.Fatalf("SessionsOpen after shutdown = %d, want 0", srv.Manager().SessionsOpen())
+	}
+	// New connections must be refused or dropped without a session.
+	if c, err := net.DialTimeout("tcp", addr, time.Second); err == nil {
+		c.SetReadDeadline(time.Now().Add(time.Second))
+		if err := wire.WriteMessage(c, wire.MsgHello, wire.MarshalHello(wire.Hello{W: 8, H: 8, Format: frame.Gray8}), 0); err == nil {
+			if _, _, err := wire.ReadMessage(c, 0); err == nil {
+				t.Fatal("post-shutdown connection was served")
+			}
+		}
+		c.Close()
+	}
+}
+
+// contextWithTimeout is a tiny local helper avoiding a context import dance
+// in table helpers.
+func contextWithTimeout(d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), d)
+}

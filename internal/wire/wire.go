@@ -1,0 +1,405 @@
+// Package wire defines the rpxd wire protocol: a length-prefixed binary
+// message framing over a byte stream (TCP in production, net.Pipe in tests)
+// that carries rhythmic-pixel session traffic — label updates in, raw frames
+// in, capture statistics and reconstructed pixels out.
+//
+// Every message is framed as
+//
+//	uint32 payload length (little endian) | uint8 message type | payload
+//
+// and the first message on a connection must be HELLO, which carries the
+// protocol magic and version plus the session geometry the client wants to
+// negotiate. Readers enforce a per-message payload cap so a malformed or
+// hostile peer cannot make the receiver allocate unbounded memory; writers
+// refuse to emit messages above the same cap. Encoded frames travel in the
+// same RPXE container the .rpxs stream format uses (core.EncodedFrame.WriteTo
+// / core.ReadEncodedFrame), so any encoded-frame transport — file, socket, or
+// pipe — shares one framing.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/frame"
+	"repro/internal/region"
+)
+
+// ProtoMagic identifies the rpxd protocol in the HELLO message.
+const ProtoMagic = 0x52505844 // "RPXD"
+
+// ProtoVersion is the protocol revision this package speaks. HELLO carries
+// it; servers reject mismatches so framing changes fail loudly.
+const ProtoVersion = 1
+
+// DefaultMaxPayload caps a single message payload (32 MiB): comfortably
+// above a 1080p RGB frame plus metadata, far below an OOM.
+const DefaultMaxPayload = 32 << 20
+
+// headerSize is the fixed message prefix: u32 payload length + u8 type.
+const headerSize = 5
+
+// Message types. Requests flow client to server, replies server to client.
+const (
+	// MsgHello opens a connection: protocol magic/version + session config.
+	MsgHello byte = 1
+	// MsgHelloAck confirms the session: session id + negotiated payload cap.
+	MsgHelloAck byte = 2
+	// MsgSetLabels installs a region-label workload.
+	MsgSetLabels byte = 3
+	// MsgAck is the empty success reply (SET_LABELS, CLOSE).
+	MsgAck byte = 4
+	// MsgCapture carries one raw raster-scan frame to encode.
+	MsgCapture byte = 5
+	// MsgCaptureAck returns the CaptureStats of an encode.
+	MsgCaptureAck byte = 6
+	// MsgDecode requests the full reconstructed newest frame.
+	MsgDecode byte = 7
+	// MsgDecodeWindow requests a sub-rectangle of the newest frame.
+	MsgDecodeWindow byte = 8
+	// MsgFrame returns reconstructed pixels.
+	MsgFrame byte = 9
+	// MsgStats requests a server statistics snapshot.
+	MsgStats byte = 10
+	// MsgStatsAck returns the snapshot as JSON.
+	MsgStatsAck byte = 11
+	// MsgGetEncoded requests the newest encoded frame.
+	MsgGetEncoded byte = 12
+	// MsgEncoded returns an encoded frame in the RPXE container framing.
+	MsgEncoded byte = 13
+	// MsgClose ends the session gracefully.
+	MsgClose byte = 14
+	// MsgError is the failure reply: code + human-readable message.
+	MsgError byte = 15
+)
+
+// Error codes carried by MsgError.
+const (
+	// CodeProto is a protocol violation (bad magic, version, framing).
+	CodeProto uint16 = 1
+	// CodeBadRequest is a structurally valid but unsatisfiable request.
+	CodeBadRequest uint16 = 2
+	// CodeBacklog means the session's request queue is full.
+	CodeBacklog uint16 = 3
+	// CodeSessionLimit means the server is at its session cap.
+	CodeSessionLimit uint16 = 4
+	// CodeTooLarge means a message exceeded the payload cap.
+	CodeTooLarge uint16 = 5
+	// CodeInternal is an unexpected server-side failure.
+	CodeInternal uint16 = 6
+)
+
+// ErrTooLarge is returned when a message payload exceeds the reader's or
+// writer's cap.
+var ErrTooLarge = errors.New("wire: message exceeds payload cap")
+
+// RemoteError is a server-reported failure decoded from MsgError.
+type RemoteError struct {
+	Code    uint16
+	Message string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("wire: remote error %d: %s", e.Code, e.Message)
+}
+
+// WriteMessage frames one message onto w. Payloads above maxPayload (0 means
+// DefaultMaxPayload) fail with ErrTooLarge before any bytes are written.
+func WriteMessage(w io.Writer, typ byte, payload []byte, maxPayload int) error {
+	if maxPayload <= 0 {
+		maxPayload = DefaultMaxPayload
+	}
+	if len(payload) > maxPayload {
+		return fmt.Errorf("%w: %d > %d", ErrTooLarge, len(payload), maxPayload)
+	}
+	hdr := make([]byte, headerSize)
+	binary.LittleEndian.PutUint32(hdr, uint32(len(payload)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadMessage reads one framed message from r. The payload buffer is
+// allocated only after the length passes the cap check (0 means
+// DefaultMaxPayload), so a hostile length prefix cannot force a huge
+// allocation.
+func ReadMessage(r io.Reader, maxPayload int) (typ byte, payload []byte, err error) {
+	if maxPayload <= 0 {
+		maxPayload = DefaultMaxPayload
+	}
+	hdr := make([]byte, headerSize)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr))
+	typ = hdr[4]
+	if n > maxPayload {
+		return typ, nil, fmt.Errorf("%w: %d > %d", ErrTooLarge, n, maxPayload)
+	}
+	if n == 0 {
+		return typ, nil, nil
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return typ, nil, fmt.Errorf("wire: short payload: %w", err)
+	}
+	return typ, payload, nil
+}
+
+// Hello is the session-opening handshake payload.
+type Hello struct {
+	// W, H are the session frame dimensions.
+	W, H int
+	// Format is the pixel format (Gray8, RGB24, YUV444).
+	Format frame.Format
+	// HistoryDepth is the decoder scratchpad depth (0 = server default).
+	HistoryDepth int
+	// QueueDepth bounds the session's request queue (0 = server default).
+	QueueDepth int
+	// Block selects backpressure behaviour when the queue is full: block
+	// (true) or fail fast with a BACKLOG error (false).
+	Block bool
+}
+
+const helloSize = 4 + 4 + 4 + 4 + 1 + 4 + 4 + 1
+
+// MarshalHello encodes a HELLO payload, prefixed with magic and version.
+func MarshalHello(h Hello) []byte {
+	b := make([]byte, helloSize)
+	binary.LittleEndian.PutUint32(b[0:], ProtoMagic)
+	binary.LittleEndian.PutUint32(b[4:], ProtoVersion)
+	binary.LittleEndian.PutUint32(b[8:], uint32(h.W))
+	binary.LittleEndian.PutUint32(b[12:], uint32(h.H))
+	b[16] = byte(h.Format)
+	binary.LittleEndian.PutUint32(b[17:], uint32(h.HistoryDepth))
+	binary.LittleEndian.PutUint32(b[21:], uint32(h.QueueDepth))
+	if h.Block {
+		b[25] = 1
+	}
+	return b
+}
+
+// UnmarshalHello validates magic and version and decodes the handshake.
+func UnmarshalHello(b []byte) (Hello, error) {
+	if len(b) != helloSize {
+		return Hello{}, fmt.Errorf("wire: HELLO payload is %d bytes, want %d", len(b), helloSize)
+	}
+	if m := binary.LittleEndian.Uint32(b); m != ProtoMagic {
+		return Hello{}, fmt.Errorf("wire: bad protocol magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint32(b[4:]); v != ProtoVersion {
+		return Hello{}, fmt.Errorf("wire: unsupported protocol version %d (speak %d)", v, ProtoVersion)
+	}
+	h := Hello{
+		W:            int(binary.LittleEndian.Uint32(b[8:])),
+		H:            int(binary.LittleEndian.Uint32(b[12:])),
+		Format:       frame.Format(b[16]),
+		HistoryDepth: int(binary.LittleEndian.Uint32(b[17:])),
+		QueueDepth:   int(binary.LittleEndian.Uint32(b[21:])),
+		Block:        b[25] != 0,
+	}
+	switch h.Format {
+	case frame.Gray8, frame.RGB24, frame.YUV444:
+	default:
+		return Hello{}, fmt.Errorf("wire: format %d not streamable", b[16])
+	}
+	if h.W <= 0 || h.H <= 0 || h.W > 1<<15 || h.H > 1<<15 {
+		return Hello{}, fmt.Errorf("wire: unreasonable session geometry %dx%d", h.W, h.H)
+	}
+	return h, nil
+}
+
+// HelloAck confirms a negotiated session.
+type HelloAck struct {
+	// SessionID identifies the session in server statistics.
+	SessionID uint64
+	// MaxPayload is the per-message payload cap both sides must honour.
+	MaxPayload int
+}
+
+// MarshalHelloAck encodes a HELLO acknowledgment.
+func MarshalHelloAck(a HelloAck) []byte {
+	b := make([]byte, 12)
+	binary.LittleEndian.PutUint64(b, a.SessionID)
+	binary.LittleEndian.PutUint32(b[8:], uint32(a.MaxPayload))
+	return b
+}
+
+// UnmarshalHelloAck decodes a HELLO acknowledgment.
+func UnmarshalHelloAck(b []byte) (HelloAck, error) {
+	if len(b) != 12 {
+		return HelloAck{}, fmt.Errorf("wire: HELLO_ACK payload is %d bytes, want 12", len(b))
+	}
+	a := HelloAck{
+		SessionID:  binary.LittleEndian.Uint64(b),
+		MaxPayload: int(binary.LittleEndian.Uint32(b[8:])),
+	}
+	if a.MaxPayload <= 0 {
+		return HelloAck{}, fmt.Errorf("wire: non-positive payload cap %d", a.MaxPayload)
+	}
+	return a, nil
+}
+
+// labelSize is the wire size of one region label: seven int32 fields.
+const labelSize = 7 * 4
+
+// MarshalLabels encodes a region-label list.
+func MarshalLabels(labels region.List) []byte {
+	b := make([]byte, 4+len(labels)*labelSize)
+	binary.LittleEndian.PutUint32(b, uint32(len(labels)))
+	off := 4
+	for _, l := range labels {
+		for _, v := range [7]int{l.X, l.Y, l.W, l.H, l.Stride, l.Skip, l.Phase} {
+			binary.LittleEndian.PutUint32(b[off:], uint32(int32(v)))
+			off += 4
+		}
+	}
+	return b
+}
+
+// UnmarshalLabels decodes a region-label list. It checks only framing; the
+// server's driver path validates the labels against session geometry.
+func UnmarshalLabels(b []byte) (region.List, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("wire: SET_LABELS payload is %d bytes, want >= 4", len(b))
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	if want := 4 + n*labelSize; len(b) != want {
+		return nil, fmt.Errorf("wire: SET_LABELS payload is %d bytes for %d labels, want %d", len(b), n, want)
+	}
+	labels := make(region.List, n)
+	off := 4
+	next := func() int {
+		v := int(int32(binary.LittleEndian.Uint32(b[off:])))
+		off += 4
+		return v
+	}
+	for i := range labels {
+		labels[i] = region.Label{
+			X: next(), Y: next(), W: next(), H: next(),
+			Stride: next(), Skip: next(), Phase: next(),
+		}
+	}
+	return labels, nil
+}
+
+// CaptureAck carries the capture statistics of one encoded frame.
+type CaptureAck struct {
+	FrameIndex    int
+	EncodedPixels int
+	EncodedBytes  int
+	PixelFraction float64
+}
+
+// MarshalCaptureAck encodes capture statistics.
+func MarshalCaptureAck(a CaptureAck) []byte {
+	b := make([]byte, 20)
+	binary.LittleEndian.PutUint32(b, uint32(a.FrameIndex))
+	binary.LittleEndian.PutUint32(b[4:], uint32(a.EncodedPixels))
+	binary.LittleEndian.PutUint32(b[8:], uint32(a.EncodedBytes))
+	binary.LittleEndian.PutUint64(b[12:], math.Float64bits(a.PixelFraction))
+	return b
+}
+
+// UnmarshalCaptureAck decodes capture statistics.
+func UnmarshalCaptureAck(b []byte) (CaptureAck, error) {
+	if len(b) != 20 {
+		return CaptureAck{}, fmt.Errorf("wire: CAPTURE_ACK payload is %d bytes, want 20", len(b))
+	}
+	return CaptureAck{
+		FrameIndex:    int(binary.LittleEndian.Uint32(b)),
+		EncodedPixels: int(binary.LittleEndian.Uint32(b[4:])),
+		EncodedBytes:  int(binary.LittleEndian.Uint32(b[8:])),
+		PixelFraction: math.Float64frombits(binary.LittleEndian.Uint64(b[12:])),
+	}, nil
+}
+
+// Window is a DECODE_WINDOW request rectangle.
+type Window struct {
+	X, Y, W, H int
+}
+
+// MarshalWindow encodes a decode-window request.
+func MarshalWindow(w Window) []byte {
+	b := make([]byte, 16)
+	binary.LittleEndian.PutUint32(b, uint32(int32(w.X)))
+	binary.LittleEndian.PutUint32(b[4:], uint32(int32(w.Y)))
+	binary.LittleEndian.PutUint32(b[8:], uint32(int32(w.W)))
+	binary.LittleEndian.PutUint32(b[12:], uint32(int32(w.H)))
+	return b
+}
+
+// UnmarshalWindow decodes a decode-window request.
+func UnmarshalWindow(b []byte) (Window, error) {
+	if len(b) != 16 {
+		return Window{}, fmt.Errorf("wire: DECODE_WINDOW payload is %d bytes, want 16", len(b))
+	}
+	return Window{
+		X: int(int32(binary.LittleEndian.Uint32(b))),
+		Y: int(int32(binary.LittleEndian.Uint32(b[4:]))),
+		W: int(int32(binary.LittleEndian.Uint32(b[8:]))),
+		H: int(int32(binary.LittleEndian.Uint32(b[12:]))),
+	}, nil
+}
+
+// frameHeaderSize prefixes a FRAME payload: u32 w, u32 h, u8 format.
+const frameHeaderSize = 9
+
+// MarshalFrame encodes a reconstructed frame (header + raster pixels).
+func MarshalFrame(fr *frame.Frame) []byte {
+	b := make([]byte, frameHeaderSize+len(fr.Pix))
+	binary.LittleEndian.PutUint32(b, uint32(fr.W))
+	binary.LittleEndian.PutUint32(b[4:], uint32(fr.H))
+	b[8] = byte(fr.Format)
+	copy(b[frameHeaderSize:], fr.Pix)
+	return b
+}
+
+// UnmarshalFrame decodes a FRAME payload, validating the pixel count
+// against the header geometry.
+func UnmarshalFrame(b []byte) (*frame.Frame, error) {
+	if len(b) < frameHeaderSize {
+		return nil, fmt.Errorf("wire: FRAME payload is %d bytes, want >= %d", len(b), frameHeaderSize)
+	}
+	w := int(binary.LittleEndian.Uint32(b))
+	h := int(binary.LittleEndian.Uint32(b[4:]))
+	f := frame.Format(b[8])
+	switch f {
+	case frame.Gray8, frame.RGB24, frame.YUV444:
+	default:
+		return nil, fmt.Errorf("wire: FRAME format %d not streamable", b[8])
+	}
+	if w <= 0 || h <= 0 || w > 1<<15 || h > 1<<15 {
+		return nil, fmt.Errorf("wire: unreasonable FRAME geometry %dx%d", w, h)
+	}
+	pix := b[frameHeaderSize:]
+	if want := w * h * f.BytesPerPixel(); len(pix) != want {
+		return nil, fmt.Errorf("wire: FRAME carries %d pixel bytes for %dx%d %v, want %d", len(pix), w, h, f, want)
+	}
+	return frame.FromPix(w, h, f, pix)
+}
+
+// MarshalError encodes a failure reply.
+func MarshalError(code uint16, msg string) []byte {
+	b := make([]byte, 2+len(msg))
+	binary.LittleEndian.PutUint16(b, code)
+	copy(b[2:], msg)
+	return b
+}
+
+// UnmarshalError decodes a failure reply into a RemoteError.
+func UnmarshalError(b []byte) (*RemoteError, error) {
+	if len(b) < 2 {
+		return nil, fmt.Errorf("wire: ERROR payload is %d bytes, want >= 2", len(b))
+	}
+	return &RemoteError{Code: binary.LittleEndian.Uint16(b), Message: string(b[2:])}, nil
+}

@@ -1,0 +1,164 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/region"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte{1, 2, 3, 4, 5}
+	if err := WriteMessage(&buf, MsgCapture, payload, 0); err != nil {
+		t.Fatalf("WriteMessage: %v", err)
+	}
+	if err := WriteMessage(&buf, MsgDecode, nil, 0); err != nil {
+		t.Fatalf("WriteMessage empty: %v", err)
+	}
+	typ, got, err := ReadMessage(&buf, 0)
+	if err != nil || typ != MsgCapture || !bytes.Equal(got, payload) {
+		t.Fatalf("ReadMessage = %d %v %v, want %d %v", typ, got, err, MsgCapture, payload)
+	}
+	typ, got, err = ReadMessage(&buf, 0)
+	if err != nil || typ != MsgDecode || got != nil {
+		t.Fatalf("ReadMessage empty = %d %v %v", typ, got, err)
+	}
+	if _, _, err := ReadMessage(&buf, 0); err != io.EOF {
+		t.Fatalf("ReadMessage at end = %v, want io.EOF", err)
+	}
+}
+
+func TestMessageSizeLimits(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, MsgCapture, make([]byte, 100), 64); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("WriteMessage over cap = %v, want ErrTooLarge", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("oversized write leaked %d bytes", buf.Len())
+	}
+	// A hostile length prefix must be rejected before allocation.
+	hdr := make([]byte, headerSize)
+	binary.LittleEndian.PutUint32(hdr, 1<<31)
+	hdr[4] = MsgCapture
+	if _, _, err := ReadMessage(bytes.NewReader(hdr), 1<<20); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("ReadMessage hostile length = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	h := Hello{W: 640, H: 480, Format: frame.RGB24, HistoryDepth: 6, QueueDepth: 3, Block: true}
+	got, err := UnmarshalHello(MarshalHello(h))
+	if err != nil {
+		t.Fatalf("UnmarshalHello: %v", err)
+	}
+	if got != h {
+		t.Fatalf("hello round trip = %+v, want %+v", got, h)
+	}
+}
+
+func TestHelloRejectsBadMagicAndVersion(t *testing.T) {
+	b := MarshalHello(Hello{W: 64, H: 64, Format: frame.Gray8})
+	bad := append([]byte(nil), b...)
+	binary.LittleEndian.PutUint32(bad, 0xdeadbeef)
+	if _, err := UnmarshalHello(bad); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic err = %v", err)
+	}
+	bad = append([]byte(nil), b...)
+	binary.LittleEndian.PutUint32(bad[4:], ProtoVersion+7)
+	if _, err := UnmarshalHello(bad); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("bad version err = %v", err)
+	}
+	bad = append([]byte(nil), b...)
+	bad[16] = byte(frame.BayerRGGB)
+	if _, err := UnmarshalHello(bad); err == nil || !strings.Contains(err.Error(), "format") {
+		t.Fatalf("bad format err = %v", err)
+	}
+	if _, err := UnmarshalHello(b[:10]); err == nil {
+		t.Fatal("short hello accepted")
+	}
+}
+
+func TestLabelsRoundTrip(t *testing.T) {
+	labels := region.List{
+		{X: 10, Y: 20, W: 100, H: 80, Stride: 2, Skip: 3, Phase: 1},
+		{X: 0, Y: 0, W: 640, H: 480, Stride: 1, Skip: 1},
+	}
+	got, err := UnmarshalLabels(MarshalLabels(labels))
+	if err != nil {
+		t.Fatalf("UnmarshalLabels: %v", err)
+	}
+	if len(got) != len(labels) {
+		t.Fatalf("got %d labels, want %d", len(got), len(labels))
+	}
+	for i := range labels {
+		if got[i] != labels[i] {
+			t.Fatalf("label %d = %+v, want %+v", i, got[i], labels[i])
+		}
+	}
+	if got, err := UnmarshalLabels(MarshalLabels(nil)); err != nil || len(got) != 0 {
+		t.Fatalf("empty labels = %v %v", got, err)
+	}
+	// Count not matching payload size must fail, not over-read.
+	b := MarshalLabels(labels)
+	binary.LittleEndian.PutUint32(b, 99)
+	if _, err := UnmarshalLabels(b); err == nil {
+		t.Fatal("mismatched label count accepted")
+	}
+}
+
+func TestCaptureAckRoundTrip(t *testing.T) {
+	a := CaptureAck{FrameIndex: 41, EncodedPixels: 12345, EncodedBytes: 54321, PixelFraction: 0.375}
+	got, err := UnmarshalCaptureAck(MarshalCaptureAck(a))
+	if err != nil || got != a {
+		t.Fatalf("capture ack round trip = %+v %v, want %+v", got, err, a)
+	}
+}
+
+func TestWindowRoundTrip(t *testing.T) {
+	w := Window{X: 3, Y: 7, W: 64, H: 32}
+	got, err := UnmarshalWindow(MarshalWindow(w))
+	if err != nil || got != w {
+		t.Fatalf("window round trip = %+v %v, want %+v", got, err, w)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	fr := frame.New(16, 8, frame.RGB24)
+	for i := range fr.Pix {
+		fr.Pix[i] = byte(i * 7)
+	}
+	got, err := UnmarshalFrame(MarshalFrame(fr))
+	if err != nil {
+		t.Fatalf("UnmarshalFrame: %v", err)
+	}
+	if !got.Equal(fr) {
+		t.Fatal("frame round trip mismatch")
+	}
+	// Pixel count must match header geometry.
+	b := MarshalFrame(fr)
+	if _, err := UnmarshalFrame(b[:len(b)-1]); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	re, err := UnmarshalError(MarshalError(CodeBacklog, "queue full"))
+	if err != nil {
+		t.Fatalf("UnmarshalError: %v", err)
+	}
+	if re.Code != CodeBacklog || re.Message != "queue full" {
+		t.Fatalf("remote error = %+v", re)
+	}
+	if !strings.Contains(re.Error(), "queue full") {
+		t.Fatalf("Error() = %q", re.Error())
+	}
+	if _, err := UnmarshalError([]byte{1}); err == nil {
+		t.Fatal("short error payload accepted")
+	}
+}

@@ -1,0 +1,255 @@
+// Package client is the Go client for rpxd, the rhythmic-pixel
+// capture/decode service. One Dial is one session: the connection handshake
+// negotiates frame geometry, pixel format, decoder history depth, and
+// backpressure mode, and the returned Session then mirrors the rpx.System
+// surface — SetRegionLabels, Capture, Decoded, DecodeWindow — over the wire.
+//
+//	sess, err := client.Dial("localhost:7621", client.Config{W: 640, H: 480, Format: rpx.Gray8})
+//	...
+//	sess.SetRegionLabels(labels)
+//	stats, _ := sess.Capture(frame)
+//	img, _ := sess.Decoded()
+//
+// A Session is safe for concurrent use by multiple goroutines; requests are
+// serialized over the single connection in submission order.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/wire"
+	"repro/rpx"
+)
+
+// Config parameterizes Dial. W, H, and Format are required; the rest
+// default server-side.
+type Config struct {
+	// W, H are the session frame dimensions.
+	W, H int
+	// Format is the session pixel format (rpx.Gray8, rpx.RGB24, rpx.YUV444).
+	Format rpx.Format
+	// HistoryDepth is the decoder scratchpad depth (0 = server default).
+	HistoryDepth int
+	// QueueDepth bounds the server-side request queue (0 = server default).
+	QueueDepth int
+	// Block selects blocking backpressure; when false a saturated session
+	// fails fast and Capture returns a BACKLOG error (see IsBacklog).
+	Block bool
+	// DialTimeout bounds connection establishment (default 10s).
+	DialTimeout time.Duration
+	// RequestTimeout bounds each request round trip (default 30s).
+	RequestTimeout time.Duration
+}
+
+// Session is an open rpxd session. Methods are safe for concurrent use.
+type Session struct {
+	conn net.Conn
+	br   *bufio.Reader
+
+	mu         sync.Mutex // serializes request/reply round trips
+	closed     bool
+	id         uint64
+	maxPayload int
+	timeout    time.Duration
+	cfg        Config
+}
+
+// Dial connects to an rpxd server and negotiates a session.
+func Dial(addr string, cfg Config) (*Session, error) {
+	dialTimeout := cfg.DialTimeout
+	if dialTimeout <= 0 {
+		dialTimeout = 10 * time.Second
+	}
+	reqTimeout := cfg.RequestTimeout
+	if reqTimeout <= 0 {
+		reqTimeout = 30 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	s := &Session{
+		conn:       conn,
+		br:         bufio.NewReader(conn),
+		maxPayload: wire.DefaultMaxPayload,
+		timeout:    reqTimeout,
+		cfg:        cfg,
+	}
+	hello := wire.Hello{
+		W: cfg.W, H: cfg.H, Format: cfg.Format,
+		HistoryDepth: cfg.HistoryDepth,
+		QueueDepth:   cfg.QueueDepth,
+		Block:        cfg.Block,
+	}
+	typ, payload, err := s.roundTrip(wire.MsgHello, wire.MarshalHello(hello))
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if typ == wire.MsgError {
+		conn.Close()
+		if re, uerr := wire.UnmarshalError(payload); uerr == nil {
+			return nil, fmt.Errorf("client: handshake rejected: %w", re)
+		}
+		return nil, fmt.Errorf("client: handshake rejected")
+	}
+	if typ != wire.MsgHelloAck {
+		conn.Close()
+		return nil, fmt.Errorf("client: unexpected handshake reply type %d", typ)
+	}
+	ack, err := wire.UnmarshalHelloAck(payload)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	s.id = ack.SessionID
+	s.maxPayload = ack.MaxPayload
+	return s, nil
+}
+
+// ID returns the server-assigned session id.
+func (s *Session) ID() uint64 { return s.id }
+
+// Dimensions returns the negotiated frame geometry.
+func (s *Session) Dimensions() (w, h int) { return s.cfg.W, s.cfg.H }
+
+// roundTrip sends one request and reads one reply under the session lock.
+func (s *Session) roundTrip(typ byte, payload []byte) (byte, []byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, nil, fmt.Errorf("client: session closed")
+	}
+	s.conn.SetWriteDeadline(time.Now().Add(s.timeout))
+	if err := wire.WriteMessage(s.conn, typ, payload, s.maxPayload); err != nil {
+		return 0, nil, fmt.Errorf("client: send: %w", err)
+	}
+	s.conn.SetReadDeadline(time.Now().Add(s.timeout))
+	rtyp, rpayload, err := wire.ReadMessage(s.br, s.maxPayload)
+	if err != nil {
+		return 0, nil, fmt.Errorf("client: receive: %w", err)
+	}
+	return rtyp, rpayload, nil
+}
+
+// call performs a round trip and unwraps ERROR replies.
+func (s *Session) call(typ byte, payload []byte, wantReply byte) ([]byte, error) {
+	rtyp, rpayload, err := s.roundTrip(typ, payload)
+	if err != nil {
+		return nil, err
+	}
+	if rtyp == wire.MsgError {
+		re, uerr := wire.UnmarshalError(rpayload)
+		if uerr != nil {
+			return nil, uerr
+		}
+		return nil, re
+	}
+	if rtyp != wantReply {
+		return nil, fmt.Errorf("client: unexpected reply type %d, want %d", rtyp, wantReply)
+	}
+	return rpayload, nil
+}
+
+// SetRegionLabels installs the capture workload for the next frame.
+func (s *Session) SetRegionLabels(labels []rpx.RegionLabel) error {
+	_, err := s.call(wire.MsgSetLabels, wire.MarshalLabels(labels), wire.MsgAck)
+	return err
+}
+
+// Capture streams one frame to the server for encoding and returns the
+// capture statistics. The frame must match the negotiated geometry.
+func (s *Session) Capture(fr *rpx.Frame) (rpx.CaptureStats, error) {
+	if fr.W != s.cfg.W || fr.H != s.cfg.H || fr.Format != s.cfg.Format {
+		return rpx.CaptureStats{}, fmt.Errorf("client: frame is %dx%d %v, session is %dx%d %v",
+			fr.W, fr.H, fr.Format, s.cfg.W, s.cfg.H, s.cfg.Format)
+	}
+	payload, err := s.call(wire.MsgCapture, fr.Pix, wire.MsgCaptureAck)
+	if err != nil {
+		return rpx.CaptureStats{}, err
+	}
+	ack, err := wire.UnmarshalCaptureAck(payload)
+	if err != nil {
+		return rpx.CaptureStats{}, err
+	}
+	return rpx.CaptureStats{
+		FrameIndex:    ack.FrameIndex,
+		EncodedPixels: ack.EncodedPixels,
+		EncodedBytes:  ack.EncodedBytes,
+		PixelFraction: ack.PixelFraction,
+	}, nil
+}
+
+// Decoded reconstructs the newest frame server-side and returns it.
+func (s *Session) Decoded() (*rpx.Frame, error) {
+	payload, err := s.call(wire.MsgDecode, nil, wire.MsgFrame)
+	if err != nil {
+		return nil, err
+	}
+	return wire.UnmarshalFrame(payload)
+}
+
+// DecodeWindow reconstructs a sub-rectangle of the newest frame.
+func (s *Session) DecodeWindow(x, y, w, h int) (*rpx.Frame, error) {
+	payload, err := s.call(wire.MsgDecodeWindow, wire.MarshalWindow(wire.Window{X: x, Y: y, W: w, H: h}), wire.MsgFrame)
+	if err != nil {
+		return nil, err
+	}
+	return wire.UnmarshalFrame(payload)
+}
+
+// LastEncoded fetches the newest encoded frame in its packed (RPXE)
+// representation — the same container .rpxs streams use.
+func (s *Session) LastEncoded() (*rpx.EncodedFrame, error) {
+	payload, err := s.call(wire.MsgGetEncoded, nil, wire.MsgEncoded)
+	if err != nil {
+		return nil, err
+	}
+	return core.ReadEncodedFrame(bytes.NewReader(payload))
+}
+
+// ServerStats fetches a snapshot of the whole server's statistics.
+func (s *Session) ServerStats() (server.Snapshot, error) {
+	payload, err := s.call(wire.MsgStats, nil, wire.MsgStatsAck)
+	if err != nil {
+		return server.Snapshot{}, err
+	}
+	var snap server.Snapshot
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return server.Snapshot{}, fmt.Errorf("client: decode stats: %w", err)
+	}
+	return snap, nil
+}
+
+// Close ends the session and closes the connection.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.conn.SetWriteDeadline(time.Now().Add(s.timeout))
+	wire.WriteMessage(s.conn, wire.MsgClose, nil, s.maxPayload)
+	s.conn.SetReadDeadline(time.Now().Add(s.timeout))
+	wire.ReadMessage(s.br, s.maxPayload) // best-effort ACK
+	err := s.conn.Close()
+	s.mu.Unlock()
+	return err
+}
+
+// IsBacklog reports whether err is the server's fail-fast backpressure
+// signal (the session's request queue was full).
+func IsBacklog(err error) bool {
+	var re *wire.RemoteError
+	return errors.As(err, &re) && re.Code == wire.CodeBacklog
+}

@@ -21,6 +21,11 @@ type CameraPipeline struct {
 	sensor *sensor.Sensor
 	link   *sensor.CSILink
 	isp    *isp.Pipeline
+
+	// lines is a scratch buffer for the CSI line packets of one frame,
+	// reused across CaptureScene calls to keep the per-frame hot path
+	// allocation-free.
+	lines [][]byte
 }
 
 // CameraConfig configures NewCameraPipeline.
@@ -78,17 +83,25 @@ func (p *CameraPipeline) CaptureScene(scene *Frame) (CaptureStats, error) {
 	if err != nil {
 		return CaptureStats{}, err
 	}
-	// Serialize the mosaic over the CSI link as framed line packets.
-	lines := make([][]byte, 0, bayer.H)
-	p.sensor.Stream(bayer, func(_ int, line []byte) {
-		lines = append(lines, line)
-	})
-	p.link.TransferFrame(lines)
+	p.streamFrame(bayer)
 	processed, err := p.isp.Process(bayer)
 	if err != nil {
 		return CaptureStats{}, err
 	}
 	return p.Sys.Capture(processed)
+}
+
+// streamFrame serializes the mosaic over the CSI link as framed line
+// packets, reusing the pipeline's scratch line slice.
+func (p *CameraPipeline) streamFrame(bayer *Frame) {
+	if cap(p.lines) < bayer.H {
+		p.lines = make([][]byte, 0, bayer.H)
+	}
+	p.lines = p.lines[:0]
+	p.sensor.Stream(bayer, func(_ int, line []byte) {
+		p.lines = append(p.lines, line)
+	})
+	p.link.TransferFrame(p.lines)
 }
 
 // SetRegionLabels forwards to the underlying System.

@@ -99,3 +99,39 @@ func TestCameraPipelineRegionCapture(t *testing.T) {
 		t.Error("outside-region pixel not black")
 	}
 }
+
+// TestStreamFrameScratchReuse asserts the CSI serialization path does not
+// rebuild its line slice every frame: after warm-up, the only allocation
+// left is the packet list the link model returns (1 alloc), not the
+// per-frame lines slice it used to rebuild.
+func TestStreamFrameScratchReuse(t *testing.T) {
+	p, err := NewCameraPipeline(CameraConfig{W: 64, H: 64, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bayer := NewFrame(64, 64, Gray8)
+	p.streamFrame(bayer) // warm the scratch buffer
+	allocs := testing.AllocsPerRun(100, func() { p.streamFrame(bayer) })
+	if allocs > 1 {
+		t.Errorf("streamFrame allocates %.1f objects/frame, want <= 1 (lines scratch not reused)", allocs)
+	}
+}
+
+func BenchmarkCaptureScene(b *testing.B) {
+	p, err := NewCameraPipeline(CameraConfig{W: 256, H: 256, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := p.SetRegionLabels([]RegionLabel{{X: 64, Y: 64, W: 128, H: 128, Stride: 2, Skip: 1}}); err != nil {
+		b.Fatal(err)
+	}
+	world := synth.NewWorld(512, 512, 4)
+	scene := world.Render(synth.Pose{X: 256, Y: 256}, 256, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.CaptureScene(scene); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

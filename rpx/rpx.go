@@ -25,6 +25,7 @@ package rpx
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/driver"
@@ -111,7 +112,14 @@ func (s SystemStats) ReductionVsFrameBased(bytesPerPixel int) float64 {
 
 // System ties together the runtime (SetRegionLabels register path), the
 // rhythmic pixel encoder, the simulated framebuffer, and the decoder.
-// It is not safe for concurrent use.
+//
+// Concurrency contract: a System is single-goroutine for its operations —
+// SetRegionLabels, Capture, Decoded, DecodeWindow, and LastEncoded must all
+// be issued from one goroutine (or be externally serialized). The read-only
+// statistics accessors Stats, EncoderStats, and DecoderStats are the
+// exception: they return snapshots taken under an internal mutex and are
+// safe to call concurrently from a monitoring goroutine while captures are
+// in flight.
 type System struct {
 	w, h   int
 	format Format
@@ -122,7 +130,13 @@ type System struct {
 
 	frameIndex int
 	last       *core.EncodedFrame
-	stats      SystemStats
+
+	// statsMu guards the snapshot fields below, which mutating operations
+	// refresh and the concurrent-safe accessors read.
+	statsMu  sync.Mutex
+	stats    SystemStats
+	encStats core.EncoderStats
+	decStats core.DecoderStats
 }
 
 // Option configures a System.
@@ -211,23 +225,21 @@ func (s *System) Capture(fr *Frame) (CaptureStats, error) {
 		PixelFraction: float64(ef.NumEncodedPixels()) / float64(s.w*s.h),
 	}
 	s.frameIndex++
+	s.statsMu.Lock()
 	s.stats.FramesCaptured++
 	s.stats.BytesWritten += int64(ef.TotalBytes())
 	s.stats.PixelsIn += int64(s.w * s.h)
 	s.stats.PixelsStored += int64(ef.NumEncodedPixels())
 	s.stats.RegisterUpdates = s.rt.RegisterFile().AXIWrites()
+	s.encStats = s.enc.Stats()
+	s.decStats = s.dec.Stats()
+	s.statsMu.Unlock()
 	return cs, nil
 }
 
 // Decoded reconstructs the full most-recent frame.
 func (s *System) Decoded() (*Frame, error) {
-	before := s.dec.Stats().EncodedBytesRead
-	fr, err := s.dec.DecodeWindow(0, 0, s.w, s.h)
-	if err != nil {
-		return nil, err
-	}
-	s.stats.BytesRead += int64(s.dec.Stats().EncodedBytesRead - before)
-	return fr, nil
+	return s.DecodeWindow(0, 0, s.w, s.h)
 }
 
 // DecodeWindow reconstructs a sub-rectangle of the most recent frame, the
@@ -238,7 +250,11 @@ func (s *System) DecodeWindow(x, y, w, h int) (*Frame, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.stats.BytesRead += int64(s.dec.Stats().EncodedBytesRead - before)
+	after := s.dec.Stats()
+	s.statsMu.Lock()
+	s.stats.BytesRead += int64(after.EncodedBytesRead - before)
+	s.decStats = after
+	s.statsMu.Unlock()
 	return fr, nil
 }
 
@@ -246,14 +262,29 @@ func (s *System) DecodeWindow(x, y, w, h int) (*Frame, error) {
 // Capture), for inspection and persistence.
 func (s *System) LastEncoded() *EncodedFrame { return s.last }
 
-// Stats returns the lifetime traffic counters.
-func (s *System) Stats() SystemStats { return s.stats }
+// Stats returns the lifetime traffic counters. Safe to call from a
+// monitoring goroutine concurrently with captures.
+func (s *System) Stats() SystemStats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.stats
+}
 
-// EncoderStats exposes the encoder's work counters.
-func (s *System) EncoderStats() core.EncoderStats { return s.enc.Stats() }
+// EncoderStats exposes the encoder's work counters as of the last completed
+// operation. Safe to call from a monitoring goroutine.
+func (s *System) EncoderStats() core.EncoderStats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.encStats
+}
 
-// DecoderStats exposes the decoder's work counters.
-func (s *System) DecoderStats() core.DecoderStats { return s.dec.Stats() }
+// DecoderStats exposes the decoder's work counters as of the last completed
+// operation. Safe to call from a monitoring goroutine.
+func (s *System) DecoderStats() core.DecoderStats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.decStats
+}
 
 // --- Encoded stream persistence ---
 

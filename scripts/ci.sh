@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Tier-1 gate: vet, build, and race-test the whole module.
+# Run from anywhere; operates on the repository root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== ci: OK"
