@@ -7,7 +7,7 @@
 //	rpxbench -list
 //
 // Experiments: fig3, table4, fig8, fig9a, fig9b, fig9c, table5, energy,
-// appendix, clsweep, futurework.
+// appendix, clsweep, futurework, parallel.
 package main
 
 import (
@@ -61,6 +61,7 @@ var registry = []experiment{
 	{"appendix", "Per-frame pixel progression over a cycle (Figs. 10-15)", runAppendix},
 	{"clsweep", "Cycle length vs traffic/accuracy tradeoff (§6.1-6.2)", runCLSweep},
 	{"futurework", "§7 directions: DRAM-less, in-sensor encoder, adaptive cycle", runFutureWork},
+	{"parallel", "Row-band parallel encode/decode scaling vs worker count", runParallel},
 }
 
 func main() {
@@ -230,4 +231,15 @@ func runCLSweep(s experiments.Scale) (string, error) {
 		return "", err
 	}
 	return experiments.CLSweepReport(rows), nil
+}
+
+func runParallel(s experiments.Scale) (string, error) {
+	rows, err := experiments.ParallelScaling(s)
+	if err != nil {
+		return "", err
+	}
+	if err := writeCSV("parallel", func(f *os.File) error { return experiments.ParallelCSV(f, rows) }); err != nil {
+		return "", err
+	}
+	return experiments.ParallelReport(rows), nil
 }

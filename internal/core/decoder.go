@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/bitpack"
 	"repro/internal/frame"
@@ -48,10 +49,11 @@ type DecoderStats struct {
 //
 // A Decoder is not safe for concurrent use.
 type Decoder struct {
-	w, h   int
-	format frame.Format
-	bpp    int
-	depth  int
+	w, h        int
+	format      frame.Format
+	bpp         int
+	depth       int
+	parallelism int
 
 	history []*EncodedFrame // newest first
 	stats   DecoderStats
@@ -71,12 +73,26 @@ func WithHistoryDepth(depth int) DecoderOption {
 	}
 }
 
+// WithParallelism sets the number of row-band workers a full-frame or
+// windowed decode may fan out to (default 1: fully sequential, the
+// reference path). Parallelism is internal to each decode call; the Decoder
+// itself remains single-caller. Band sub-decodes share the frame history
+// read-only and reconstruct bit-identical pixels to the sequential path.
+func WithParallelism(n int) DecoderOption {
+	return func(d *Decoder) {
+		if n < 1 {
+			panic("core: decode parallelism must be >= 1")
+		}
+		d.parallelism = n
+	}
+}
+
 // NewDecoder returns a decoder for w x h frames of the given format.
 func NewDecoder(w, h int, format frame.Format, opts ...DecoderOption) *Decoder {
 	if w <= 0 || h <= 0 {
 		panic(fmt.Sprintf("core: invalid decoder dimensions %dx%d", w, h))
 	}
-	d := &Decoder{w: w, h: h, format: format, bpp: formatBPP(format), depth: DefaultHistoryDepth}
+	d := &Decoder{w: w, h: h, format: format, bpp: formatBPP(format), depth: DefaultHistoryDepth, parallelism: 1}
 	for _, opt := range opts {
 		opt(d)
 	}
@@ -104,6 +120,9 @@ func (d *Decoder) HistoryLen() int { return len(d.history) }
 // HistoryDepth returns the configured scratchpad depth.
 func (d *Decoder) HistoryDepth() int { return d.depth }
 
+// Parallelism returns the configured row-band worker count.
+func (d *Decoder) Parallelism() int { return d.parallelism }
+
 // Stats returns the accumulated decode counters.
 func (d *Decoder) Stats() DecoderStats { return d.stats }
 
@@ -129,6 +148,12 @@ func (d *Decoder) DecodeFrame() (*frame.Frame, error) {
 // line buffer first (and discarded) so vertically strided pixels on the
 // window's first rows reconstruct from their source row; warm-up rows are
 // excluded from Stats.
+// When the decoder was configured WithParallelism(n > 1), the window is
+// split into independent row-band sub-decodes that share the frame history
+// read-only; each band primes its own line buffer with the same lookback
+// warm-up, so the stitched result is byte-identical to the sequential path
+// and the accumulated statistics are too (each output row is charged
+// exactly once; warm-up rows are always discarded).
 func (d *Decoder) DecodeWindow(x0, y0, w, h int) (*frame.Frame, error) {
 	if len(d.history) == 0 {
 		return nil, fmt.Errorf("core: decode before any encoded frame was pushed")
@@ -137,33 +162,90 @@ func (d *Decoder) DecodeWindow(x0, y0, w, h int) (*frame.Frame, error) {
 		return nil, fmt.Errorf("core: window (%d,%d %dx%d) outside %dx%d frame", x0, y0, w, h, d.w, d.h)
 	}
 	out := frame.New(w, h, d.format)
+
+	// A band shorter than the warm-up lookback spends more rows priming
+	// than producing, so small requests stay sequential.
+	nb := min(d.parallelism, max(1, h/strideLookbackRows))
+	if nb <= 1 {
+		if err := d.decodeBand(out, x0, y0, w, 0, h, &d.stats); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+
+	rows := (h + nb - 1) / nb
+	type band struct {
+		r0, r1 int
+		stats  DecoderStats
+		err    error
+	}
+	bands := make([]band, 0, nb)
+	for r := 0; r < h; r += rows {
+		bands = append(bands, band{r0: r, r1: min(r+rows, h)})
+	}
+	var wg sync.WaitGroup
+	for i := range bands {
+		wg.Add(1)
+		go func(b *band) {
+			defer wg.Done()
+			// Bands write disjoint row ranges of out and read the shared
+			// history; each gets a private sampler, PMMU, and stats.
+			b.err = d.decodeBand(out, x0, y0, w, b.r0, b.r1, &b.stats)
+		}(&bands[i])
+	}
+	wg.Wait()
+	for i := range bands {
+		if bands[i].err != nil {
+			return nil, bands[i].err
+		}
+		d.stats.add(bands[i].stats)
+	}
+	return out, nil
+}
+
+// decodeBand reconstructs output rows [r0, r1) of the window anchored at
+// (x0, y0): the sequential decode loop over one row band, with up to
+// strideLookbackRows of discarded warm-up rows above the band so vertically
+// strided pixels on its first rows reconstruct from their source row.
+func (d *Decoder) decodeBand(out *frame.Frame, x0, y0, w, r0, r1 int, stats *DecoderStats) error {
 	pmmu := NewPMMU(d.history, 0)
 	fifo := newFIFOSampler(d.bpp, d.w)
 
-	warmup := min(y0, strideLookbackRows)
+	warmup := min(y0+r0, strideLookbackRows)
 	var discard DecoderStats
 	rowBuf := make([]byte, d.w*d.bpp)
-	for row := -warmup; row < h; row++ {
+	for row := r0 - warmup; row < r1; row++ {
 		y := y0 + row
 		subs, err := pmmu.TranslateRow(y, 0, d.w)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		stats := &d.stats
-		if row < 0 {
-			stats = &discard
+		st := stats
+		if row < r0 {
+			st = &discard
 		}
-		stats.SubRequests += len(subs)
+		st.SubRequests += len(subs)
 		fifo.beginRow()
-		if err := fifo.serviceRow(subs, d.history, 0, rowBuf, stats); err != nil {
-			return nil, err
+		if err := fifo.serviceRow(subs, d.history, 0, rowBuf, st); err != nil {
+			return err
 		}
 		fifo.commitRow(rowBuf)
-		if row >= 0 {
+		if row >= r0 {
 			copy(out.Pix[row*out.Stride():(row+1)*out.Stride()], rowBuf[x0*d.bpp:(x0+w)*d.bpp])
 		}
 	}
-	return out, nil
+	return nil
+}
+
+// add accumulates o into s.
+func (s *DecoderStats) add(o DecoderStats) {
+	s.PixelsRequested += o.PixelsRequested
+	s.DirectR += o.DirectR
+	s.HeldSt += o.HeldSt
+	s.FetchedSk += o.FetchedSk
+	s.Black += o.Black
+	s.EncodedBytesRead += o.EncodedBytesRead
+	s.SubRequests += o.SubRequests
 }
 
 // fifoSampler is the FIFO Sampling Unit (§4.2.2): it consumes sub-request

@@ -154,7 +154,43 @@ func (ef *EncodedFrame) WriteTo(w io.Writer) (int64, error) {
 	return n, err
 }
 
-// ReadEncodedFrame deserializes a frame written by WriteTo.
+// MaxFrameDim bounds the width and height a deserialized encoded frame may
+// claim, matching the wire protocol's session-geometry cap. Untrusted
+// headers beyond it are rejected rather than trusted for allocation sizing.
+const MaxFrameDim = 1 << 15
+
+// readChunk is the allocation granularity for length-prefixed reads of
+// untrusted data: buffers grow as bytes actually arrive, so a hostile
+// length field in a truncated input cannot force a large up-front
+// allocation (it fails after at most one spare chunk).
+const readChunk = 1 << 20
+
+// readExact reads exactly n bytes from r, growing the buffer in bounded
+// chunks.
+func readExact(r io.Reader, n int) ([]byte, error) {
+	if n <= readChunk {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	buf := make([]byte, 0, readChunk)
+	for len(buf) < n {
+		m := min(readChunk, n-len(buf))
+		start := len(buf)
+		buf = append(buf, make([]byte, m)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// ReadEncodedFrame deserializes a frame written by WriteTo. The input is
+// untrusted: structurally invalid or truncated data yields an error (never
+// a panic), and allocations are bounded by the bytes actually present plus
+// one chunk, so a hostile length prefix cannot force an over-allocation.
 func ReadEncodedFrame(r io.Reader) (*EncodedFrame, error) {
 	hdr := make([]byte, 28)
 	if _, err := io.ReadFull(r, hdr); err != nil {
@@ -171,15 +207,15 @@ func ReadEncodedFrame(r io.Reader) (*EncodedFrame, error) {
 	bpp := int(binary.LittleEndian.Uint32(hdr[16:]))
 	idx := int(binary.LittleEndian.Uint32(hdr[20:]))
 	payloadLen := int(binary.LittleEndian.Uint32(hdr[24:]))
-	if w <= 0 || h <= 0 || w > 1<<16 || h > 1<<16 || bpp <= 0 || bpp > 4 {
+	if w <= 0 || h <= 0 || w > MaxFrameDim || h > MaxFrameDim || bpp <= 0 || bpp > 4 {
 		return nil, fmt.Errorf("core: unreasonable header %dx%d bpp=%d", w, h, bpp)
 	}
 	if payloadLen > w*h*bpp {
 		return nil, fmt.Errorf("core: payload %d exceeds frame size", payloadLen)
 	}
 	ef := &EncodedFrame{W: w, H: h, BytesPerPixel: bpp, FrameIndex: idx}
-	ef.Pix = make([]byte, payloadLen)
-	if _, err := io.ReadFull(r, ef.Pix); err != nil {
+	var err error
+	if ef.Pix, err = readExact(r, payloadLen); err != nil {
 		return nil, fmt.Errorf("core: short payload: %w", err)
 	}
 	offs := make([]byte, 4*(h+1))
@@ -190,8 +226,8 @@ func ReadEncodedFrame(r io.Reader) (*EncodedFrame, error) {
 	for i := range ef.RowOffsets {
 		ef.RowOffsets[i] = binary.LittleEndian.Uint32(offs[4*i:])
 	}
-	maskBytes := make([]byte, (w*h+3)/4)
-	if _, err := io.ReadFull(r, maskBytes); err != nil {
+	maskBytes, err := readExact(r, (w*h+3)/4)
+	if err != nil {
 		return nil, fmt.Errorf("core: short mask: %w", err)
 	}
 	mask, err := bitpack.FromBytes(maskBytes, w*h)

@@ -135,19 +135,7 @@ func (e *Encoder) PushRow(line []byte) {
 	e.stats.RowsProcessed++
 	e.stats.PixelsIn += e.w
 
-	// RoI Selector: shortlist labels whose y-range covers this row. The
-	// list is y-sorted, so scanning stops at the first label starting
-	// below the row.
-	e.sublist = e.sublist[:0]
-	for i, l := range e.labels {
-		e.stats.RoISelectorCompares++
-		if l.Y > y {
-			break
-		}
-		if l.RowInYRange(y) {
-			e.sublist = append(e.sublist, i)
-		}
-	}
+	e.sublist = rowSublist(e.labels, y, e.sublist, &e.stats)
 
 	maskBase := y * e.w
 	if len(e.sublist) == 0 {
@@ -160,44 +148,8 @@ func (e *Encoder) PushRow(line []byte) {
 		return
 	}
 
-	// Comparison Engine: paint the row classification from the sublist.
-	// Painting per region interval costs O(sum of region widths) rather
-	// than O(W x regions); the R/St lattice distinction is a cheap modulo.
 	codes := e.rowCodes
-	for i := range codes {
-		codes[i] = bitpack.CodeN
-	}
-	fi := e.cur.FrameIndex
-	for _, li := range e.sublist {
-		l := e.labels[li]
-		x1 := l.X + l.W
-		switch {
-		case !l.ActiveAt(fi):
-			for x := l.X; x < x1; x++ {
-				e.stats.RegionPaintOps++
-				if codes[x] < bitpack.CodeSk {
-					codes[x] = bitpack.CodeSk
-				}
-			}
-		case l.Stride > 1 && (y-l.Y)%l.Stride != 0:
-			// Row off the vertical stride lattice: all pixels strided.
-			for x := l.X; x < x1; x++ {
-				e.stats.RegionPaintOps++
-				if codes[x] < bitpack.CodeSt {
-					codes[x] = bitpack.CodeSt
-				}
-			}
-		default:
-			for x := l.X; x < x1; x++ {
-				e.stats.RegionPaintOps++
-				if l.Stride <= 1 || (x-l.X)%l.Stride == 0 {
-					codes[x] = bitpack.CodeR
-				} else if codes[x] < bitpack.CodeSt {
-					codes[x] = bitpack.CodeSt
-				}
-			}
-		}
-	}
+	paintRowCodes(e.labels, e.sublist, codes, y, e.cur.FrameIndex, &e.stats)
 
 	// Sampler: forward CodeR pixels and emit metadata.
 	count := 0
@@ -229,6 +181,67 @@ func (e *Encoder) EndFrame() *EncodedFrame {
 	e.cur = nil
 	e.stats.FramesEncoded++
 	return ef
+}
+
+// rowSublist is the RoI Selector (§4.1) in function form: it fills dst with
+// the indices of labels whose y-range covers row y. The list must be
+// y-sorted, so scanning stops at the first label starting below the row. It
+// is shared by the sequential Encoder (the reference implementation) and the
+// row-band workers of ParallelEncoder; any change here changes both.
+func rowSublist(labels region.List, y int, dst []int, stats *EncoderStats) []int {
+	dst = dst[:0]
+	for i, l := range labels {
+		stats.RoISelectorCompares++
+		if l.Y > y {
+			break
+		}
+		if l.RowInYRange(y) {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// paintRowCodes is the Comparison Engine (§4.1) in function form: it paints
+// row y's classification into codes (length frame-width) from the sublist.
+// Painting per region interval costs O(sum of region widths) rather than
+// O(W x regions); the R/St lattice distinction is a cheap modulo. Pixels are
+// classified with code precedence R > Sk > St > N. Shared by the sequential
+// and parallel encoders.
+func paintRowCodes(labels region.List, sublist []int, codes []bitpack.Code, y, frameIndex int, stats *EncoderStats) {
+	for i := range codes {
+		codes[i] = bitpack.CodeN
+	}
+	for _, li := range sublist {
+		l := labels[li]
+		x1 := l.X + l.W
+		switch {
+		case !l.ActiveAt(frameIndex):
+			for x := l.X; x < x1; x++ {
+				stats.RegionPaintOps++
+				if codes[x] < bitpack.CodeSk {
+					codes[x] = bitpack.CodeSk
+				}
+			}
+		case l.Stride > 1 && (y-l.Y)%l.Stride != 0:
+			// Row off the vertical stride lattice: all pixels strided.
+			for x := l.X; x < x1; x++ {
+				stats.RegionPaintOps++
+				if codes[x] < bitpack.CodeSt {
+					codes[x] = bitpack.CodeSt
+				}
+			}
+		default:
+			for x := l.X; x < x1; x++ {
+				stats.RegionPaintOps++
+				if l.Stride <= 1 || (x-l.X)%l.Stride == 0 {
+					codes[x] = bitpack.CodeR
+				} else if codes[x] < bitpack.CodeSt {
+					codes[x] = bitpack.CodeSt
+				}
+			}
+		}
+	}
 }
 
 // EncodeFrame streams an entire frame through the encoder and returns the

@@ -85,7 +85,7 @@ func NewStreamReader(r io.Reader) (*StreamReader, error) {
 		H:   int(binary.LittleEndian.Uint32(hdr[12:])),
 		BPP: int(binary.LittleEndian.Uint32(hdr[16:])),
 	}
-	if sr.W <= 0 || sr.H <= 0 || sr.BPP <= 0 || sr.BPP > 4 || sr.W > 1<<16 || sr.H > 1<<16 {
+	if sr.W <= 0 || sr.H <= 0 || sr.BPP <= 0 || sr.BPP > 4 || sr.W > MaxFrameDim || sr.H > MaxFrameDim {
 		return nil, fmt.Errorf("core: unreasonable stream geometry %dx%d bpp=%d", sr.W, sr.H, sr.BPP)
 	}
 	return sr, nil

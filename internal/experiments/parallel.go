@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/frame"
+	"repro/internal/region"
+)
+
+// Row-band parallelism scaling: encode and decode throughput versus worker
+// count on the paper's 1080p reference workload. This is not a paper
+// artifact — the paper's encoder is a 2 px/clock hardware pipeline — but it
+// characterizes the software reproduction's multi-core headroom, and the
+// run double-checks that every degree's output is byte-identical to the
+// sequential reference before timing it.
+
+// ParallelRow is one worker-count measurement.
+type ParallelRow struct {
+	// N is the row-band worker count.
+	N int
+	// Bands is the number of bands the frame actually splits into.
+	Bands int
+	// EncodeMBps and DecodeMBps are raw-frame throughput.
+	EncodeMBps float64
+	DecodeMBps float64
+	// EncodeSpeedup and DecodeSpeedup are relative to the N=1 row.
+	EncodeSpeedup float64
+	DecodeSpeedup float64
+}
+
+// parallelDegrees are the worker counts the scaling experiment measures.
+var parallelDegrees = []int{1, 2, 4, 8}
+
+// parallelLabels builds the measurement workload: scattered rhythmic
+// regions covering roughly the paper's 30% regional-pixel reference point.
+func parallelLabels(w, h int) region.List {
+	var ls region.List
+	for i := 0; i < 200; i++ {
+		l, ok := region.Clip(region.Label{
+			X: (i * 131) % (w - 80), Y: (i * 197) % (h - 80),
+			W: 60 + i%80, H: 60 + (i*3)%80,
+			Stride: 1 + i%3, Skip: 1 + i%3,
+		}, w, h)
+		if ok {
+			ls = append(ls, l)
+		}
+	}
+	return ls.SortByY()
+}
+
+// ParallelScaling measures encode and decode throughput per worker count.
+func ParallelScaling(s Scale) ([]ParallelRow, error) {
+	w, h, frames := 1920, 1080, 8
+	if s == Quick {
+		w, h, frames = 960, 540, 4
+	}
+	labels := parallelLabels(w, h)
+	fr := frame.New(w, h, frame.Gray8)
+	for i := range fr.Pix {
+		fr.Pix[i] = byte(i * 13)
+	}
+
+	// Sequential reference output for the byte-equality check.
+	refEnc := core.NewEncoder(w, h, frame.Gray8)
+	if err := refEnc.SetRegionLabels(labels); err != nil {
+		return nil, err
+	}
+	refEF, err := refEnc.EncodeFrame(fr, 0)
+	if err != nil {
+		return nil, err
+	}
+	refDec := core.NewDecoder(w, h, frame.Gray8)
+	if err := refDec.Push(refEF); err != nil {
+		return nil, err
+	}
+	refOut, err := refDec.DecodeFrame()
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]ParallelRow, 0, len(parallelDegrees))
+	frameMB := float64(w*h) / 1e6
+	for _, n := range parallelDegrees {
+		enc := core.NewParallelEncoder(w, h, frame.Gray8, n)
+		if err := enc.SetRegionLabels(labels); err != nil {
+			return nil, err
+		}
+		ef, err := enc.EncodeFrame(fr, 0)
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(ef.Pix, refEF.Pix) || !ef.Mask.Equal(refEF.Mask) {
+			return nil, fmt.Errorf("experiments: parallel encode n=%d diverges from sequential", n)
+		}
+		dec := core.NewDecoder(w, h, frame.Gray8, core.WithParallelism(n))
+		if err := dec.Push(ef); err != nil {
+			return nil, err
+		}
+		out, err := dec.DecodeFrame()
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(out.Pix, refOut.Pix) {
+			return nil, fmt.Errorf("experiments: parallel decode n=%d diverges from sequential", n)
+		}
+
+		start := time.Now()
+		for i := 0; i < frames; i++ {
+			if _, err := enc.EncodeFrame(fr, i); err != nil {
+				return nil, err
+			}
+		}
+		encSec := time.Since(start).Seconds()
+
+		start = time.Now()
+		for i := 0; i < frames; i++ {
+			if _, err := dec.DecodeFrame(); err != nil {
+				return nil, err
+			}
+		}
+		decSec := time.Since(start).Seconds()
+
+		rows = append(rows, ParallelRow{
+			N:          n,
+			Bands:      enc.Bands(),
+			EncodeMBps: frameMB * float64(frames) / encSec,
+			DecodeMBps: frameMB * float64(frames) / decSec,
+		})
+	}
+	for i := range rows {
+		rows[i].EncodeSpeedup = rows[i].EncodeMBps / rows[0].EncodeMBps
+		rows[i].DecodeSpeedup = rows[i].DecodeMBps / rows[0].DecodeMBps
+	}
+	return rows, nil
+}
+
+// ParallelReport renders the scaling table.
+func ParallelReport(rows []ParallelRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Row-band parallel scaling (byte-identical to sequential at every degree)\n")
+	fmt.Fprintf(&b, "%8s %8s %14s %14s %10s %10s\n", "workers", "bands", "encode MB/s", "decode MB/s", "enc x", "dec x")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8d %8d %14.1f %14.1f %9.2fx %9.2fx\n",
+			r.N, r.Bands, r.EncodeMBps, r.DecodeMBps, r.EncodeSpeedup, r.DecodeSpeedup)
+	}
+	return b.String()
+}
+
+// ParallelCSV writes the scaling rows as CSV.
+func ParallelCSV(w io.Writer, rows []ParallelRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"workers", "bands", "encode_mbps", "decode_mbps", "encode_speedup", "decode_speedup"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			fmt.Sprintf("%d", r.N),
+			fmt.Sprintf("%d", r.Bands),
+			fmt.Sprintf("%.2f", r.EncodeMBps),
+			fmt.Sprintf("%.2f", r.DecodeMBps),
+			fmt.Sprintf("%.3f", r.EncodeSpeedup),
+			fmt.Sprintf("%.3f", r.DecodeSpeedup),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

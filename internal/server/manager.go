@@ -128,6 +128,9 @@ type SessionConfig struct {
 	QueueDepth int
 	// Block selects blocking backpressure instead of ErrBacklog.
 	Block bool
+	// Parallelism is the number of row-band encode/decode workers the
+	// session's pipeline uses (0 or 1 = sequential reference path).
+	Parallelism int
 }
 
 // Session is one client's rhythmic-pixel pipeline: an rpx.System owned by a
@@ -175,6 +178,9 @@ func (m *Manager) Open(cfg SessionConfig) (*Session, error) {
 	var opts []rpx.Option
 	if cfg.HistoryDepth > 0 {
 		opts = append(opts, rpx.WithHistoryDepth(cfg.HistoryDepth))
+	}
+	if cfg.Parallelism > 1 {
+		opts = append(opts, rpx.WithParallelism(cfg.Parallelism))
 	}
 	sys, err := rpx.NewSystem(cfg.W, cfg.H, cfg.Format, opts...)
 	if err != nil {

@@ -178,6 +178,7 @@ func (s *TCPServer) handle(conn net.Conn) {
 		HistoryDepth: hello.HistoryDepth,
 		QueueDepth:   hello.QueueDepth,
 		Block:        hello.Block,
+		Parallelism:  hello.Parallelism,
 	})
 	if err != nil {
 		code := wire.CodeBadRequest

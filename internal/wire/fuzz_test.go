@@ -1,0 +1,60 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadMessage drives arbitrary bytes through the framing layer and every
+// payload unmarshaler a server or client would dispatch to. The protocol's
+// untrusted-input guarantee: malformed input yields an error, never a panic,
+// and allocation is bounded by the payload cap regardless of the length
+// prefix's claim.
+func FuzzReadMessage(f *testing.F) {
+	// Structurally valid seeds for each message family.
+	seed := func(typ byte, payload []byte) []byte {
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, typ, payload, DefaultMaxPayload); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(seed(MsgHello, MarshalHello(Hello{W: 64, H: 48, HistoryDepth: 4, Parallelism: 2})))
+	f.Add(seed(MsgHelloAck, MarshalHelloAck(HelloAck{SessionID: 7, MaxPayload: DefaultMaxPayload})))
+	f.Add(seed(MsgCaptureAck, MarshalCaptureAck(CaptureAck{FrameIndex: 3, EncodedPixels: 10, EncodedBytes: 10, PixelFraction: 0.5})))
+	f.Add(seed(MsgDecodeWindow, MarshalWindow(Window{X: 1, Y: 2, W: 3, H: 4})))
+	f.Add(seed(MsgError, MarshalError(CodeBadRequest, "nope")))
+	f.Add(seed(MsgAck, nil))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1}) // hostile length prefix
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxPayload = 1 << 16
+		r := bytes.NewReader(data)
+		for i := 0; i < 8; i++ {
+			typ, payload, err := ReadMessage(r, maxPayload)
+			if err != nil {
+				return
+			}
+			if len(payload) > maxPayload {
+				t.Fatalf("ReadMessage returned %d bytes above the %d cap", len(payload), maxPayload)
+			}
+			// Dispatch the payload to the unmarshaler its type selects,
+			// mirroring both the server's and the client's read paths.
+			switch typ {
+			case MsgHello:
+				UnmarshalHello(payload)
+			case MsgHelloAck:
+				UnmarshalHelloAck(payload)
+			case MsgSetLabels:
+				UnmarshalLabels(payload)
+			case MsgCaptureAck:
+				UnmarshalCaptureAck(payload)
+			case MsgDecodeWindow:
+				UnmarshalWindow(payload)
+			case MsgFrame:
+				UnmarshalFrame(payload)
+			case MsgError:
+				UnmarshalError(payload)
+			}
+		}
+	})
+}

@@ -32,8 +32,9 @@ import (
 const ProtoMagic = 0x52505844 // "RPXD"
 
 // ProtoVersion is the protocol revision this package speaks. HELLO carries
-// it; servers reject mismatches so framing changes fail loudly.
-const ProtoVersion = 1
+// it; servers reject mismatches so framing changes fail loudly. Version 2
+// added the Parallelism field to HELLO.
+const ProtoVersion = 2
 
 // DefaultMaxPayload caps a single message payload (32 MiB): comfortably
 // above a 1080p RGB frame plus metadata, far below an OOM.
@@ -168,9 +169,17 @@ type Hello struct {
 	// Block selects backpressure behaviour when the queue is full: block
 	// (true) or fail fast with a BACKLOG error (false).
 	Block bool
+	// Parallelism is the number of row-band encode/decode workers the
+	// session's pipeline fans out to (0 = server default, i.e. 1: the
+	// sequential reference path).
+	Parallelism int
 }
 
-const helloSize = 4 + 4 + 4 + 4 + 1 + 4 + 4 + 1
+// MaxParallelism caps the HELLO Parallelism field so a hostile handshake
+// cannot request an absurd per-session worker count. Matches rpx's cap.
+const MaxParallelism = 256
+
+const helloSize = 4 + 4 + 4 + 4 + 1 + 4 + 4 + 1 + 4
 
 // MarshalHello encodes a HELLO payload, prefixed with magic and version.
 func MarshalHello(h Hello) []byte {
@@ -185,6 +194,7 @@ func MarshalHello(h Hello) []byte {
 	if h.Block {
 		b[25] = 1
 	}
+	binary.LittleEndian.PutUint32(b[26:], uint32(h.Parallelism))
 	return b
 }
 
@@ -206,6 +216,7 @@ func UnmarshalHello(b []byte) (Hello, error) {
 		HistoryDepth: int(binary.LittleEndian.Uint32(b[17:])),
 		QueueDepth:   int(binary.LittleEndian.Uint32(b[21:])),
 		Block:        b[25] != 0,
+		Parallelism:  int(binary.LittleEndian.Uint32(b[26:])),
 	}
 	switch h.Format {
 	case frame.Gray8, frame.RGB24, frame.YUV444:
@@ -214,6 +225,9 @@ func UnmarshalHello(b []byte) (Hello, error) {
 	}
 	if h.W <= 0 || h.H <= 0 || h.W > 1<<15 || h.H > 1<<15 {
 		return Hello{}, fmt.Errorf("wire: unreasonable session geometry %dx%d", h.W, h.H)
+	}
+	if h.Parallelism < 0 || h.Parallelism > MaxParallelism {
+		return Hello{}, fmt.Errorf("wire: parallelism %d outside [0,%d]", h.Parallelism, MaxParallelism)
 	}
 	return h, nil
 }

@@ -44,6 +44,10 @@ type Config struct {
 	// Block selects blocking backpressure; when false a saturated session
 	// fails fast and Capture returns a BACKLOG error (see IsBacklog).
 	Block bool
+	// Parallelism is the number of row-band encode/decode workers the
+	// server gives this session's pipeline (0 = server default: 1, the
+	// sequential reference path). Any value yields byte-identical results.
+	Parallelism int
 	// DialTimeout bounds connection establishment (default 10s).
 	DialTimeout time.Duration
 	// RequestTimeout bounds each request round trip (default 30s).
@@ -89,6 +93,7 @@ func Dial(addr string, cfg Config) (*Session, error) {
 		HistoryDepth: cfg.HistoryDepth,
 		QueueDepth:   cfg.QueueDepth,
 		Block:        cfg.Block,
+		Parallelism:  cfg.Parallelism,
 	}
 	typ, payload, err := s.roundTrip(wire.MsgHello, wire.MarshalHello(hello))
 	if err != nil {

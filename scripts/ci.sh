@@ -14,4 +14,13 @@ go build ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+# Fuzz smoke: a short budget per untrusted decode surface. Regressions the
+# fuzzer finds land in testdata/fuzz/ seed corpora, which -race above then
+# replays forever after.
+FUZZTIME="${FUZZTIME:-10s}"
+echo "== fuzz smoke (${FUZZTIME} per target)"
+go test -run='^$' -fuzz='^FuzzReadMessage$' -fuzztime="$FUZZTIME" ./internal/wire
+go test -run='^$' -fuzz='^FuzzReadEncodedFrame$' -fuzztime="$FUZZTIME" ./internal/core
+go test -run='^$' -fuzz='^FuzzStreamReader$' -fuzztime="$FUZZTIME" ./internal/core
+
 echo "== ci: OK"
