@@ -9,7 +9,11 @@
 //
 // Usage:
 //
-//	rpxd -addr :7621 -max-sessions 64 -queue-depth 16
+//	rpxd -addr :7621 -max-sessions 64 -queue-depth 16 -idle-ttl 5m
+//
+// Sessions idle longer than -idle-ttl are evicted (their connections
+// closed, their slots freed) so abandoned clients cannot pin -max-sessions;
+// 0 disables eviction and leaves only the per-read -read-timeout guard.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, queued
 // requests drain, and the final statistics snapshot is written to stderr as
@@ -44,6 +48,8 @@ func realMain() int {
 		writeTimeout = flag.Duration("write-timeout", server.DefaultWriteTimeout, "per-write connection deadline")
 		maxPayload   = flag.Int("max-payload", 0, "per-message payload cap in bytes (0 = 32 MiB)")
 		drainTime    = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain budget")
+		idleTTL      = flag.Duration("idle-ttl", 0, "evict sessions idle longer than this (0 = never)")
+		idleSweep    = flag.Duration("idle-sweep", 0, "idle janitor scan interval (0 = idle-ttl/4)")
 	)
 	flag.Parse()
 
@@ -51,8 +57,10 @@ func realMain() int {
 	defer stop()
 
 	if err := run(ctx, *addr, server.Config{
-		MaxSessions: *maxSessions,
-		QueueDepth:  *queueDepth,
+		MaxSessions:   *maxSessions,
+		QueueDepth:    *queueDepth,
+		IdleTTL:       *idleTTL,
+		SweepInterval: *idleSweep,
 	}, server.TCPConfig{
 		ReadTimeout:  *readTimeout,
 		WriteTimeout: *writeTimeout,

@@ -1,0 +1,161 @@
+// Package faultnet injects transport faults — latency, partial writes,
+// mid-message connection resets, and byte truncation — into net.Conn
+// traffic, driven by a seeded RNG so every failure a test finds reproduces
+// from its seed.
+//
+// Two layers compose:
+//
+//   - Conn wraps any net.Conn with a random byte-level fault profile
+//     (Faults): each Read/Write may sleep, split, truncate, or reset.
+//   - Proxy is a loopback listener that forwards rpxd wire messages between
+//     a client and a backend through fault-injecting conns, plus scripted
+//     per-message Rules (delay the Nth reply, truncate it mid-frame, drop
+//     the connection) for deterministic regression tests.
+//
+// The package is test infrastructure: the rpxd client/server e2e matrix
+// uses it to prove that a slow, flaky, or hostile network can slow calls
+// down or fail them with typed errors, but never make a completed call
+// return the wrong bytes.
+package faultnet
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Dir labels a proxied traffic direction.
+type Dir int
+
+// Traffic directions through a Proxy.
+const (
+	// ClientToServer is request traffic (the dialing side to the backend).
+	ClientToServer Dir = iota
+	// ServerToClient is reply traffic (the backend to the dialing side).
+	ServerToClient
+)
+
+// String names the direction in test output.
+func (d Dir) String() string {
+	if d == ClientToServer {
+		return "client→server"
+	}
+	return "server→client"
+}
+
+// Faults is a random byte-level fault profile. All probabilities are per
+// I/O operation in [0, 1]; zero values disable that fault.
+type Faults struct {
+	// Seed seeds the RNG; the same seed replays the same fault sequence
+	// against the same I/O sequence.
+	Seed int64
+	// LatencyProb is the chance an operation first sleeps a random duration
+	// drawn uniformly from [LatencyMin, LatencyMax].
+	LatencyProb float64
+	// LatencyMin and LatencyMax bound the injected sleep.
+	LatencyMin, LatencyMax time.Duration
+	// PartialWriteProb is the chance a Write is split into two chunks with a
+	// pause between them. The bytes still all arrive — this exercises
+	// short-write and mid-message-deadline handling, not data loss.
+	PartialWriteProb float64
+	// ResetProb is the chance an operation closes the connection and fails
+	// instead of transferring anything.
+	ResetProb float64
+	// TruncateProb is the chance a Write delivers only a prefix of its
+	// buffer and then closes the connection — a mid-message cut.
+	TruncateProb float64
+}
+
+// zero reports whether the profile injects nothing.
+func (f Faults) zero() bool {
+	return f.LatencyProb == 0 && f.PartialWriteProb == 0 && f.ResetProb == 0 && f.TruncateProb == 0
+}
+
+// Conn wraps a net.Conn with the Faults profile. Safe for one reader and
+// one writer goroutine, like net.Conn itself.
+type Conn struct {
+	net.Conn
+
+	mu  sync.Mutex // guards rng
+	rng *rand.Rand
+	f   Faults
+}
+
+// Wrap applies a fault profile to an existing connection.
+func Wrap(c net.Conn, f Faults) *Conn {
+	return &Conn{Conn: c, rng: rand.New(rand.NewSource(f.Seed)), f: f}
+}
+
+// roll draws the fault decisions for one operation under the RNG lock, so
+// concurrent reader and writer goroutines stay race-free and the sleep
+// itself happens outside the lock.
+type decision struct {
+	sleep    time.Duration
+	reset    bool
+	truncate bool // writes only: deliver a prefix, then close
+	split    bool // writes only: two chunks with a pause
+}
+
+func (c *Conn) roll(write bool) decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var d decision
+	if c.f.LatencyProb > 0 && c.rng.Float64() < c.f.LatencyProb {
+		span := c.f.LatencyMax - c.f.LatencyMin
+		d.sleep = c.f.LatencyMin
+		if span > 0 {
+			d.sleep += time.Duration(c.rng.Int63n(int64(span)))
+		}
+	}
+	switch {
+	case c.f.ResetProb > 0 && c.rng.Float64() < c.f.ResetProb:
+		d.reset = true
+	case write && c.f.TruncateProb > 0 && c.rng.Float64() < c.f.TruncateProb:
+		d.truncate = true
+	case write && c.f.PartialWriteProb > 0 && c.rng.Float64() < c.f.PartialWriteProb:
+		d.split = true
+	}
+	return d
+}
+
+// Read injects latency and resets in front of the wrapped Read.
+func (c *Conn) Read(p []byte) (int, error) {
+	d := c.roll(false)
+	if d.sleep > 0 {
+		time.Sleep(d.sleep)
+	}
+	if d.reset {
+		c.Conn.Close()
+		return 0, fmt.Errorf("faultnet: injected read reset: %w", net.ErrClosed)
+	}
+	return c.Conn.Read(p)
+}
+
+// Write injects latency, resets, truncation, and partial writes in front of
+// the wrapped Write.
+func (c *Conn) Write(p []byte) (int, error) {
+	d := c.roll(true)
+	if d.sleep > 0 {
+		time.Sleep(d.sleep)
+	}
+	switch {
+	case d.reset:
+		c.Conn.Close()
+		return 0, fmt.Errorf("faultnet: injected write reset: %w", net.ErrClosed)
+	case d.truncate && len(p) > 1:
+		n, _ := c.Conn.Write(p[:len(p)/2])
+		c.Conn.Close()
+		return n, fmt.Errorf("faultnet: injected truncation after %d/%d bytes: %w", n, len(p), net.ErrClosed)
+	case d.split && len(p) > 1:
+		n, err := c.Conn.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		time.Sleep(time.Millisecond)
+		m, err := c.Conn.Write(p[len(p)/2:])
+		return n + m, err
+	}
+	return c.Conn.Write(p)
+}

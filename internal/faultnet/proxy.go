@@ -1,0 +1,243 @@
+package faultnet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Rule scripts one deterministic fault against the Nth wire message in a
+// direction. Ordinals are 1-based and counted per proxied connection, so a
+// sequential client addresses "the reply to my 4th request" exactly.
+type Rule struct {
+	// Dir selects which traffic stream the rule watches.
+	Dir Dir
+	// Nth is the 1-based ordinal of the wire message the rule fires on.
+	Nth int
+	// Delay sleeps before forwarding the message — combined with a client
+	// RequestTimeout below it, this is the late-reply desync scenario.
+	Delay time.Duration
+	// TruncateTo, when > 0, forwards the frame header claiming the full
+	// payload length but only the first TruncateTo payload bytes, then cuts
+	// the connection: the receiver sees a short read mid-message.
+	TruncateTo int
+	// Drop cuts the connection instead of forwarding the message.
+	Drop bool
+	// Once consumes the rule after its first firing, so it cannot re-fire
+	// on the same ordinal of a later (e.g. reconnected) connection.
+	Once bool
+}
+
+// ProxyConfig tunes a Proxy.
+type ProxyConfig struct {
+	// Rules are the scripted per-message faults (evaluated in order; the
+	// first match wins).
+	Rules []Rule
+	// ClientFaults, when non-zero, wraps the client-facing side of every
+	// proxied connection with random byte-level faults.
+	ClientFaults Faults
+	// MaxPayload caps forwarded message payloads (default
+	// wire.DefaultMaxPayload).
+	MaxPayload int
+}
+
+// Proxy is a loopback listener that relays rpxd wire messages to a backend
+// through fault injection. One accepted connection maps to one backend
+// connection; cutting one side cuts both.
+type Proxy struct {
+	ln      net.Listener
+	backend string
+	cfg     ProxyConfig
+
+	mu     sync.Mutex
+	rules  []Rule
+	conns  map[net.Conn]struct{}
+	nconns int
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewProxy starts a proxy on a fresh loopback port in front of backend.
+func NewProxy(backend string, cfg ProxyConfig) (*Proxy, error) {
+	if cfg.MaxPayload <= 0 {
+		cfg.MaxPayload = wire.DefaultMaxPayload
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		ln:      ln,
+		backend: backend,
+		cfg:     cfg,
+		rules:   append([]Rule(nil), cfg.Rules...),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's dialable address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// AddRule appends a scripted rule; it applies to connections accepted from
+// now on and to not-yet-reached ordinals of live ones.
+func (p *Proxy) AddRule(r Rule) {
+	p.mu.Lock()
+	p.rules = append(p.rules, r)
+	p.mu.Unlock()
+}
+
+// Close stops the listener and cuts every proxied connection.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			client.Close()
+			return
+		}
+		seed := p.cfg.ClientFaults.Seed + int64(p.nconns)
+		p.nconns++
+		p.conns[client] = struct{}{}
+		p.wg.Add(1)
+		p.mu.Unlock()
+		go p.relay(client, seed)
+	}
+}
+
+// track registers a backend conn for Close teardown.
+func (p *Proxy) track(c net.Conn) {
+	p.mu.Lock()
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+// relay proxies one client connection to one backend connection, applying
+// scripted rules message by message and, when configured, random byte-level
+// faults on the client-facing side.
+func (p *Proxy) relay(client net.Conn, seed int64) {
+	defer p.wg.Done()
+	defer p.untrack(client)
+	defer client.Close()
+
+	backend, err := net.DialTimeout("tcp", p.backend, 10*time.Second)
+	if err != nil {
+		return
+	}
+	p.track(backend)
+	defer p.untrack(backend)
+	defer backend.Close()
+
+	var cface net.Conn = client
+	if !p.cfg.ClientFaults.zero() {
+		f := p.cfg.ClientFaults
+		f.Seed = seed
+		cface = Wrap(client, f)
+	}
+
+	// Cutting either side must unblock the other direction's reader.
+	cut := func() {
+		client.Close()
+		backend.Close()
+	}
+	var once sync.Once
+	done := func() { once.Do(cut) }
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		defer done()
+		p.pump(ClientToServer, cface, backend)
+	}()
+	go func() {
+		defer wg.Done()
+		defer done()
+		p.pump(ServerToClient, backend, cface)
+	}()
+	wg.Wait()
+}
+
+// match pops the first rule firing on the nth message in dir, consuming it
+// when it is marked Once.
+func (p *Proxy) match(dir Dir, nth int) (Rule, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, r := range p.rules {
+		if r.Dir == dir && r.Nth == nth {
+			if r.Once {
+				p.rules = append(p.rules[:i], p.rules[i+1:]...)
+			}
+			return r, true
+		}
+	}
+	return Rule{}, false
+}
+
+// pump forwards framed wire messages from src to dst until either side
+// fails, applying the first matching scripted rule to each message.
+func (p *Proxy) pump(dir Dir, src, dst net.Conn) {
+	br := bufio.NewReader(src)
+	for nth := 1; ; nth++ {
+		typ, payload, err := wire.ReadMessage(br, p.cfg.MaxPayload)
+		if err != nil {
+			return
+		}
+		if r, ok := p.match(dir, nth); ok {
+			if r.Delay > 0 {
+				time.Sleep(r.Delay)
+			}
+			if r.Drop {
+				return
+			}
+			if r.TruncateTo > 0 && r.TruncateTo < len(payload) {
+				// Claim the full length, deliver a prefix, cut the stream:
+				// the receiver's framing is left mid-message.
+				hdr := make([]byte, 5)
+				binary.LittleEndian.PutUint32(hdr, uint32(len(payload)))
+				hdr[4] = typ
+				if _, err := dst.Write(hdr); err == nil {
+					dst.Write(payload[:r.TruncateTo])
+				}
+				return
+			}
+		}
+		if err := wire.WriteMessage(dst, typ, payload, p.cfg.MaxPayload); err != nil {
+			// Injected faults on the client-facing conn surface here too.
+			return
+		}
+	}
+}

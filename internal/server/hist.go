@@ -51,7 +51,9 @@ type HistogramSnapshot struct {
 	SumNanos int64 `json:"sum_ns"`
 	// MaxNanos is the largest single observation.
 	MaxNanos int64 `json:"max_ns"`
-	// Buckets[i] counts observations at or below UpperMicros[i].
+	// Buckets[i] counts observations in the per-range interval
+	// (UpperMicros[i-1], UpperMicros[i]] — bucket 0 covers [0, 1µs]. The
+	// counts are NOT cumulative; sum a prefix to get "at or below".
 	Buckets []uint64 `json:"buckets,omitempty"`
 	// UpperMicros[i] is the inclusive upper bound of bucket i in µs.
 	UpperMicros []int64 `json:"upper_us,omitempty"`

@@ -74,6 +74,12 @@ type Config struct {
 	// QueueDepth is the default per-session request queue bound
 	// (default 16); sessions may negotiate their own at open.
 	QueueDepth int
+	// IdleTTL evicts sessions that have served no request for this long, so
+	// abandoned connections cannot pin MaxSessions (0 = never evict).
+	IdleTTL time.Duration
+	// SweepInterval is how often the idle janitor scans (default IdleTTL/4,
+	// floored at 100ms). Only meaningful when IdleTTL > 0.
+	SweepInterval time.Duration
 }
 
 // DefaultMaxSessions is the session cap when Config.MaxSessions is zero.
@@ -88,15 +94,20 @@ type Manager struct {
 
 	mu       sync.Mutex
 	sessions map[uint64]*Session
+	reserved int // admitted opens still constructing their pipeline
 	nextID   uint64
 	closed   bool
 
+	sweepQuit chan struct{}
+	sweepDone chan struct{}
+
 	// Aggregate counters, atomic so Snapshot never blocks a worker.
-	sessionsOpened atomic.Int64
-	framesCaptured atomic.Int64
-	encodedBytes   atomic.Int64
-	decodedFrames  atomic.Int64
-	backlogRejects atomic.Int64
+	sessionsOpened  atomic.Int64
+	sessionsEvicted atomic.Int64
+	framesCaptured  atomic.Int64
+	encodedBytes    atomic.Int64
+	decodedFrames   atomic.Int64
+	backlogRejects  atomic.Int64
 
 	opHist [numOps]Histogram
 
@@ -114,7 +125,46 @@ func NewManager(cfg Config) *Manager {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = DefaultQueueDepth
 	}
-	return &Manager{cfg: cfg, sessions: make(map[uint64]*Session)}
+	if cfg.IdleTTL > 0 && cfg.SweepInterval <= 0 {
+		cfg.SweepInterval = cfg.IdleTTL / 4
+		if cfg.SweepInterval < 100*time.Millisecond {
+			cfg.SweepInterval = 100 * time.Millisecond
+		}
+	}
+	m := &Manager{cfg: cfg, sessions: make(map[uint64]*Session)}
+	if cfg.IdleTTL > 0 {
+		m.sweepQuit = make(chan struct{})
+		m.sweepDone = make(chan struct{})
+		go m.sweepIdle()
+	}
+	return m
+}
+
+// sweepIdle is the idle-session janitor: it periodically evicts sessions
+// whose last request is older than IdleTTL.
+func (m *Manager) sweepIdle() {
+	defer close(m.sweepDone)
+	tick := time.NewTicker(m.cfg.SweepInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.sweepQuit:
+			return
+		case <-tick.C:
+		}
+		cutoff := time.Now().Add(-m.cfg.IdleTTL).UnixNano()
+		m.mu.Lock()
+		var idle []*Session
+		for _, s := range m.sessions {
+			if s.lastUsed.Load() < cutoff {
+				idle = append(idle, s)
+			}
+		}
+		m.mu.Unlock()
+		for _, s := range idle {
+			s.evict()
+		}
+	}
 }
 
 // SessionConfig describes one session's negotiated pipeline.
@@ -147,9 +197,14 @@ type Session struct {
 	quit chan struct{}
 	done chan struct{}
 
-	mu      sync.Mutex
-	closed  bool
-	pending sync.WaitGroup
+	// lastUsed is the UnixNano of the newest submitted request, read by the
+	// manager's idle janitor without taking the session lock.
+	lastUsed atomic.Int64
+
+	mu        sync.Mutex
+	closed    bool
+	evictHook func()
+	pending   sync.WaitGroup
 }
 
 type request struct {
@@ -170,11 +225,30 @@ type result struct {
 	err error
 }
 
-// Open creates a session and starts its worker.
+// Open creates a session and starts its worker. Admission is checked before
+// the pipeline is constructed: a rejected open (manager closed or at
+// MaxSessions) costs a few bookkeeping allocations, never the multi-MB
+// framebuffer and history buffers an admitted session needs.
 func (m *Manager) Open(cfg SessionConfig) (*Session, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = m.cfg.QueueDepth
 	}
+
+	// Admission first: reserve a slot under the lock, so concurrent opens
+	// racing for the last slots cannot overshoot MaxSessions while their
+	// pipelines are being built outside the lock.
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrManagerClosed
+	}
+	if len(m.sessions)+m.reserved >= m.cfg.MaxSessions {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w (%d)", ErrSessionLimit, m.cfg.MaxSessions)
+	}
+	m.reserved++
+	m.mu.Unlock()
+
 	var opts []rpx.Option
 	if cfg.HistoryDepth > 0 {
 		opts = append(opts, rpx.WithHistoryDepth(cfg.HistoryDepth))
@@ -183,18 +257,15 @@ func (m *Manager) Open(cfg SessionConfig) (*Session, error) {
 		opts = append(opts, rpx.WithParallelism(cfg.Parallelism))
 	}
 	sys, err := rpx.NewSystem(cfg.W, cfg.H, cfg.Format, opts...)
-	if err != nil {
-		return nil, err
-	}
 
 	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
-		return nil, ErrManagerClosed
+	m.reserved--
+	if err == nil && m.closed {
+		err = ErrManagerClosed
 	}
-	if len(m.sessions) >= m.cfg.MaxSessions {
+	if err != nil {
 		m.mu.Unlock()
-		return nil, fmt.Errorf("%w (%d)", ErrSessionLimit, m.cfg.MaxSessions)
+		return nil, err
 	}
 	m.nextID++
 	s := &Session{
@@ -206,6 +277,7 @@ func (m *Manager) Open(cfg SessionConfig) (*Session, error) {
 		quit: make(chan struct{}),
 		done: make(chan struct{}),
 	}
+	s.lastUsed.Store(time.Now().UnixNano())
 	m.sessions[s.id] = s
 	m.mu.Unlock()
 	m.sessionsOpened.Add(1)
@@ -264,6 +336,7 @@ func (s *Session) execute(req *request) result {
 // submit enqueues one operation and waits for its result, honouring the
 // session's backpressure mode.
 func (s *Session) submit(req *request) result {
+	s.lastUsed.Store(time.Now().UnixNano())
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -336,6 +409,39 @@ func (s *Session) LastEncoded() (*core.EncodedFrame, error) {
 // entering the request queue (safe per rpx.System's concurrency contract).
 func (s *Session) SystemStats() rpx.SystemStats { return s.sys.Stats() }
 
+// OnEvict registers a hook the idle janitor runs when it evicts this
+// session — transports use it to close the connection so a handler blocked
+// in a read wakes up and tears down. Calling it after eviction began is a
+// no-op.
+func (s *Session) OnEvict(hook func()) {
+	s.mu.Lock()
+	s.evictHook = hook
+	s.mu.Unlock()
+}
+
+// IdleFor reports how long ago the session last served a request.
+func (s *Session) IdleFor() time.Duration {
+	return time.Duration(time.Now().UnixNano() - s.lastUsed.Load())
+}
+
+// evict closes an idle session on the janitor's behalf: it fires the
+// transport hook first (waking any blocked reader) and then runs the normal
+// drain-and-stop close path.
+func (s *Session) evict() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	hook := s.evictHook
+	s.mu.Unlock()
+	s.mgr.sessionsEvicted.Add(1)
+	if hook != nil {
+		hook()
+	}
+	s.Close()
+}
+
 // Close drains the queue and stops the worker. Requests submitted after
 // Close fail with ErrSessionClosed; requests already queued are served.
 func (s *Session) Close() error {
@@ -372,6 +478,10 @@ func (m *Manager) Close() error {
 		open = append(open, s)
 	}
 	m.mu.Unlock()
+	if m.sweepQuit != nil {
+		close(m.sweepQuit)
+		<-m.sweepDone
+	}
 	for _, s := range open {
 		s.Close()
 	}
@@ -398,28 +508,37 @@ type QueueStat struct {
 // Snapshot is a point-in-time view of the whole manager, the payload of the
 // STATS wire message (JSON-encoded).
 type Snapshot struct {
-	SessionsOpen   int                          `json:"sessions_open"`
-	SessionsOpened int64                        `json:"sessions_opened"`
-	FramesCaptured int64                        `json:"frames_captured"`
-	EncodedBytes   int64                        `json:"encoded_bytes"`
-	DecodedFrames  int64                        `json:"decoded_frames"`
-	BacklogRejects int64                        `json:"backlog_rejects"`
-	Queues         []QueueStat                  `json:"queues,omitempty"`
-	OpLatency      map[string]HistogramSnapshot `json:"op_latency,omitempty"`
+	SessionsOpen    int                          `json:"sessions_open"`
+	SessionsOpened  int64                        `json:"sessions_opened"`
+	SessionsEvicted int64                        `json:"sessions_evicted"`
+	FramesCaptured  int64                        `json:"frames_captured"`
+	EncodedBytes    int64                        `json:"encoded_bytes"`
+	DecodedFrames   int64                        `json:"decoded_frames"`
+	BacklogRejects  int64                        `json:"backlog_rejects"`
+	Queues          []QueueStat                  `json:"queues,omitempty"`
+	OpLatency       map[string]HistogramSnapshot `json:"op_latency,omitempty"`
 }
 
-// Snapshot collects the manager-wide statistics.
+// Snapshot collects the manager-wide statistics. The manager lock is held
+// only long enough to copy the session list; per-session stats are read
+// outside it, so a stats scrape over many sessions never blocks Open/Close.
 func (m *Manager) Snapshot() Snapshot {
 	snap := Snapshot{
-		SessionsOpened: m.sessionsOpened.Load(),
-		FramesCaptured: m.framesCaptured.Load(),
-		EncodedBytes:   m.encodedBytes.Load(),
-		DecodedFrames:  m.decodedFrames.Load(),
-		BacklogRejects: m.backlogRejects.Load(),
+		SessionsOpened:  m.sessionsOpened.Load(),
+		SessionsEvicted: m.sessionsEvicted.Load(),
+		FramesCaptured:  m.framesCaptured.Load(),
+		EncodedBytes:    m.encodedBytes.Load(),
+		DecodedFrames:   m.decodedFrames.Load(),
+		BacklogRejects:  m.backlogRejects.Load(),
 	}
 	m.mu.Lock()
 	snap.SessionsOpen = len(m.sessions)
+	open := make([]*Session, 0, len(m.sessions))
 	for _, s := range m.sessions {
+		open = append(open, s)
+	}
+	m.mu.Unlock()
+	for _, s := range open {
 		snap.Queues = append(snap.Queues, QueueStat{
 			SessionID: s.id,
 			W:         s.cfg.W,
@@ -429,7 +548,6 @@ func (m *Manager) Snapshot() Snapshot {
 			Frames:    s.SystemStats().FramesCaptured,
 		})
 	}
-	m.mu.Unlock()
 	sort.Slice(snap.Queues, func(i, j int) bool { return snap.Queues[i].SessionID < snap.Queues[j].SessionID })
 
 	snap.OpLatency = make(map[string]HistogramSnapshot, int(numOps))

@@ -316,3 +316,117 @@ func TestHistogram(t *testing.T) {
 		t.Fatalf("p100 = %d µs, want >= 65536 (100 ms bucket)", q)
 	}
 }
+
+// TestOpenRejectionIsCheap asserts the resource-exhaustion fix: an Open
+// rejected at the session limit must not construct the multi-MB rpx.System
+// first. Admission is checked before construction, so the rejected path
+// costs only a handful of small allocations.
+func TestOpenRejectionIsCheap(t *testing.T) {
+	m := NewManager(Config{MaxSessions: 1})
+	defer m.Close()
+	if _, err := m.Open(SessionConfig{W: 8, H: 8, Format: frame.Gray8}); err != nil {
+		t.Fatal(err)
+	}
+	big := SessionConfig{W: 2048, H: 2048, Format: frame.RGB24, HistoryDepth: 8}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := m.Open(big); !errors.Is(err, ErrSessionLimit) {
+			t.Fatalf("open above limit = %v, want ErrSessionLimit", err)
+		}
+	})
+	// The 2048x2048 RGB24 pipeline alone needs a 12 MiB framebuffer; a
+	// rejected open must stay in single-digit bookkeeping allocations.
+	if allocs > 8 {
+		t.Fatalf("rejected Open cost %.0f allocs, want <= 8", allocs)
+	}
+}
+
+// TestSnapshotConcurrentWithOpenClose races stats scrapes against session
+// churn: Snapshot copies the session list under the lock and reads
+// per-session stats outside it, so the scrape must neither block churn nor
+// trip the race detector reading a session that closes mid-scrape.
+func TestSnapshotConcurrentWithOpenClose(t *testing.T) {
+	m := NewManager(Config{MaxSessions: 32})
+	defer m.Close()
+	for i := 0; i < 8; i++ {
+		if _, err := m.Open(SessionConfig{W: 16, H: 16, Format: frame.Gray8}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	snapDone := make(chan struct{})
+	go func() {
+		defer close(snapDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := m.Snapshot()
+			if snap.SessionsOpen < 8 {
+				t.Errorf("SessionsOpen = %d, want >= 8", snap.SessionsOpen)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		s, err := m.Open(SessionConfig{W: 8, H: 8, Format: frame.Gray8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Capture(testFrame(8, 8, frame.Gray8, i)); err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+	}
+	close(stop)
+	<-snapDone
+}
+
+// TestIdleTTLEviction proves the janitor: an abandoned session is evicted
+// after IdleTTL and frees its MaxSessions slot, while a session that keeps
+// serving requests survives sweep after sweep.
+func TestIdleTTLEviction(t *testing.T) {
+	m := NewManager(Config{MaxSessions: 2, IdleTTL: 150 * time.Millisecond, SweepInterval: 25 * time.Millisecond})
+	defer m.Close()
+	idle, err := m.Open(SessionConfig{W: 8, H: 8, Format: frame.Gray8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy, err := m.Open(SessionConfig{W: 8, H: 8, Format: frame.Gray8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evicted := false
+	hookFired := make(chan struct{})
+	idle.OnEvict(func() { close(hookFired) })
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := busy.SetRegionLabels(nil); err != nil {
+			t.Fatalf("busy session died: %v", err)
+		}
+		if m.SessionsOpen() == 1 {
+			evicted = true
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !evicted {
+		t.Fatal("idle session was not evicted within 5s")
+	}
+	select {
+	case <-hookFired:
+	case <-time.After(time.Second):
+		t.Fatal("evict hook never fired")
+	}
+	if _, err := idle.Capture(testFrame(8, 8, frame.Gray8, 0)); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("capture on evicted session = %v, want ErrSessionClosed", err)
+	}
+	if got := m.Snapshot().SessionsEvicted; got != 1 {
+		t.Fatalf("SessionsEvicted = %d, want 1", got)
+	}
+	// The freed slot is reusable.
+	if _, err := m.Open(SessionConfig{W: 8, H: 8, Format: frame.Gray8}); err != nil {
+		t.Fatalf("open after eviction: %v", err)
+	}
+}

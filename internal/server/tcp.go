@@ -173,6 +173,16 @@ func (s *TCPServer) handle(conn net.Conn) {
 		writeErr(wire.CodeProto, err.Error())
 		return
 	}
+	// Reject geometries whose CAPTURE/FRAME payloads could never fit the
+	// payload cap at the handshake — otherwise every Decode reply of an
+	// accepted session would fail ErrTooLarge and drop the connection with
+	// no error ever reaching the client.
+	if need := wire.FramePayloadSize(hello.W, hello.H, hello.Format); need > int64(s.cfg.MaxPayload) {
+		writeErr(wire.CodeGeometry, fmt.Sprintf(
+			"session geometry %dx%d %v needs %d-byte frame payloads, cap is %d",
+			hello.W, hello.H, hello.Format, need, s.cfg.MaxPayload))
+		return
+	}
 	sess, err := s.mgr.Open(SessionConfig{
 		W: hello.W, H: hello.H, Format: hello.Format,
 		HistoryDepth: hello.HistoryDepth,
@@ -189,6 +199,9 @@ func (s *TCPServer) handle(conn net.Conn) {
 		return
 	}
 	defer sess.Close()
+	// When the idle janitor evicts this session, close the connection so a
+	// handler blocked in ReadMessage wakes and tears down promptly.
+	sess.OnEvict(func() { conn.Close() })
 	if err := writeMsg(wire.MsgHelloAck, wire.MarshalHelloAck(wire.HelloAck{
 		SessionID:  sess.ID(),
 		MaxPayload: s.cfg.MaxPayload,

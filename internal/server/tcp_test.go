@@ -181,3 +181,59 @@ func TestTCPGracefulShutdownDisconnectsIdleClients(t *testing.T) {
 func contextWithTimeout(d time.Duration) (context.Context, context.CancelFunc) {
 	return context.WithTimeout(context.Background(), d)
 }
+
+// TestTCPRejectsOversizeGeometry is the handshake-time guard: a HELLO whose
+// frame payload could never fit the payload cap must draw a typed GEOMETRY
+// error instead of opening a session whose every Decode reply would fail
+// ErrTooLarge and drop the connection with no message.
+func TestTCPRejectsOversizeGeometry(t *testing.T) {
+	_, addr := startTestServer(t, Config{}, TCPConfig{MaxPayload: 4096})
+	// 64x64 Gray8 needs 64*64+9 = 4105 bytes of FRAME payload: over the cap.
+	conn := dialRaw(t, addr)
+	if err := wire.WriteMessage(conn, wire.MsgHello, wire.MarshalHello(wire.Hello{W: 64, H: 64, Format: frame.Gray8}), 0); err != nil {
+		t.Fatal(err)
+	}
+	readError(t, conn, wire.CodeGeometry)
+	// A giant RGB24 session (the motivating report) is rejected the same way.
+	conn2 := dialRaw(t, addr)
+	if err := wire.WriteMessage(conn2, wire.MsgHello, wire.MarshalHello(wire.Hello{W: 4096, H: 4096, Format: frame.RGB24}), 0); err != nil {
+		t.Fatal(err)
+	}
+	readError(t, conn2, wire.CodeGeometry)
+	// Just under the cap still negotiates: 63x63 Gray8 = 3978 bytes.
+	conn3 := dialRaw(t, addr)
+	if err := wire.WriteMessage(conn3, wire.MsgHello, wire.MarshalHello(wire.Hello{W: 63, H: 63, Format: frame.Gray8}), 0); err != nil {
+		t.Fatal(err)
+	}
+	readExpect(t, conn3, wire.MsgHelloAck)
+}
+
+// TestTCPIdleSessionEvicted drives the idle TTL end to end: a connection
+// that negotiates a session and then goes silent is evicted — its session
+// slot freed and its connection closed — well before the read timeout.
+func TestTCPIdleSessionEvicted(t *testing.T) {
+	srv, addr := startTestServer(t,
+		Config{IdleTTL: 150 * time.Millisecond, SweepInterval: 25 * time.Millisecond},
+		TCPConfig{ReadTimeout: time.Hour})
+	conn := dialRaw(t, addr)
+	if err := wire.WriteMessage(conn, wire.MsgHello, wire.MarshalHello(wire.Hello{W: 16, H: 16, Format: frame.Gray8}), 0); err != nil {
+		t.Fatal(err)
+	}
+	readExpect(t, conn, wire.MsgHelloAck)
+
+	// The eviction must close our connection: the blocking read returns.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, _, err := wire.ReadMessage(conn, 0); err == nil {
+		t.Fatal("evicted connection still delivered a message")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Manager().SessionsOpen() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("SessionsOpen = %d after eviction, want 0", srv.Manager().SessionsOpen())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := srv.Manager().Snapshot().SessionsEvicted; got != 1 {
+		t.Fatalf("SessionsEvicted = %d, want 1", got)
+	}
+}

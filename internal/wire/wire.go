@@ -91,6 +91,11 @@ const (
 	CodeTooLarge uint16 = 5
 	// CodeInternal is an unexpected server-side failure.
 	CodeInternal uint16 = 6
+	// CodeGeometry means the HELLO geometry was rejected at handshake: a
+	// session whose CAPTURE/FRAME payloads cannot fit the negotiated payload
+	// cap would fail every frame after accepting the connection, so the
+	// server refuses it up front.
+	CodeGeometry uint16 = 7
 )
 
 // ErrTooLarge is returned when a message payload exceeds the reader's or
@@ -286,7 +291,15 @@ func UnmarshalLabels(b []byte) (region.List, error) {
 	if len(b) < 4 {
 		return nil, fmt.Errorf("wire: SET_LABELS payload is %d bytes, want >= 4", len(b))
 	}
-	n := int(binary.LittleEndian.Uint32(b))
+	// Bound the untrusted count by what the payload can actually carry
+	// before any arithmetic: 4+n*labelSize overflows int on 32-bit hosts,
+	// which would let a crafted count pass the length check below and reach
+	// the allocation with a huge n.
+	n64 := int64(binary.LittleEndian.Uint32(b))
+	if max := int64(len(b)-4) / labelSize; n64 > max {
+		return nil, fmt.Errorf("wire: SET_LABELS claims %d labels, payload fits %d", n64, max)
+	}
+	n := int(n64)
 	if want := 4 + n*labelSize; len(b) != want {
 		return nil, fmt.Errorf("wire: SET_LABELS payload is %d bytes for %d labels, want %d", len(b), n, want)
 	}
@@ -367,6 +380,16 @@ func UnmarshalWindow(b []byte) (Window, error) {
 
 // frameHeaderSize prefixes a FRAME payload: u32 w, u32 h, u8 format.
 const frameHeaderSize = 9
+
+// FramePayloadSize returns the size in bytes of the FRAME message payload
+// for the given geometry — the largest message a session of that geometry is
+// guaranteed to produce (a CAPTURE payload is 9 bytes smaller). Servers use
+// it to reject HELLO geometries whose replies could never fit the payload
+// cap. The result is int64 so 32k×32k RGB sessions cannot overflow 32-bit
+// hosts.
+func FramePayloadSize(w, h int, f frame.Format) int64 {
+	return frameHeaderSize + int64(w)*int64(h)*int64(f.BytesPerPixel())
+}
 
 // MarshalFrame encodes a reconstructed frame (header + raster pixels).
 func MarshalFrame(fr *frame.Frame) []byte {

@@ -112,6 +112,39 @@ func TestLabelsRoundTrip(t *testing.T) {
 	}
 }
 
+// TestLabelsCountOverflow is the regression test for the 32-bit length-check
+// bypass: a crafted count chosen so that 4+n*labelSize wraps a 32-bit int
+// back to the actual payload length would pass the framing check and reach
+// the allocation with n in the hundreds of millions. The count must be
+// bounded by what the payload can carry before any multiplication.
+func TestLabelsCountOverflow(t *testing.T) {
+	// 28*153391690+4 = 2^32+28, which truncates to 28 in a 32-bit int —
+	// exactly the length of this one-label payload.
+	b := MarshalLabels(region.List{{X: 1, Y: 2, W: 3, H: 4, Stride: 1, Skip: 1}})
+	binary.LittleEndian.PutUint32(b, 153391690)
+	if _, err := UnmarshalLabels(b); err == nil {
+		t.Fatal("overflowing label count accepted")
+	}
+	// The same guard must catch every count the payload cannot carry, with
+	// no allocation proportional to the claim.
+	for _, n := range []uint32{2, 1 << 20, 0xffffffff} {
+		binary.LittleEndian.PutUint32(b, n)
+		if _, err := UnmarshalLabels(b); err == nil {
+			t.Fatalf("count %d accepted for a one-label payload", n)
+		}
+	}
+}
+
+func TestFramePayloadSize(t *testing.T) {
+	if got := FramePayloadSize(16, 8, frame.Gray8); got != 9+16*8 {
+		t.Fatalf("FramePayloadSize(16,8,Gray8) = %d", got)
+	}
+	// The 32k×32k RGB24 worst case must not overflow: 3 GiB and change.
+	if got := FramePayloadSize(1<<15, 1<<15, frame.RGB24); got != 9+3*(1<<30) {
+		t.Fatalf("FramePayloadSize(32k,32k,RGB24) = %d", got)
+	}
+}
+
 func TestCaptureAckRoundTrip(t *testing.T) {
 	a := CaptureAck{FrameIndex: 41, EncodedPixels: 12345, EncodedBytes: 54321, PixelFraction: 0.375}
 	got, err := UnmarshalCaptureAck(MarshalCaptureAck(a))

@@ -12,6 +12,27 @@
 //
 // A Session is safe for concurrent use by multiple goroutines; requests are
 // serialized over the single connection in submission order.
+//
+// # Failure semantics
+//
+// The protocol is strict request/reply, so after any transport error — a
+// write or read deadline firing, a short read, a reset — the connection's
+// framing is undefined: a late reply may still be in flight, and reading it
+// as the answer to the next request would attribute the wrong bytes to the
+// wrong call. The Session therefore poisons itself on the first transport
+// error: the failing call returns that error, and every later call fails
+// with ErrBrokenSession instead of trusting the stream.
+//
+// With Config.Reconnect set, a poisoned session heals itself instead: the
+// next call re-dials with exponential backoff plus jitter, replays the
+// handshake and the last installed region labels, and retries the
+// operation when it is idempotent (SetRegionLabels, Decoded, DecodeWindow,
+// LastEncoded, ServerStats). Capture is not idempotent — the server may or
+// may not have encoded the in-flight frame — so a Capture that hits a
+// transport error always surfaces it; the session still recovers for
+// subsequent calls. Note that the server builds a fresh pipeline for the
+// new connection: frame history does not survive a reconnect, so a Decode
+// before the first post-reconnect Capture fails with a remote error.
 package client
 
 import (
@@ -20,6 +41,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -29,6 +51,12 @@ import (
 	"repro/internal/wire"
 	"repro/rpx"
 )
+
+// ErrBrokenSession is returned by every call after a transport error
+// poisoned the session (and reconnection is disabled or failed): the
+// request/reply framing can no longer be trusted, so the client refuses to
+// read what could be a stale reply.
+var ErrBrokenSession = errors.New("client: session broken by transport error")
 
 // Config parameterizes Dial. W, H, and Format are required; the rest
 // default server-side.
@@ -52,19 +80,36 @@ type Config struct {
 	DialTimeout time.Duration
 	// RequestTimeout bounds each request round trip (default 30s).
 	RequestTimeout time.Duration
+
+	// Reconnect heals poisoned sessions: after a transport error the next
+	// call re-dials, replays the handshake and the last SetRegionLabels
+	// workload, and retries idempotent operations. Without it a transport
+	// error permanently breaks the session (ErrBrokenSession).
+	Reconnect bool
+	// MaxRetries bounds re-dial attempts per recovery (default 3).
+	MaxRetries int
+	// Backoff is the base re-dial backoff; attempt k sleeps about
+	// Backoff<<k plus up to 50% jitter (default 50ms).
+	Backoff time.Duration
 }
 
 // Session is an open rpxd session. Methods are safe for concurrent use.
 type Session struct {
-	conn net.Conn
-	br   *bufio.Reader
+	addr string
+	cfg  Config
 
-	mu         sync.Mutex // serializes request/reply round trips
-	closed     bool
-	id         uint64
-	maxPayload int
-	timeout    time.Duration
-	cfg        Config
+	mu          sync.Mutex // serializes request/reply round trips
+	conn        net.Conn
+	br          *bufio.Reader
+	closed      bool
+	broken      bool
+	id          uint64
+	maxPayload  int
+	dialTimeout time.Duration
+	timeout     time.Duration
+	lastLabels  []rpx.RegionLabel // replayed after reconnect; nil = never set
+	reconnects  int
+	rng         *rand.Rand // backoff jitter; guarded by mu
 }
 
 // Dial connects to an rpxd server and negotiates a session.
@@ -77,108 +122,191 @@ func Dial(addr string, cfg Config) (*Session, error) {
 	if reqTimeout <= 0 {
 		reqTimeout = 30 * time.Second
 	}
-	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
-	if err != nil {
-		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
-	}
 	s := &Session{
-		conn:       conn,
-		br:         bufio.NewReader(conn),
-		maxPayload: wire.DefaultMaxPayload,
-		timeout:    reqTimeout,
-		cfg:        cfg,
+		addr:        addr,
+		cfg:         cfg,
+		maxPayload:  wire.DefaultMaxPayload,
+		dialTimeout: dialTimeout,
+		timeout:     reqTimeout,
+		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
-	hello := wire.Hello{
-		W: cfg.W, H: cfg.H, Format: cfg.Format,
-		HistoryDepth: cfg.HistoryDepth,
-		QueueDepth:   cfg.QueueDepth,
-		Block:        cfg.Block,
-		Parallelism:  cfg.Parallelism,
-	}
-	typ, payload, err := s.roundTrip(wire.MsgHello, wire.MarshalHello(hello))
-	if err != nil {
-		conn.Close()
+	if err := s.connectLocked(); err != nil {
 		return nil, err
 	}
-	if typ == wire.MsgError {
+	return s, nil
+}
+
+// connectLocked dials and performs the HELLO handshake, installing the new
+// connection on success. Callers must hold s.mu (or own s exclusively, as
+// Dial does).
+func (s *Session) connectLocked() error {
+	conn, err := net.DialTimeout("tcp", s.addr, s.dialTimeout)
+	if err != nil {
+		return fmt.Errorf("client: dial %s: %w", s.addr, err)
+	}
+	br := bufio.NewReader(conn)
+	hello := wire.Hello{
+		W: s.cfg.W, H: s.cfg.H, Format: s.cfg.Format,
+		HistoryDepth: s.cfg.HistoryDepth,
+		QueueDepth:   s.cfg.QueueDepth,
+		Block:        s.cfg.Block,
+		Parallelism:  s.cfg.Parallelism,
+	}
+	conn.SetWriteDeadline(time.Now().Add(s.timeout))
+	if err := wire.WriteMessage(conn, wire.MsgHello, wire.MarshalHello(hello), s.maxPayload); err != nil {
+		conn.Close()
+		return fmt.Errorf("client: send handshake: %w", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(s.timeout))
+	typ, payload, err := wire.ReadMessage(br, s.maxPayload)
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("client: read handshake: %w", err)
+	}
+	switch typ {
+	case wire.MsgHelloAck:
+	case wire.MsgError:
 		conn.Close()
 		if re, uerr := wire.UnmarshalError(payload); uerr == nil {
-			return nil, fmt.Errorf("client: handshake rejected: %w", re)
+			return fmt.Errorf("client: handshake rejected: %w", re)
 		}
-		return nil, fmt.Errorf("client: handshake rejected")
-	}
-	if typ != wire.MsgHelloAck {
+		return fmt.Errorf("client: handshake rejected")
+	default:
 		conn.Close()
-		return nil, fmt.Errorf("client: unexpected handshake reply type %d", typ)
+		return fmt.Errorf("client: unexpected handshake reply type %d", typ)
 	}
 	ack, err := wire.UnmarshalHelloAck(payload)
 	if err != nil {
 		conn.Close()
-		return nil, err
+		return err
 	}
+	s.conn = conn
+	s.br = br
 	s.id = ack.SessionID
 	s.maxPayload = ack.MaxPayload
-	return s, nil
+	s.broken = false
+	return nil
 }
 
-// ID returns the server-assigned session id.
-func (s *Session) ID() uint64 { return s.id }
+// ID returns the server-assigned session id (of the newest connection, if
+// the session has reconnected).
+func (s *Session) ID() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.id
+}
 
 // Dimensions returns the negotiated frame geometry.
 func (s *Session) Dimensions() (w, h int) { return s.cfg.W, s.cfg.H }
 
-// roundTrip sends one request and reads one reply under the session lock.
-func (s *Session) roundTrip(typ byte, payload []byte) (byte, []byte, error) {
+// Broken reports whether the session is poisoned: a transport error
+// desynchronized the request/reply stream and no reconnect has healed it.
+func (s *Session) Broken() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return 0, nil, fmt.Errorf("client: session closed")
+	return s.broken
+}
+
+// Reconnects returns how many times the session has transparently
+// re-dialed and replayed its workload.
+func (s *Session) Reconnects() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reconnects
+}
+
+// poisonLocked marks the stream unusable and tears the connection down.
+func (s *Session) poisonLocked() {
+	s.broken = true
+	if s.conn != nil {
+		s.conn.Close()
 	}
+}
+
+// roundTripLocked sends one request and reads one reply. Any transport
+// error poisons the session: after a deadline fires or a read comes back
+// short, a late reply may still be in flight, and the next read would
+// attribute it to the wrong request.
+func (s *Session) roundTripLocked(typ byte, payload []byte) (byte, []byte, error) {
 	s.conn.SetWriteDeadline(time.Now().Add(s.timeout))
 	if err := wire.WriteMessage(s.conn, typ, payload, s.maxPayload); err != nil {
+		s.poisonLocked()
 		return 0, nil, fmt.Errorf("client: send: %w", err)
 	}
 	s.conn.SetReadDeadline(time.Now().Add(s.timeout))
 	rtyp, rpayload, err := wire.ReadMessage(s.br, s.maxPayload)
 	if err != nil {
+		s.poisonLocked()
 		return 0, nil, fmt.Errorf("client: receive: %w", err)
 	}
 	return rtyp, rpayload, nil
 }
 
-// call performs a round trip and unwraps ERROR replies.
-func (s *Session) call(typ byte, payload []byte, wantReply byte) ([]byte, error) {
-	rtyp, rpayload, err := s.roundTrip(typ, payload)
-	if err != nil {
-		return nil, err
-	}
-	if rtyp == wire.MsgError {
-		re, uerr := wire.UnmarshalError(rpayload)
-		if uerr != nil {
-			return nil, uerr
+// call performs a round trip and unwraps ERROR replies. Idempotent
+// operations are retried across reconnects when Config.Reconnect is set;
+// non-idempotent ones (Capture) surface their transport error, though the
+// session still heals for subsequent calls.
+func (s *Session) call(typ byte, payload []byte, wantReply byte, idempotent bool) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for attempt := 0; ; attempt++ {
+		if s.closed {
+			return nil, fmt.Errorf("client: session closed")
 		}
-		return nil, re
+		if s.broken {
+			if !s.cfg.Reconnect {
+				return nil, ErrBrokenSession
+			}
+			if err := s.reconnectLocked(); err != nil {
+				return nil, err
+			}
+		}
+		rtyp, rpayload, err := s.roundTripLocked(typ, payload)
+		if err == nil {
+			if rtyp == wire.MsgError {
+				re, uerr := wire.UnmarshalError(rpayload)
+				if uerr != nil {
+					return nil, uerr
+				}
+				return nil, re
+			}
+			if rtyp != wantReply {
+				// A reply of the wrong type means the stream is already
+				// desynchronized; refuse to keep reading it.
+				s.poisonLocked()
+				return nil, fmt.Errorf("%w: got reply type %d, want %d", ErrBrokenSession, rtyp, wantReply)
+			}
+			return rpayload, nil
+		}
+		if !s.cfg.Reconnect || !idempotent || attempt >= s.maxRetries() {
+			return nil, err
+		}
 	}
-	if rtyp != wantReply {
-		return nil, fmt.Errorf("client: unexpected reply type %d, want %d", rtyp, wantReply)
-	}
-	return rpayload, nil
 }
 
-// SetRegionLabels installs the capture workload for the next frame.
+// SetRegionLabels installs the capture workload for the next frame. The
+// labels are remembered and replayed if the session reconnects.
 func (s *Session) SetRegionLabels(labels []rpx.RegionLabel) error {
-	_, err := s.call(wire.MsgSetLabels, wire.MarshalLabels(labels), wire.MsgAck)
+	_, err := s.call(wire.MsgSetLabels, wire.MarshalLabels(labels), wire.MsgAck, true)
+	if err == nil {
+		s.mu.Lock()
+		s.lastLabels = append([]rpx.RegionLabel{}, labels...)
+		s.mu.Unlock()
+	}
 	return err
 }
 
 // Capture streams one frame to the server for encoding and returns the
 // capture statistics. The frame must match the negotiated geometry.
+// Capture is not retried across reconnects: a transport error mid-capture
+// leaves it unknown whether the server encoded the frame, so the error is
+// surfaced and the caller decides whether to resend.
 func (s *Session) Capture(fr *rpx.Frame) (rpx.CaptureStats, error) {
 	if fr.W != s.cfg.W || fr.H != s.cfg.H || fr.Format != s.cfg.Format {
 		return rpx.CaptureStats{}, fmt.Errorf("client: frame is %dx%d %v, session is %dx%d %v",
 			fr.W, fr.H, fr.Format, s.cfg.W, s.cfg.H, s.cfg.Format)
 	}
-	payload, err := s.call(wire.MsgCapture, fr.Pix, wire.MsgCaptureAck)
+	payload, err := s.call(wire.MsgCapture, fr.Pix, wire.MsgCaptureAck, false)
 	if err != nil {
 		return rpx.CaptureStats{}, err
 	}
@@ -196,7 +324,7 @@ func (s *Session) Capture(fr *rpx.Frame) (rpx.CaptureStats, error) {
 
 // Decoded reconstructs the newest frame server-side and returns it.
 func (s *Session) Decoded() (*rpx.Frame, error) {
-	payload, err := s.call(wire.MsgDecode, nil, wire.MsgFrame)
+	payload, err := s.call(wire.MsgDecode, nil, wire.MsgFrame, true)
 	if err != nil {
 		return nil, err
 	}
@@ -205,7 +333,7 @@ func (s *Session) Decoded() (*rpx.Frame, error) {
 
 // DecodeWindow reconstructs a sub-rectangle of the newest frame.
 func (s *Session) DecodeWindow(x, y, w, h int) (*rpx.Frame, error) {
-	payload, err := s.call(wire.MsgDecodeWindow, wire.MarshalWindow(wire.Window{X: x, Y: y, W: w, H: h}), wire.MsgFrame)
+	payload, err := s.call(wire.MsgDecodeWindow, wire.MarshalWindow(wire.Window{X: x, Y: y, W: w, H: h}), wire.MsgFrame, true)
 	if err != nil {
 		return nil, err
 	}
@@ -215,7 +343,7 @@ func (s *Session) DecodeWindow(x, y, w, h int) (*rpx.Frame, error) {
 // LastEncoded fetches the newest encoded frame in its packed (RPXE)
 // representation — the same container .rpxs streams use.
 func (s *Session) LastEncoded() (*rpx.EncodedFrame, error) {
-	payload, err := s.call(wire.MsgGetEncoded, nil, wire.MsgEncoded)
+	payload, err := s.call(wire.MsgGetEncoded, nil, wire.MsgEncoded, true)
 	if err != nil {
 		return nil, err
 	}
@@ -224,7 +352,7 @@ func (s *Session) LastEncoded() (*rpx.EncodedFrame, error) {
 
 // ServerStats fetches a snapshot of the whole server's statistics.
 func (s *Session) ServerStats() (server.Snapshot, error) {
-	payload, err := s.call(wire.MsgStats, nil, wire.MsgStatsAck)
+	payload, err := s.call(wire.MsgStats, nil, wire.MsgStatsAck, true)
 	if err != nil {
 		return server.Snapshot{}, err
 	}
@@ -235,21 +363,27 @@ func (s *Session) ServerStats() (server.Snapshot, error) {
 	return snap, nil
 }
 
-// Close ends the session and closes the connection.
+// Close ends the session and closes the connection. A poisoned session is
+// torn down without the graceful CLOSE exchange (its framing is not
+// trustworthy).
 func (s *Session) Close() error {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
-		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
+	if s.broken || s.conn == nil {
+		if s.conn != nil {
+			s.conn.Close()
+		}
+		return nil
+	}
 	s.conn.SetWriteDeadline(time.Now().Add(s.timeout))
 	wire.WriteMessage(s.conn, wire.MsgClose, nil, s.maxPayload)
 	s.conn.SetReadDeadline(time.Now().Add(s.timeout))
 	wire.ReadMessage(s.br, s.maxPayload) // best-effort ACK
-	err := s.conn.Close()
-	s.mu.Unlock()
-	return err
+	return s.conn.Close()
 }
 
 // IsBacklog reports whether err is the server's fail-fast backpressure
@@ -257,4 +391,12 @@ func (s *Session) Close() error {
 func IsBacklog(err error) bool {
 	var re *wire.RemoteError
 	return errors.As(err, &re) && re.Code == wire.CodeBacklog
+}
+
+// IsGeometryRejected reports whether err is the server's handshake-time
+// rejection of a session geometry whose frames could never fit the
+// negotiated payload cap.
+func IsGeometryRejected(err error) bool {
+	var re *wire.RemoteError
+	return errors.As(err, &re) && re.Code == wire.CodeGeometry
 }

@@ -1,0 +1,98 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Reconnect defaults.
+const (
+	// DefaultMaxRetries is the re-dial budget per recovery when
+	// Config.MaxRetries is zero.
+	DefaultMaxRetries = 3
+	// DefaultBackoff is the base re-dial backoff when Config.Backoff is
+	// zero.
+	DefaultBackoff = 50 * time.Millisecond
+	// maxBackoffShift caps exponential growth at Backoff<<maxBackoffShift,
+	// so a long retry budget cannot escalate into minute-long sleeps.
+	maxBackoffShift = 6
+)
+
+func (s *Session) maxRetries() int {
+	if s.cfg.MaxRetries > 0 {
+		return s.cfg.MaxRetries
+	}
+	return DefaultMaxRetries
+}
+
+func (s *Session) baseBackoff() time.Duration {
+	if s.cfg.Backoff > 0 {
+		return s.cfg.Backoff
+	}
+	return DefaultBackoff
+}
+
+// backoffLocked returns the sleep before re-dial attempt k (0-based):
+// exponential growth from the base plus up to 50% uniform jitter, so a herd
+// of clients losing one server does not re-dial in lockstep.
+func (s *Session) backoffLocked(attempt int) time.Duration {
+	if attempt > maxBackoffShift {
+		attempt = maxBackoffShift
+	}
+	d := s.baseBackoff() << attempt
+	return d + time.Duration(s.rng.Int63n(int64(d/2)+1))
+}
+
+// reconnectLocked heals a poisoned session: it re-dials with exponential
+// backoff plus jitter, replays the HELLO handshake, and re-installs the
+// last SetRegionLabels workload so the new server-side pipeline encodes the
+// same regions the old one did. The session stays broken if every attempt
+// fails (the caller's next call will try again) or if the server now
+// rejects the handshake outright (permanent, surfaced immediately).
+func (s *Session) reconnectLocked() error {
+	var err error
+	for attempt := 0; attempt < s.maxRetries(); attempt++ {
+		time.Sleep(s.backoffLocked(attempt))
+		if err = s.connectLocked(); err != nil {
+			// A server-side handshake rejection (session limit, geometry,
+			// protocol) will not improve with retries.
+			var re *wire.RemoteError
+			if errors.As(err, &re) {
+				return fmt.Errorf("%w: reconnect rejected: %w", ErrBrokenSession, re)
+			}
+			continue
+		}
+		if s.lastLabels != nil {
+			if err = s.replayLabelsLocked(); err != nil {
+				continue
+			}
+		}
+		s.reconnects++
+		return nil
+	}
+	return fmt.Errorf("%w: reconnect failed after %d attempts: %w", ErrBrokenSession, s.maxRetries(), err)
+}
+
+// replayLabelsLocked re-installs the remembered workload on a freshly
+// reconnected session; failure re-poisons it.
+func (s *Session) replayLabelsLocked() error {
+	rtyp, rpayload, err := s.roundTripLocked(wire.MsgSetLabels, wire.MarshalLabels(s.lastLabels))
+	if err != nil {
+		return fmt.Errorf("client: replay labels: %w", err)
+	}
+	if rtyp == wire.MsgError {
+		s.poisonLocked()
+		if re, uerr := wire.UnmarshalError(rpayload); uerr == nil {
+			return fmt.Errorf("client: replay labels rejected: %w", re)
+		}
+		return fmt.Errorf("client: replay labels rejected")
+	}
+	if rtyp != wire.MsgAck {
+		s.poisonLocked()
+		return fmt.Errorf("%w: replay labels got reply type %d", ErrBrokenSession, rtyp)
+	}
+	return nil
+}

@@ -14,6 +14,15 @@ go build ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+# Faultnet smoke: replay the client/server fault-injection matrix with a
+# pinned seed so any failure here reproduces bit-for-bit on a dev box with
+# the same FAULTNET_SEED.
+FAULTNET_SEED="${FAULTNET_SEED:-1234}"
+echo "== faultnet smoke (seed ${FAULTNET_SEED})"
+FAULTNET_SEED="$FAULTNET_SEED" go test -race -count=1 \
+    -run='^(TestFaultMatrix|TestReconnectRecoversWithLabelsReplayed|TestBrokenSessionAfterTimeout)$' \
+    ./rpx/client
+
 # Fuzz smoke: a short budget per untrusted decode surface. Regressions the
 # fuzzer finds land in testdata/fuzz/ seed corpora, which -race above then
 # replays forever after.
