@@ -1,0 +1,57 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// health is the /healthz state: it answers 200 while serving and flips to
+// 503 the moment graceful drain begins, so load balancers and probes stop
+// routing to a daemon that is winding down.
+type health struct{ draining atomic.Bool }
+
+// setDraining flips the endpoint to 503.
+func (h *health) setDraining() { h.draining.Store(true) }
+
+// ServeHTTP implements the /healthz handler.
+func (h *health) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if h.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// newAdminMux assembles the admin endpoint: Prometheus metrics, JSON
+// metrics, health, the frame-path trace dump, and pprof.
+func newAdminMux(reg *obs.Registry, tracer *obs.Tracer, h *health) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.Handle("/healthz", h)
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		tracer.WriteJSON(w)
+	})
+	// pprof is routed explicitly onto this mux (the blank import of
+	// net/http/pprof only registers on http.DefaultServeMux, which the
+	// admin server deliberately does not use).
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

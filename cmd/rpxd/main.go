@@ -15,6 +15,12 @@
 // closed, their slots freed) so abandoned clients cannot pin -max-sessions;
 // 0 disables eviction and leaves only the per-read -read-timeout guard.
 //
+// With -admin the daemon also serves an observability endpoint on a second
+// address: /metrics (Prometheus text), /healthz (200 while serving, 503
+// once drain begins), /debug/vars (metrics as JSON), /debug/trace (recent
+// frame-path spans), and /debug/pprof/*. The admin endpoint stays up
+// through the drain so the last scrape sees final counter values.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, queued
 // requests drain, and the final statistics snapshot is written to stderr as
 // JSON.
@@ -27,13 +33,20 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
+
+// testDrainHold, when non-nil (tests only), is waited on after /healthz
+// flips to draining and before session queues drain, so tests can observe
+// the 503 window deterministically.
+var testDrainHold <-chan struct{}
 
 func main() {
 	os.Exit(realMain())
@@ -42,6 +55,8 @@ func main() {
 func realMain() int {
 	var (
 		addr         = flag.String("addr", ":7621", "listen address")
+		adminAddr    = flag.String("admin", "", "admin listen address for /metrics, /healthz, /debug/vars, /debug/trace, /debug/pprof (empty = disabled)")
+		traceSpans   = flag.Int("trace-spans", obs.DefaultTraceSpans, "frame-path tracer ring capacity in spans")
 		maxSessions  = flag.Int("max-sessions", server.DefaultMaxSessions, "maximum concurrent sessions")
 		queueDepth   = flag.Int("queue-depth", server.DefaultQueueDepth, "default per-session request queue bound")
 		readTimeout  = flag.Duration("read-timeout", server.DefaultReadTimeout, "per-read connection deadline")
@@ -56,7 +71,17 @@ func realMain() int {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	if err := run(ctx, *addr, server.Config{
+	var adminLn net.Listener
+	if *adminAddr != "" {
+		var err error
+		adminLn, err = net.Listen("tcp", *adminAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rpxd: admin listen:", err)
+			return 1
+		}
+	}
+
+	if err := run(ctx, *addr, adminLn, *traceSpans, server.Config{
 		MaxSessions:   *maxSessions,
 		QueueDepth:    *queueDepth,
 		IdleTTL:       *idleTTL,
@@ -73,18 +98,41 @@ func realMain() int {
 }
 
 // run serves until ctx is cancelled, then drains and flushes stats to logw.
-func run(ctx context.Context, addr string, mcfg server.Config, tcfg server.TCPConfig, drainTime time.Duration, logw io.Writer) error {
+// adminLn, when non-nil, is taken over by the admin HTTP endpoint.
+func run(ctx context.Context, addr string, adminLn net.Listener, traceSpans int, mcfg server.Config, tcfg server.TCPConfig, drainTime time.Duration, logw io.Writer) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
+		if adminLn != nil {
+			adminLn.Close()
+		}
 		return err
 	}
-	return serveAndDrain(ctx, ln, mcfg, tcfg, drainTime, logw)
+	return serveAndDrain(ctx, ln, adminLn, traceSpans, mcfg, tcfg, drainTime, logw)
 }
 
 // serveAndDrain runs the server on an existing listener until ctx is
-// cancelled, then performs the graceful shutdown sequence: close the
-// listener, drain session queues, flush the final stats snapshot.
-func serveAndDrain(ctx context.Context, ln net.Listener, mcfg server.Config, tcfg server.TCPConfig, drainTime time.Duration, logw io.Writer) error {
+// cancelled, then performs the graceful shutdown sequence: flip /healthz to
+// draining, close the listener, drain session queues, flush the final stats
+// snapshot, and only then stop the admin endpoint.
+func serveAndDrain(ctx context.Context, ln, adminLn net.Listener, traceSpans int, mcfg server.Config, tcfg server.TCPConfig, drainTime time.Duration, logw io.Writer) error {
+	var (
+		hstate   *health
+		adminSrv *http.Server
+	)
+	if adminLn != nil {
+		if traceSpans <= 0 {
+			traceSpans = obs.DefaultTraceSpans
+		}
+		reg := obs.NewRegistry()
+		tracer := obs.NewTracer(traceSpans)
+		hstate = &health{}
+		mcfg.Metrics = reg
+		mcfg.Trace = tracer
+		adminSrv = &http.Server{Handler: newAdminMux(reg, tracer, hstate)}
+		go adminSrv.Serve(adminLn)
+		fmt.Fprintf(logw, "rpxd: admin listening on %s\n", adminLn.Addr())
+	}
+
 	srv := server.NewTCPServer(server.NewManager(mcfg), tcfg)
 	fmt.Fprintf(logw, "rpxd: listening on %s (max sessions %d, queue depth %d)\n",
 		ln.Addr(), mcfg.MaxSessions, mcfg.QueueDepth)
@@ -92,11 +140,27 @@ func serveAndDrain(ctx context.Context, ln net.Listener, mcfg server.Config, tcf
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
+	stopAdmin := func() {
+		if adminSrv != nil {
+			closeCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+			adminSrv.Shutdown(closeCtx)
+			cancel()
+		}
+	}
+
 	select {
 	case err := <-serveErr:
 		srv.Shutdown(context.Background())
+		stopAdmin()
 		return err
 	case <-ctx.Done():
+	}
+
+	if hstate != nil {
+		hstate.setDraining()
+	}
+	if testDrainHold != nil {
+		<-testDrainHold
 	}
 
 	fmt.Fprintln(logw, "rpxd: shutting down, draining sessions")
@@ -109,6 +173,7 @@ func serveAndDrain(ctx context.Context, ln net.Listener, mcfg server.Config, tcf
 	if b, err := json.MarshalIndent(snap, "", "  "); err == nil {
 		fmt.Fprintf(logw, "rpxd: final stats\n%s\n", b)
 	}
+	stopAdmin()
 	if shutdownErr != nil {
 		return fmt.Errorf("drain incomplete: %w", shutdownErr)
 	}

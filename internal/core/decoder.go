@@ -36,6 +36,12 @@ type DecoderStats struct {
 	EncodedBytesRead int
 	// SubRequests counts PMMU sub-requests issued.
 	SubRequests int
+	// MetadataBitsRead counts EncMask bits the PMMU examined while
+	// translating the delivered rows (see PMMUStats.MetadataBitsRead for the
+	// exact accounting). Warm-up rows decoded only to prime the line buffer
+	// are excluded, so sequential and parallel decodes report identical
+	// values for the same request.
+	MetadataBitsRead int
 }
 
 // Decoder is the rhythmic pixel decoder (§4.2). It accumulates encoded
@@ -55,7 +61,15 @@ type Decoder struct {
 	depth       int
 	parallelism int
 
-	history []*EncodedFrame // newest first
+	// The history window is a fixed ring: ring holds the scratchpad slots,
+	// head indexes the newest frame, and history is a preallocated
+	// newest-first view over the ring that Push refreshes — so pushing a
+	// frame moves at most depth pointers and never allocates, while the
+	// PMMU keeps its history[0] = newest contract.
+	ring    []*EncodedFrame
+	head    int
+	count   int
+	history []*EncodedFrame // newest first; view over ring
 	stats   DecoderStats
 }
 
@@ -96,20 +110,28 @@ func NewDecoder(w, h int, format frame.Format, opts ...DecoderOption) *Decoder {
 	for _, opt := range opts {
 		opt(d)
 	}
+	d.ring = make([]*EncodedFrame, d.depth)
+	d.history = make([]*EncodedFrame, 0, d.depth)
 	return d
 }
 
-// Push appends an encoded frame as the newest history entry, evicting the
+// Push inserts an encoded frame as the newest history entry, evicting the
 // oldest beyond the scratchpad depth. The frame must match the decoder's
-// geometry.
+// geometry. Push never allocates: the ring slots and the newest-first view
+// are fixed buffers sized at construction.
 func (d *Decoder) Push(ef *EncodedFrame) error {
 	if ef.W != d.w || ef.H != d.h || ef.BytesPerPixel != d.bpp {
 		return fmt.Errorf("core: encoded frame %dx%d bpp=%d does not match decoder %dx%d bpp=%d",
 			ef.W, ef.H, ef.BytesPerPixel, d.w, d.h, d.bpp)
 	}
-	d.history = append([]*EncodedFrame{ef}, d.history...)
-	if len(d.history) > d.depth {
-		d.history = d.history[:d.depth]
+	d.head = (d.head + d.depth - 1) % d.depth
+	d.ring[d.head] = ef // overwrites (and un-pins) the evicted oldest frame
+	if d.count < d.depth {
+		d.count++
+	}
+	d.history = d.history[:d.count]
+	for i := 0; i < d.count; i++ {
+		d.history[i] = d.ring[(d.head+i)%d.depth]
 	}
 	return nil
 }
@@ -214,6 +236,7 @@ func (d *Decoder) decodeBand(out *frame.Frame, x0, y0, w, r0, r1 int, stats *Dec
 	warmup := min(y0+r0, strideLookbackRows)
 	var discard DecoderStats
 	rowBuf := make([]byte, d.w*d.bpp)
+	prevMetaBits := 0
 	for row := r0 - warmup; row < r1; row++ {
 		y := y0 + row
 		subs, err := pmmu.TranslateRow(y, 0, d.w)
@@ -225,6 +248,12 @@ func (d *Decoder) decodeBand(out *frame.Frame, x0, y0, w, r0, r1 int, stats *Dec
 			st = &discard
 		}
 		st.SubRequests += len(subs)
+		// Attribute this row's metadata reads (a delta against the shared
+		// PMMU's running counter) to the same bucket as its pixels, so
+		// warm-up rows never inflate the delivered-row accounting.
+		metaBits := pmmu.Stats().MetadataBitsRead
+		st.MetadataBitsRead += metaBits - prevMetaBits
+		prevMetaBits = metaBits
 		fifo.beginRow()
 		if err := fifo.serviceRow(subs, d.history, 0, rowBuf, st); err != nil {
 			return err
@@ -246,6 +275,7 @@ func (s *DecoderStats) add(o DecoderStats) {
 	s.Black += o.Black
 	s.EncodedBytesRead += o.EncodedBytesRead
 	s.SubRequests += o.SubRequests
+	s.MetadataBitsRead += o.MetadataBitsRead
 }
 
 // fifoSampler is the FIFO Sampling Unit (§4.2.2): it consumes sub-request

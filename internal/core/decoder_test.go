@@ -262,6 +262,54 @@ func TestDecoderOptionValidation(t *testing.T) {
 	}
 }
 
+// TestDecoderPushRingOrder exercises the fixed-ring history window past one
+// full wrap: the newest-first view and eviction order must match the old
+// prepend-and-truncate semantics exactly.
+func TestDecoderPushRingOrder(t *testing.T) {
+	const w, h = 8, 8
+	e := NewEncoder(w, h, frame.Gray8)
+	if err := e.SetRegionLabels(region.List{region.FullFrame(w, h)}); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDecoder(w, h, frame.Gray8, WithHistoryDepth(3))
+	fr := testFrame(w, h, frame.Gray8, 60)
+	for i := 0; i < 5; i++ {
+		if err := d.Push(mustEncode(t, e, fr, i)); err != nil {
+			t.Fatal(err)
+		}
+		wantLen := min(i+1, 3)
+		if d.HistoryLen() != wantLen {
+			t.Fatalf("after push %d: HistoryLen = %d, want %d", i, d.HistoryLen(), wantLen)
+		}
+		for j, hf := range d.history {
+			if want := i - j; hf.FrameIndex != want {
+				t.Fatalf("after push %d: history[%d].FrameIndex = %d, want %d (newest first)",
+					i, j, hf.FrameIndex, want)
+			}
+		}
+	}
+}
+
+// TestDecoderPushNoAllocs pins the fix for the per-push history
+// reallocation: once constructed, Push must never allocate, at any fill
+// level of the ring.
+func TestDecoderPushNoAllocs(t *testing.T) {
+	const w, h = 16, 16
+	e := NewEncoder(w, h, frame.Gray8)
+	if err := e.SetRegionLabels(region.List{region.FullFrame(w, h)}); err != nil {
+		t.Fatal(err)
+	}
+	ef := mustEncode(t, e, testFrame(w, h, frame.Gray8, 61), 0)
+	d := NewDecoder(w, h, frame.Gray8) // default depth 4
+	if n := testing.AllocsPerRun(100, func() {
+		if err := d.Push(ef); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("Push allocates %v per call, want 0", n)
+	}
+}
+
 func TestDecoderStatsConsistent(t *testing.T) {
 	labels := region.List{{X: 0, Y: 0, W: 8, H: 8, Stride: 2, Skip: 1}}
 	const w, h = 16, 16

@@ -57,7 +57,13 @@ type PMMUStats struct {
 	// Bypassed counts transactions forwarded as standard memory accesses by
 	// the Out-of-Frame handler.
 	Bypassed int
-	// MetadataBitsRead counts EncMask bits examined during translation.
+	// MetadataBitsRead counts EncMask bits examined during translation:
+	// 2 bits per classified pixel (8 per byte-aligned fast-path group, plus
+	// 2 per history frame consulted while resolving an Sk pixel), and one
+	// 2*x0-bit row-prefix scan per history frame the first time a fetch
+	// consults that frame's R-count cursor for the run. Frames no pixel
+	// resolves against charge nothing — matching what the hardware metadata
+	// scratchpad actually reads.
 	MetadataBitsRead int
 }
 
@@ -75,13 +81,22 @@ func (p *PMMU) newest() *EncodedFrame { return p.history[0] }
 
 // InFrame implements the Out-of-Frame Handler check: it reports whether a
 // byte address falls inside the decoded framebuffer address space.
+//
+// The check is written against the remaining capacity past addr rather than
+// as addr+length <= end, which wraps around for adversarial addresses near
+// the top of the 64-bit address space and would admit an out-of-frame
+// transaction.
 func (p *PMMU) InFrame(addr uint64, length int) bool {
-	if len(p.history) == 0 {
+	if len(p.history) == 0 || length < 0 {
 		return false
 	}
 	f := p.newest()
-	end := p.base + uint64(f.W*f.H*f.BytesPerPixel)
-	return addr >= p.base && addr+uint64(length) <= end
+	size := uint64(f.W) * uint64(f.H) * uint64(f.BytesPerPixel)
+	if addr < p.base {
+		return false
+	}
+	off := addr - p.base
+	return off <= size && uint64(length) <= size-off
 }
 
 // TranslateAddr translates a byte-addressed transaction. Transactions
@@ -124,16 +139,26 @@ func (p *PMMU) TranslateRow(y, x0, x1 int) ([]SubRequest, error) {
 	// Incremental R-count cursor per history frame, so that translating a
 	// full row costs O(W) rather than O(W^2) popcounts. rCount[i] is the
 	// number of R codes in frame i's row y strictly before column `at[i]`.
+	//
+	// Cursors initialize lazily, on the first fetch that consults a frame:
+	// the hardware scratchpad only performs a frame's 2*x0-bit row-prefix
+	// scan when some pixel actually resolves against that frame, so eager
+	// initialization would over-charge MetadataBitsRead by 2*x0 bits for
+	// every history frame no Sk pixel ever touches (and for the newest frame
+	// on runs with no R pixels).
 	nf := len(p.history)
 	rCount := make([]int, nf)
 	at := make([]int, nf)
-	for i, hf := range p.history {
-		rCount[i] = hf.Mask.CountRRange(base, base+x0)
-		at[i] = x0
-		p.stats.MetadataBitsRead += 2 * (x0 - 0) // scratchpad row prefix scan
+	for i := range at {
+		at[i] = -1 // cursor not yet initialized
 	}
 	advance := func(i, x int) int { // returns R-count before column x in frame i
 		hf := p.history[i]
+		if at[i] < 0 {
+			rCount[i] = hf.Mask.CountRRange(base, base+x0)
+			at[i] = x0
+			p.stats.MetadataBitsRead += 2 * x0 // scratchpad row prefix scan
+		}
 		if x > at[i] {
 			rCount[i] += hf.Mask.CountRRange(base+at[i], base+x)
 			at[i] = x

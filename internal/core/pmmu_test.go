@@ -159,6 +159,119 @@ func TestPMMUSkResolvesToStInHistory(t *testing.T) {
 	}
 }
 
+func TestPMMUInFrameOverflow(t *testing.T) {
+	_, p := pmmuFixture(t) // 16x8 Gray8 framebuffer at base 0x1000
+	// Adversarial address near the top of the address space: addr+length
+	// wraps to a tiny value, which the pre-fix check accepted as in-frame.
+	addr := ^uint64(0) - 2
+	if p.InFrame(addr, 4) {
+		t.Error("wrapping addr+length accepted as in-frame")
+	}
+	subs, pixel, err := p.TranslateAddr(addr, 4)
+	if err != nil || pixel || subs != nil {
+		t.Errorf("wrapping transaction: subs=%v pixel=%v err=%v, want clean bypass", subs, pixel, err)
+	}
+	if got := p.Stats().Bypassed; got != 1 {
+		t.Errorf("Bypassed = %d, want 1", got)
+	}
+	// A length that wraps on its own from a valid in-frame address.
+	if p.InFrame(0x1000, 1<<40) {
+		t.Error("oversized length accepted as in-frame")
+	}
+	if p.InFrame(0x1000, -1) {
+		t.Error("negative length accepted as in-frame")
+	}
+	// Sanity: legitimate bounds still pass.
+	if !p.InFrame(0x1000, 16*8) || !p.InFrame(0x1000+16*8-4, 4) {
+		t.Error("valid in-frame transactions rejected")
+	}
+}
+
+// metaFixture builds a two-frame history (both frames fully captured inside
+// the region, columns 4..11 of rows 2..5) so metadata accounting can be
+// pinned exactly.
+func metaFixture(t *testing.T) *PMMU {
+	t.Helper()
+	const w, h = 16, 8
+	e := NewEncoder(w, h, frame.Gray8)
+	if err := e.SetRegionLabels(region.List{{X: 4, Y: 2, W: 8, H: 4, Stride: 1, Skip: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	fr := testFrame(w, h, frame.Gray8, 74)
+	ef0 := mustEncode(t, e, fr, 0)
+	ef1 := mustEncode(t, e, fr, 1)
+	return NewPMMU([]*EncodedFrame{ef1, ef0}, 0)
+}
+
+// TestPMMUMetadataAccountingLazy pins the exact MetadataBitsRead charge for
+// a run of R pixels with a nonzero column origin: 8 bits per fast-path
+// group of four codes, plus one 2*x0-bit prefix scan for the newest frame
+// the first time its R-count cursor is consulted. The history frame is
+// never consulted (no Sk pixel), so it must charge nothing — the pre-fix
+// eager cursor init charged 2*x0 bits per history frame per row regardless.
+func TestPMMUMetadataAccountingLazy(t *testing.T) {
+	p := metaFixture(t)
+	// Row 3, columns [4,12): R R R R | R R R R, both groups byte-aligned.
+	subs, err := p.TranslateRow(3, 4, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 1 || subs[0].Count != 8 {
+		t.Fatalf("sub-requests = %+v, want one merged run of 8", subs)
+	}
+	// 2 fast-path groups x 8 bits + frame-0 prefix scan of 2*4 bits = 24.
+	if got := p.Stats().MetadataBitsRead; got != 24 {
+		t.Errorf("MetadataBitsRead = %d, want exactly 24", got)
+	}
+}
+
+// TestPMMUMetadataAccountingNoFetch pins the charge for a run that fetches
+// nothing: only the examined codes are charged, and no R-count cursor (not
+// even the newest frame's) performs its prefix scan.
+func TestPMMUMetadataAccountingNoFetch(t *testing.T) {
+	p := metaFixture(t)
+	// Row 0 is outside the region: columns [4,8) are one N N N N group.
+	subs, err := p.TranslateRow(0, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 1 || subs[0].Code != bitpack.CodeN {
+		t.Fatalf("sub-requests = %+v, want one N run", subs)
+	}
+	if got := p.Stats().MetadataBitsRead; got != 8 {
+		t.Errorf("MetadataBitsRead = %d, want exactly 8 (no cursor prefix scans)", got)
+	}
+}
+
+// TestPMMUMetadataAccountingSk pins the charge when an Sk pixel consults
+// history: the hosting frame's cursor pays its prefix scan once, and
+// unconsulted deeper frames pay nothing.
+func TestPMMUMetadataAccountingSk(t *testing.T) {
+	const w, h = 8, 4
+	e := NewEncoder(w, h, frame.Gray8)
+	// Full-frame region, skip 2: frame 0 captures, frame 1 skips.
+	if err := e.SetRegionLabels(region.List{{X: 0, Y: 0, W: 8, H: 4, Stride: 1, Skip: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	fr := testFrame(w, h, frame.Gray8, 75)
+	ef0 := mustEncode(t, e, fr, 0) // active: all R
+	ef1 := mustEncode(t, e, fr, 1) // skipped: all Sk
+	p := NewPMMU([]*EncodedFrame{ef1, ef0}, 0)
+	// Row 1, columns [2,4): two Sk pixels (not byte-aligned at x=2), each
+	// charging 2 bits (own code) + 2 bits (frame-1 history probe); frame 1's
+	// cursor prefix scan charges 2*x0 = 4 bits once.
+	subs, err := p.TranslateRow(1, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 1 || subs[0].Code != bitpack.CodeSk || subs[0].Source != 1 {
+		t.Fatalf("sub-requests = %+v, want one Sk run from frame 1", subs)
+	}
+	if got := p.Stats().MetadataBitsRead; got != 2*2+2*2+4 {
+		t.Errorf("MetadataBitsRead = %d, want exactly 12", got)
+	}
+}
+
 func TestPMMUStats(t *testing.T) {
 	_, p := pmmuFixture(t)
 	if _, err := p.TranslateRow(3, 0, 16); err != nil {

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every gathered sample in the Prometheus text
+// exposition format (version 0.0.4): one # HELP / # TYPE header per metric
+// family followed by its series. Histograms render as classic cumulative
+// _bucket{le=...} series plus _sum and _count, with bucket bounds converted
+// from the histogram's microsecond ranges to seconds.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	samples := r.Gather()
+	var b strings.Builder
+	prevName := ""
+	for _, s := range samples {
+		if s.Name != prevName {
+			if s.Help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", s.Name, escapeHelp(s.Help))
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", s.Name, s.Kind)
+			prevName = s.Name
+		}
+		switch s.Kind {
+		case KindHistogram:
+			writePromHistogram(&b, s)
+		default:
+			b.WriteString(s.Name)
+			b.WriteString(renderLabels(s.Labels))
+			b.WriteByte(' ')
+			b.WriteString(formatFloat(s.Value))
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writePromHistogram renders one histogram series: cumulative buckets in
+// seconds, then sum and count.
+func writePromHistogram(b *strings.Builder, s Sample) {
+	var cum uint64
+	for i, c := range s.Hist.Buckets {
+		cum += c
+		le := float64(s.Hist.UpperMicros[i]) / 1e6
+		b.WriteString(s.Name)
+		b.WriteString("_bucket")
+		b.WriteString(renderLabelsExtra(s.Labels, Label{Key: "le", Value: formatFloat(le)}))
+		fmt.Fprintf(b, " %d\n", cum)
+	}
+	b.WriteString(s.Name)
+	b.WriteString("_bucket")
+	b.WriteString(renderLabelsExtra(s.Labels, Label{Key: "le", Value: "+Inf"}))
+	fmt.Fprintf(b, " %d\n", s.Hist.Count)
+	b.WriteString(s.Name)
+	b.WriteString("_sum")
+	b.WriteString(renderLabels(s.Labels))
+	fmt.Fprintf(b, " %s\n", formatFloat(float64(s.Hist.SumNanos)/1e9))
+	b.WriteString(s.Name)
+	b.WriteString("_count")
+	b.WriteString(renderLabels(s.Labels))
+	fmt.Fprintf(b, " %d\n", s.Hist.Count)
+}
+
+// jsonMetric is one series in the /debug/vars document.
+type jsonMetric struct {
+	Kind   string             `json:"kind"`
+	Labels map[string]string  `json:"labels,omitempty"`
+	Value  *float64           `json:"value,omitempty"`
+	Hist   *HistogramSnapshot `json:"hist,omitempty"`
+}
+
+// WriteJSON renders every gathered sample as one JSON object keyed by
+// series identity ("name" or `name{label="v"}`), the document rpxd serves
+// at /debug/vars. Keys marshal in sorted order, so output is deterministic.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	samples := r.Gather()
+	doc := make(map[string]jsonMetric, len(samples))
+	for _, s := range samples {
+		m := jsonMetric{Kind: s.Kind.String()}
+		if len(s.Labels) > 0 {
+			m.Labels = make(map[string]string, len(s.Labels))
+			for _, l := range s.Labels {
+				m.Labels[l.Key] = l.Value
+			}
+		}
+		if s.Kind == KindHistogram {
+			h := s.Hist
+			m.Hist = &h
+		} else {
+			v := s.Value
+			m.Value = &v
+		}
+		doc[s.Name+renderLabels(s.Labels)] = m
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// renderLabels renders a sorted label set as {k1="v1",k2="v2"}, or "" when
+// empty.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// renderLabelsExtra renders labels plus one appended label (the histogram
+// `le` bound, which sorts after the series labels by convention).
+func renderLabelsExtra(labels []Label, extra Label) string {
+	all := make([]Label, 0, len(labels)+1)
+	all = append(all, labels...)
+	all = append(all, extra)
+	return renderLabels(all)
+}
+
+// escapeLabel escapes a label value per the text exposition format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\"", `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// escapeHelp escapes a help string per the text exposition format.
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatFloat renders a sample value compactly (integers without a
+// fractional part).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,288 @@
+// Package obs is the observability spine of the repository: a small,
+// stdlib-only metrics layer shared by the core pipeline, the rpx public API,
+// and the rpxd daemon.
+//
+// It provides a Registry of counters, gauges, and latency histograms whose
+// mutation paths are atomic and allocation-free — an encoder worker or a
+// session goroutine can bump a counter or observe a latency on every frame
+// without ever touching the allocator or a lock — plus two exposition
+// formats rendered on demand from the same samples: the Prometheus text
+// format (WritePrometheus, served by rpxd at /metrics) and a JSON document
+// (WriteJSON, served at /debug/vars).
+//
+// Registration happens at setup time and may allocate; it supports both
+// value-holding instruments (Counter, Gauge, Histogram) and function-backed
+// ones (CounterFunc, GaugeFunc) that read an existing atomic or snapshot at
+// scrape time, so subsystems with their own counters (rpx.System,
+// server.Manager) expose them without double bookkeeping. Dynamic sets of
+// metrics — per-session series that appear and disappear with the session —
+// are emitted by Collect callbacks run at scrape time.
+//
+// The companion Tracer (trace.go) records per-frame pipeline spans into a
+// fixed ring buffer, dumpable as JSON at /debug/trace.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind classifies a metric for exposition.
+type Kind uint8
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String returns the Prometheus TYPE keyword.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Label is one name="value" dimension of a metric series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing value. The zero value is ready to
+// use; Add and Inc are atomic and allocation-free.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down. The zero value is ready to use;
+// Set and Add are atomic and allocation-free.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Sample is one metric series at one scrape: identity (name + labels),
+// family metadata (help + kind), and either a scalar value or a histogram
+// snapshot. Collect callbacks emit Samples; Gather returns them.
+type Sample struct {
+	Name   string
+	Help   string
+	Kind   Kind
+	Labels []Label
+	// Value carries counter and gauge samples.
+	Value float64
+	// Hist carries histogram samples (Kind == KindHistogram).
+	Hist HistogramSnapshot
+}
+
+// static is one registered metric series.
+type static struct {
+	name   string
+	labels []Label
+
+	counter   *Counter
+	gauge     *Gauge
+	counterFn func() uint64
+	gaugeFn   func() float64
+	hist      *Histogram
+}
+
+// family is the per-name metadata every series of that name must agree on.
+type family struct {
+	help string
+	kind Kind
+}
+
+// Registry holds registered metrics and renders expositions. Registration
+// methods and Gather are safe for concurrent use; the instruments they
+// return are independent of the registry lock.
+type Registry struct {
+	mu         sync.Mutex
+	families   map[string]family
+	seen       map[string]struct{} // name + rendered labels, for dup detection
+	static     []static
+	collectors []func(emit func(Sample))
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		families: make(map[string]family),
+		seen:     make(map[string]struct{}),
+	}
+}
+
+// Counter registers and returns a new counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.register(name, help, KindCounter, labels, static{counter: c})
+	return c
+}
+
+// CounterFunc registers a counter series whose value is read from fn at
+// scrape time — for subsystems that already keep their own atomic counter.
+// fn must be safe to call concurrently.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	r.register(name, help, KindCounter, labels, static{counterFn: fn})
+}
+
+// Gauge registers and returns a new gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, KindGauge, labels, static{gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge series whose value is read from fn at scrape
+// time. fn must be safe to call concurrently.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, KindGauge, labels, static{gaugeFn: fn})
+}
+
+// Histogram registers and returns a new latency histogram series.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	h := &Histogram{}
+	r.RegisterHistogram(name, help, h, labels...)
+	return h
+}
+
+// RegisterHistogram registers an existing histogram (one a subsystem already
+// observes into) under the given series identity.
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram, labels ...Label) {
+	r.register(name, help, KindHistogram, labels, static{hist: h})
+}
+
+// Collect registers a callback run at every scrape; it emits dynamic
+// samples (for example one series per live session). Emitted samples must
+// carry a valid name, help, and kind; series identity need not be stable
+// across scrapes. fn must be safe to call concurrently.
+func (r *Registry) Collect(fn func(emit func(Sample))) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, fn)
+}
+
+// register validates and records one static series.
+func (r *Registry) register(name, help string, kind Kind, labels []Label, s static) {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	s.name = name
+	s.labels = sortedLabels(labels)
+	id := name + renderLabels(s.labels)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if fam, ok := r.families[name]; ok {
+		if fam.kind != kind || fam.help != help {
+			panic(fmt.Sprintf("obs: metric %q re-registered with conflicting kind or help", name))
+		}
+	} else {
+		r.families[name] = family{help: help, kind: kind}
+	}
+	if _, dup := r.seen[id]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric series %s", id))
+	}
+	r.seen[id] = struct{}{}
+	r.static = append(r.static, s)
+}
+
+// Gather snapshots every registered series plus collector emissions,
+// sorted by name then labels. It allocates; it is the scrape path, not the
+// hot path.
+func (r *Registry) Gather() []Sample {
+	r.mu.Lock()
+	statics := make([]static, len(r.static))
+	copy(statics, r.static)
+	fams := make(map[string]family, len(r.families))
+	for k, v := range r.families {
+		fams[k] = v
+	}
+	collectors := make([]func(emit func(Sample)), len(r.collectors))
+	copy(collectors, r.collectors)
+	r.mu.Unlock()
+
+	samples := make([]Sample, 0, len(statics))
+	for _, s := range statics {
+		fam := fams[s.name]
+		out := Sample{Name: s.name, Help: fam.help, Kind: fam.kind, Labels: s.labels}
+		switch {
+		case s.counter != nil:
+			out.Value = float64(s.counter.Load())
+		case s.counterFn != nil:
+			out.Value = float64(s.counterFn())
+		case s.gauge != nil:
+			out.Value = float64(s.gauge.Load())
+		case s.gaugeFn != nil:
+			out.Value = s.gaugeFn()
+		case s.hist != nil:
+			out.Hist = s.hist.Snapshot()
+		}
+		samples = append(samples, out)
+	}
+	for _, fn := range collectors {
+		fn(func(s Sample) {
+			s.Labels = sortedLabels(s.Labels)
+			samples = append(samples, s)
+		})
+	}
+	sort.SliceStable(samples, func(i, j int) bool {
+		if samples[i].Name != samples[j].Name {
+			return samples[i].Name < samples[j].Name
+		}
+		return renderLabels(samples[i].Labels) < renderLabels(samples[j].Labels)
+	})
+	return samples
+}
+
+// validName reports whether name is a legal Prometheus metric name.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		letter := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !letter && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedLabels returns a copy of labels sorted by key.
+func sortedLabels(labels []Label) []Label {
+	if len(labels) == 0 {
+		return nil
+	}
+	out := make([]Label, len(labels))
+	copy(out, labels)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

@@ -14,12 +14,14 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/frame"
+	"repro/internal/obs"
 	"repro/internal/region"
 	"repro/rpx"
 )
@@ -80,6 +82,14 @@ type Config struct {
 	// SweepInterval is how often the idle janitor scans (default IdleTTL/4,
 	// floored at 100ms). Only meaningful when IdleTTL > 0.
 	SweepInterval time.Duration
+	// Metrics, when non-nil, is the observability registry the manager
+	// publishes into: aggregate counters, per-op latency histograms, and a
+	// per-live-session collector (queue depth, frames, core encoder/decoder
+	// and PMMU traffic counters). Registration happens once in NewManager.
+	Metrics *obs.Registry
+	// Trace, when non-nil, records every session's frame-path spans
+	// (classify → pack → push → decode) tagged with the session id.
+	Trace *obs.Tracer
 }
 
 // DefaultMaxSessions is the session cap when Config.MaxSessions is zero.
@@ -132,12 +142,110 @@ func NewManager(cfg Config) *Manager {
 		}
 	}
 	m := &Manager{cfg: cfg, sessions: make(map[uint64]*Session)}
+	if cfg.Metrics != nil {
+		m.registerMetrics(cfg.Metrics)
+	}
 	if cfg.IdleTTL > 0 {
 		m.sweepQuit = make(chan struct{})
 		m.sweepDone = make(chan struct{})
 		go m.sweepIdle()
 	}
 	return m
+}
+
+// registerMetrics publishes the manager into a registry: the aggregate
+// atomic counters it already keeps (read at scrape time, no double
+// bookkeeping), the per-op latency histograms, and a collector that emits
+// one series set per live session — series appear when a session opens and
+// vanish when it closes or is evicted.
+func (m *Manager) registerMetrics(reg *obs.Registry) {
+	reg.CounterFunc("rpxd_sessions_opened_total", "Sessions opened over the process lifetime.",
+		func() uint64 { return uint64(m.sessionsOpened.Load()) })
+	reg.CounterFunc("rpxd_sessions_evicted_total", "Sessions evicted by the idle janitor.",
+		func() uint64 { return uint64(m.sessionsEvicted.Load()) })
+	reg.CounterFunc("rpxd_frames_captured_total", "Frames captured across all sessions.",
+		func() uint64 { return uint64(m.framesCaptured.Load()) })
+	reg.CounterFunc("rpxd_encoded_bytes_total", "Encoded payload plus metadata bytes written across all sessions.",
+		func() uint64 { return uint64(m.encodedBytes.Load()) })
+	reg.CounterFunc("rpxd_decoded_frames_total", "Full-frame and windowed decodes served across all sessions.",
+		func() uint64 { return uint64(m.decodedFrames.Load()) })
+	reg.CounterFunc("rpxd_backlog_rejects_total", "Requests rejected with ErrBacklog by fail-fast sessions.",
+		func() uint64 { return uint64(m.backlogRejects.Load()) })
+	reg.GaugeFunc("rpxd_sessions_open", "Currently open sessions.",
+		func() float64 { return float64(m.SessionsOpen()) })
+	reg.GaugeFunc("rpxd_queue_depth", "Queued (unserved) requests across all sessions.",
+		func() float64 {
+			total := 0
+			for _, s := range m.openSessions() {
+				total += s.QueueDepth()
+			}
+			return float64(total)
+		})
+	for op := Op(0); op < numOps; op++ {
+		reg.RegisterHistogram("rpxd_op_latency_seconds",
+			"Session operation latency (queue wait plus execution).",
+			&m.opHist[op], obs.L("op", op.String()))
+	}
+	reg.Collect(m.collectSessions)
+}
+
+// collectSessions emits the per-session series: queue occupancy and the
+// pipeline's core traffic counters (encoder, decoder, PMMU metadata reads),
+// plus per-session per-op latency histograms. Stats are read through the
+// rpx.System monitoring-safe accessors, never through the request queue.
+func (m *Manager) collectSessions(emit func(obs.Sample)) {
+	gauge := func(name, help string, v float64, labels ...obs.Label) {
+		emit(obs.Sample{Name: name, Help: help, Kind: obs.KindGauge, Labels: labels, Value: v})
+	}
+	counter := func(name, help string, v float64, labels ...obs.Label) {
+		emit(obs.Sample{Name: name, Help: help, Kind: obs.KindCounter, Labels: labels, Value: v})
+	}
+	for _, s := range m.openSessions() {
+		id := obs.L("session", strconv.FormatUint(s.id, 10))
+		sys := s.SystemStats()
+		dec := s.sys.DecoderStats()
+		enc := s.sys.EncoderStats()
+		gauge("rpxd_session_queue_depth", "Queued requests of one session.",
+			float64(s.QueueDepth()), id)
+		counter("rpxd_session_frames_captured_total", "Frames captured by one session.",
+			float64(sys.FramesCaptured), id)
+		counter("rpxd_session_bytes_written_total", "Encoded payload plus metadata bytes one session wrote.",
+			float64(sys.BytesWritten), id)
+		counter("rpxd_session_bytes_read_total", "Encoded bytes one session's decoder fetched.",
+			float64(sys.BytesRead), id)
+		counter("rpxd_session_pixels_in_total", "Sensor pixels one session's encoder consumed.",
+			float64(enc.PixelsIn), id)
+		counter("rpxd_session_pixels_out_total", "Pixels surviving encoding for one session.",
+			float64(enc.PixelsOut), id)
+		counter("rpxd_session_decoder_sub_requests_total", "PMMU sub-requests one session's decoder issued.",
+			float64(dec.SubRequests), id)
+		counter("rpxd_session_metadata_bits_read_total", "EncMask metadata bits one session's PMMU examined.",
+			float64(dec.MetadataBitsRead), id)
+		for op := Op(0); op < numOps; op++ {
+			hs := s.opHist[op].Snapshot()
+			if hs.Count == 0 {
+				continue
+			}
+			emit(obs.Sample{
+				Name:   "rpxd_session_op_latency_seconds",
+				Help:   "Per-session operation latency (queue wait plus execution).",
+				Kind:   obs.KindHistogram,
+				Labels: []obs.Label{id, obs.L("op", op.String())},
+				Hist:   hs,
+			})
+		}
+	}
+}
+
+// openSessions snapshots the live session list under the manager lock.
+func (m *Manager) openSessions() []*Session {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	open := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		open = append(open, s)
+	}
+	return open
 }
 
 // sweepIdle is the idle-session janitor: it periodically evicts sessions
@@ -200,6 +308,11 @@ type Session struct {
 	// lastUsed is the UnixNano of the newest submitted request, read by the
 	// manager's idle janitor without taking the session lock.
 	lastUsed atomic.Int64
+
+	// opHist is this session's own per-op latency view, observed alongside
+	// the manager aggregate and exposed by the metrics collector as
+	// rpxd_session_op_latency_seconds{session,op}.
+	opHist [numOps]Histogram
 
 	mu        sync.Mutex
 	closed    bool
@@ -281,6 +394,12 @@ func (m *Manager) Open(cfg SessionConfig) (*Session, error) {
 	m.sessions[s.id] = s
 	m.mu.Unlock()
 	m.sessionsOpened.Add(1)
+	if m.cfg.Trace != nil {
+		// Tag the pipeline's frame-path spans with the session id. The
+		// worker has not started yet, so this respects the rpx.System
+		// single-goroutine contract.
+		sys.SetTracer(m.cfg.Trace, s.id)
+	}
 
 	go s.worker()
 	return s, nil
@@ -295,7 +414,9 @@ func (s *Session) worker() {
 			gate(req.op)
 		}
 		res := s.execute(req)
-		s.mgr.opHist[req.op].Observe(time.Since(req.start))
+		lat := time.Since(req.start)
+		s.mgr.opHist[req.op].Observe(lat)
+		s.opHist[req.op].Observe(lat)
 		req.reply <- res
 	}
 }

@@ -26,11 +26,13 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/driver"
 	"repro/internal/features"
 	"repro/internal/frame"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/region"
 	"repro/internal/synth"
@@ -142,6 +144,12 @@ type System struct {
 	frameIndex int
 	last       *core.EncodedFrame
 
+	// tracer, when non-nil, receives frame-path spans (classify → pack →
+	// push → decode) tagged with tracerTag. Mutated only through SetTracer
+	// under the single-goroutine contract.
+	tracer    *obs.Tracer
+	tracerTag uint64
+
 	// statsMu guards the snapshot fields below, which mutating operations
 	// refresh and the concurrent-safe accessors read.
 	statsMu  sync.Mutex
@@ -245,18 +253,26 @@ func (s *System) FrameIndex() int { return s.frameIndex }
 
 // Capture streams a frame through the encoder into the framebuffer and
 // makes it the decoder's newest frame. Pending SetRegionLabels writes are
-// committed at this frame boundary.
+// committed at this frame boundary. When a tracer is attached, the three
+// capture-side frame-path spans (classify, pack, push) are recorded.
 func (s *System) Capture(fr *Frame) (CaptureStats, error) {
+	var t0 time.Time
+	if s.tracer != nil {
+		t0 = time.Now()
+	}
 	if err := s.rt.FrameBoundary(); err != nil {
 		return CaptureStats{}, err
 	}
+	t0 = s.span(obs.SpanClassify, s.frameIndex, t0, 0)
 	ef, err := s.enc.EncodeFrame(fr, s.frameIndex)
 	if err != nil {
 		return CaptureStats{}, err
 	}
+	t0 = s.span(obs.SpanPack, s.frameIndex, t0, ef.TotalBytes())
 	if err := s.dec.Push(ef); err != nil {
 		return CaptureStats{}, err
 	}
+	s.span(obs.SpanPush, s.frameIndex, t0, 0)
 	s.last = ef
 	cs := CaptureStats{
 		FrameIndex:    s.frameIndex,
@@ -283,19 +299,126 @@ func (s *System) Decoded() (*Frame, error) {
 }
 
 // DecodeWindow reconstructs a sub-rectangle of the most recent frame, the
-// access pattern of a tiled vision accelerator.
+// access pattern of a tiled vision accelerator. When a tracer is attached,
+// a decode span carrying the encoded bytes fetched is recorded.
 func (s *System) DecodeWindow(x, y, w, h int) (*Frame, error) {
+	var t0 time.Time
+	if s.tracer != nil {
+		t0 = time.Now()
+	}
 	before := s.dec.Stats().EncodedBytesRead
 	fr, err := s.dec.DecodeWindow(x, y, w, h)
 	if err != nil {
 		return nil, err
 	}
 	after := s.dec.Stats()
+	if s.last != nil {
+		s.span(obs.SpanDecode, s.last.FrameIndex, t0, after.EncodedBytesRead-before)
+	}
 	s.statsMu.Lock()
 	s.stats.BytesRead += int64(after.EncodedBytesRead - before)
 	s.decStats = after
 	s.statsMu.Unlock()
 	return fr, nil
+}
+
+// span records one frame-path span ending now and returns the new start
+// time for the next span; it is a no-op (returning the zero time) when no
+// tracer is attached.
+func (s *System) span(op string, frameIndex int, t0 time.Time, bytes int) time.Time {
+	if s.tracer == nil {
+		return time.Time{}
+	}
+	now := time.Now()
+	s.tracer.Record(obs.Span{
+		Session: s.tracerTag,
+		Frame:   frameIndex,
+		Op:      op,
+		Start:   t0.UnixNano(),
+		Dur:     now.Sub(t0).Nanoseconds(),
+		Bytes:   bytes,
+	})
+	return now
+}
+
+// MetricsRegistry is the metrics registry Observe targets. The registry
+// implementation lives in the internal observability layer shared with
+// rpxd; the alias (plus NewMetricsRegistry, NewFrameTracer, and
+// NewMetricLabel) lets external modules hold and use one through the rpx
+// package without importing an internal path.
+type MetricsRegistry = obs.Registry
+
+// MetricLabel is one key/value pair attached to every series a single
+// Observe call registers.
+type MetricLabel = obs.Label
+
+// FrameTracer is the fixed-ring frame-path span recorder SetTracer
+// attaches; dump it with its WriteJSON or Snapshot methods.
+type FrameTracer = obs.Tracer
+
+// NewMetricsRegistry returns an empty metrics registry. Expose it with its
+// WritePrometheus or WriteJSON methods.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewFrameTracer returns a frame-path tracer retaining the most recent
+// capacity spans (capacity <= 0 selects a default).
+func NewFrameTracer(capacity int) *FrameTracer { return obs.NewTracer(capacity) }
+
+// NewMetricLabel builds one metric label for Observe.
+func NewMetricLabel(key, value string) MetricLabel { return obs.L(key, value) }
+
+// SetTracer attaches a frame-path tracer: Capture and DecodeWindow record
+// classify/pack/push/decode spans tagged with tag (an rpxd session id, or
+// any caller-chosen identifier). Pass nil to detach. SetTracer follows the
+// System's single-goroutine contract: call it from the operations
+// goroutine, not concurrently with Capture or decode.
+func (s *System) SetTracer(t *obs.Tracer, tag uint64) {
+	s.tracer = t
+	s.tracerTag = tag
+}
+
+// Observe registers the System's lifetime traffic counters — SystemStats,
+// EncoderStats, and DecoderStats — into an observability registry, each
+// series carrying the given labels. Values are read at scrape time through
+// the monitoring-safe stats accessors, so scrapes never synchronize with
+// Capture beyond the internal stats mutex. Register a given System at most
+// once per registry (per label set).
+func (s *System) Observe(reg *obs.Registry, labels ...obs.Label) {
+	counter := func(name, help string, fn func() int64) {
+		reg.CounterFunc(name, help, func() uint64 { return uint64(fn()) }, labels...)
+	}
+	counter("rpx_frames_captured_total", "Frames captured.",
+		func() int64 { return int64(s.Stats().FramesCaptured) })
+	counter("rpx_bytes_written_total", "Encoded payload plus metadata bytes written to the framebuffer.",
+		func() int64 { return s.Stats().BytesWritten })
+	counter("rpx_bytes_read_total", "Encoded bytes fetched by the decoder.",
+		func() int64 { return s.Stats().BytesRead })
+	counter("rpx_pixels_in_total", "Pixels consumed from the sensor stream.",
+		func() int64 { return s.Stats().PixelsIn })
+	counter("rpx_pixels_stored_total", "Pixels surviving encoding.",
+		func() int64 { return s.Stats().PixelsStored })
+	counter("rpx_register_updates_total", "AXI-lite writes for label configuration.",
+		func() int64 { return s.Stats().RegisterUpdates })
+	counter("rpx_encoder_rows_processed_total", "Raster rows the encoder consumed.",
+		func() int64 { return int64(s.EncoderStats().RowsProcessed) })
+	counter("rpx_encoder_roi_compares_total", "RoI Selector y-range label examinations.",
+		func() int64 { return int64(s.EncoderStats().RoISelectorCompares) })
+	counter("rpx_decoder_pixels_requested_total", "Decoded-space pixels serviced.",
+		func() int64 { return int64(s.DecoderStats().PixelsRequested) })
+	counter("rpx_decoder_direct_r_total", "Pixels fetched from the newest encoded frame.",
+		func() int64 { return int64(s.DecoderStats().DirectR) })
+	counter("rpx_decoder_held_st_total", "Strided pixels serviced from the resampling or line buffer.",
+		func() int64 { return int64(s.DecoderStats().HeldSt) })
+	counter("rpx_decoder_fetched_sk_total", "Pixels fetched from older history frames.",
+		func() int64 { return int64(s.DecoderStats().FetchedSk) })
+	counter("rpx_decoder_black_total", "Pixels emitted as black.",
+		func() int64 { return int64(s.DecoderStats().Black) })
+	counter("rpx_decoder_encoded_bytes_read_total", "Payload bytes fetched from encoded frames.",
+		func() int64 { return int64(s.DecoderStats().EncodedBytesRead) })
+	counter("rpx_decoder_sub_requests_total", "PMMU sub-requests issued.",
+		func() int64 { return int64(s.DecoderStats().SubRequests) })
+	counter("rpx_decoder_metadata_bits_read_total", "EncMask metadata bits the PMMU examined for delivered rows.",
+		func() int64 { return int64(s.DecoderStats().MetadataBitsRead) })
 }
 
 // LastEncoded returns the most recent encoded frame (nil before any

@@ -23,6 +23,48 @@ FAULTNET_SEED="$FAULTNET_SEED" go test -race -count=1 \
     -run='^(TestFaultMatrix|TestReconnectRecoversWithLabelsReplayed|TestBrokenSessionAfterTimeout)$' \
     ./rpx/client
 
+# Admin endpoint smoke: boot the real daemon binary with -admin on an
+# ephemeral port, then curl /healthz and /metrics. Fails on a non-200 reply
+# or an empty/placeholder metrics payload.
+echo "== admin endpoint smoke"
+RPXD_BIN="$(mktemp -d)/rpxd"
+RPXD_LOG="$(mktemp)"
+go build -o "$RPXD_BIN" ./cmd/rpxd
+"$RPXD_BIN" -addr 127.0.0.1:0 -admin 127.0.0.1:0 2>"$RPXD_LOG" &
+RPXD_PID=$!
+cleanup_rpxd() {
+    kill "$RPXD_PID" 2>/dev/null || true
+    wait "$RPXD_PID" 2>/dev/null || true
+    rm -rf "$(dirname "$RPXD_BIN")" "$RPXD_LOG"
+}
+trap cleanup_rpxd EXIT INT TERM
+ADMIN_ADDR=""
+for _ in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+    ADMIN_ADDR="$(sed -n 's/^rpxd: admin listening on //p' "$RPXD_LOG")"
+    [ -n "$ADMIN_ADDR" ] && break
+    sleep 0.25
+done
+if [ -z "$ADMIN_ADDR" ]; then
+    echo "ci: rpxd admin endpoint never came up" >&2
+    cat "$RPXD_LOG" >&2
+    exit 1
+fi
+HEALTH="$(curl -fsS "http://$ADMIN_ADDR/healthz")"
+case "$HEALTH" in
+    *ok*) ;;
+    *) echo "ci: unexpected /healthz body: $HEALTH" >&2; exit 1 ;;
+esac
+METRICS="$(curl -fsS "http://$ADMIN_ADDR/metrics")"
+case "$METRICS" in
+    *rpxd_sessions_open*) ;;
+    *) echo "ci: /metrics missing rpxd_ series:" >&2; echo "$METRICS" >&2; exit 1 ;;
+esac
+kill -TERM "$RPXD_PID"
+wait "$RPXD_PID"
+trap - EXIT INT TERM
+rm -rf "$(dirname "$RPXD_BIN")" "$RPXD_LOG"
+echo "admin endpoint smoke: OK (admin at $ADMIN_ADDR)"
+
 # Fuzz smoke: a short budget per untrusted decode surface. Regressions the
 # fuzzer finds land in testdata/fuzz/ seed corpora, which -race above then
 # replays forever after.
