@@ -7,7 +7,7 @@
 //	rpxbench -list
 //
 // Experiments: fig3, table4, fig8, fig9a, fig9b, fig9c, table5, energy,
-// appendix, clsweep, futurework, parallel.
+// appendix, clsweep, futurework, parallel, gateway.
 package main
 
 import (
@@ -23,6 +23,31 @@ import (
 
 // csvOut, when set, is the directory plottable experiments write CSVs into.
 var csvOut string
+
+// jsonOut, when set, is the directory benchmark experiments write committed
+// BENCH_*.json documents into (e.g. -json . regenerates BENCH_gateway.json
+// at the repo root).
+var jsonOut string
+
+// writeBenchJSON persists one experiment's BENCH_<name>.json via the given
+// emitter.
+func writeBenchJSON(name string, emit func(w *os.File) error) error {
+	if jsonOut == "" {
+		return nil
+	}
+	if err := os.MkdirAll(jsonOut, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(jsonOut, "BENCH_"+name+".json"))
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 // writeCSV persists one experiment's CSV via the given emitter.
 func writeCSV(name string, emit func(w *os.File) error) error {
@@ -62,15 +87,18 @@ var registry = []experiment{
 	{"clsweep", "Cycle length vs traffic/accuracy tradeoff (§6.1-6.2)", runCLSweep},
 	{"futurework", "§7 directions: DRAM-less, in-sensor encoder, adaptive cycle", runFutureWork},
 	{"parallel", "Row-band parallel encode/decode scaling vs worker count", runParallel},
+	{"gateway", "rpxgw proxy overhead vs direct rpxd dial at 1/8/64 sessions", runGateway},
 }
 
 func main() {
 	expFlag := flag.String("exp", "all", "experiment to run (or 'all')")
 	scaleFlag := flag.String("scale", "quick", "quick (seconds) or full (minutes)")
 	csvDir := flag.String("csv", "", "also write CSV files for plottable experiments into this directory")
+	jsonDir := flag.String("json", "", "also write BENCH_*.json files for benchmark experiments into this directory")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 	csvOut = *csvDir
+	jsonOut = *jsonDir
 
 	if *list {
 		for _, e := range registry {
@@ -242,4 +270,18 @@ func runParallel(s experiments.Scale) (string, error) {
 		return "", err
 	}
 	return experiments.ParallelReport(rows), nil
+}
+
+func runGateway(s experiments.Scale) (string, error) {
+	rows, err := experiments.GatewayOverhead(s)
+	if err != nil {
+		return "", err
+	}
+	if err := writeCSV("gateway", func(f *os.File) error { return experiments.GatewayCSV(f, rows) }); err != nil {
+		return "", err
+	}
+	if err := writeBenchJSON("gateway", func(f *os.File) error { return experiments.GatewayJSON(f, rows) }); err != nil {
+		return "", err
+	}
+	return experiments.GatewayReport(rows), nil
 }

@@ -116,24 +116,29 @@ func run(ctx context.Context, addr string, adminLn net.Listener, traceSpans int,
 // snapshot, and only then stop the admin endpoint.
 func serveAndDrain(ctx context.Context, ln, adminLn net.Listener, traceSpans int, mcfg server.Config, tcfg server.TCPConfig, drainTime time.Duration, logw io.Writer) error {
 	var (
-		hstate   *health
+		hstate   *server.Health
 		adminSrv *http.Server
+		reg      *obs.Registry
+		tracer   *obs.Tracer
 	)
 	if adminLn != nil {
 		if traceSpans <= 0 {
 			traceSpans = obs.DefaultTraceSpans
 		}
-		reg := obs.NewRegistry()
-		tracer := obs.NewTracer(traceSpans)
-		hstate = &health{}
+		reg = obs.NewRegistry()
+		tracer = obs.NewTracer(traceSpans)
 		mcfg.Metrics = reg
 		mcfg.Trace = tracer
+	}
+	mgr := server.NewManager(mcfg)
+	if adminLn != nil {
+		hstate = server.NewHealth(mgr.SessionsOpen)
 		adminSrv = &http.Server{Handler: newAdminMux(reg, tracer, hstate)}
 		go adminSrv.Serve(adminLn)
 		fmt.Fprintf(logw, "rpxd: admin listening on %s\n", adminLn.Addr())
 	}
 
-	srv := server.NewTCPServer(server.NewManager(mcfg), tcfg)
+	srv := server.NewTCPServer(mgr, tcfg)
 	fmt.Fprintf(logw, "rpxd: listening on %s (max sessions %d, queue depth %d)\n",
 		ln.Addr(), mcfg.MaxSessions, mcfg.QueueDepth)
 
@@ -157,7 +162,7 @@ func serveAndDrain(ctx context.Context, ln, adminLn net.Listener, traceSpans int
 	}
 
 	if hstate != nil {
-		hstate.setDraining()
+		hstate.SetDraining()
 	}
 	if testDrainHold != nil {
 		<-testDrainHold

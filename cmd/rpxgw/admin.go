@@ -8,10 +8,10 @@ import (
 	"repro/internal/server"
 )
 
-// newAdminMux assembles the admin endpoint: Prometheus metrics, JSON
-// metrics, health (the shared server.Health handler, whose JSON body the
-// rpxgw backend watcher parses), the frame-path trace dump, and pprof.
-func newAdminMux(reg *obs.Registry, tracer *obs.Tracer, h *server.Health) *http.ServeMux {
+// newAdminMux assembles the gateway's admin endpoint: Prometheus metrics,
+// JSON metrics, health (the shared server.Health handler — the same body
+// rpxd serves, so a gateway can even front other gateways), and pprof.
+func newAdminMux(reg *obs.Registry, h *server.Health) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -21,10 +21,6 @@ func newAdminMux(reg *obs.Registry, tracer *obs.Tracer, h *server.Health) *http.
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		reg.WriteJSON(w)
-	})
-	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		tracer.WriteJSON(w)
 	})
 	// pprof is routed explicitly onto this mux (the blank import of
 	// net/http/pprof only registers on http.DefaultServeMux, which the

@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/gateway"
+	"repro/internal/server"
+	"repro/rpx"
+	"repro/rpx/client"
+)
+
+// Gateway overhead: frames/sec through rpxgw versus direct rpxd dial, at
+// increasing session counts. Not a paper artifact — the paper's system is a
+// single sensor pipeline — but it prices the scale-out hop the software
+// reproduction adds: one extra relay (read request, forward, read reply,
+// forward) per operation, amortized across concurrent sessions.
+
+// GatewayRow is one session-count measurement.
+type GatewayRow struct {
+	// Sessions is the concurrent session count.
+	Sessions int `json:"sessions"`
+	// DirectFPS is capture throughput with sessions dialing the backends
+	// round-robin, no gateway.
+	DirectFPS float64 `json:"direct_fps"`
+	// GatewayFPS is capture throughput with every session dialed through
+	// one rpxgw in front of the same backends.
+	GatewayFPS float64 `json:"gateway_fps"`
+	// OverheadPct is (DirectFPS-GatewayFPS)/DirectFPS in percent; negative
+	// means the gateway run was faster (scheduling noise).
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// gatewayGeometry is the bench workload: ~160x120 Gray8 frames with a
+// full-frame label, small enough that the wire hop (not the encoder)
+// dominates.
+const (
+	gatewayW = 160
+	gatewayH = 120
+)
+
+// GatewayOverhead measures direct-versus-gateway throughput over two
+// in-process rpxd backends.
+func GatewayOverhead(s Scale) ([]GatewayRow, error) {
+	counts := []int{1, 8}
+	frames := 12
+	if s == Full {
+		counts = []int{1, 8, 64}
+		frames = 40
+	}
+
+	backends, stop, err := startGatewayBenchBackends(2)
+	if err != nil {
+		return nil, err
+	}
+	defer stop()
+
+	gw, err := gateway.New(gateway.Config{
+		Backends: []gateway.Backend{{Addr: backends[0]}, {Addr: backends[1]}},
+		Health:   gateway.WatcherConfig{Interval: time.Hour},
+	})
+	if err != nil {
+		return nil, err
+	}
+	gln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go gw.Serve(gln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		gw.Shutdown(ctx)
+	}()
+
+	rows := make([]GatewayRow, 0, len(counts))
+	for _, n := range counts {
+		direct, err := gatewayBenchRun(backends, n, frames)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: direct run %d sessions: %w", n, err)
+		}
+		viaGW, err := gatewayBenchRun([]string{gln.Addr().String()}, n, frames)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: gateway run %d sessions: %w", n, err)
+		}
+		rows = append(rows, GatewayRow{
+			Sessions:    n,
+			DirectFPS:   direct,
+			GatewayFPS:  viaGW,
+			OverheadPct: (direct - viaGW) / direct * 100,
+		})
+	}
+	return rows, nil
+}
+
+// startGatewayBenchBackends boots n rpxd TCP servers; stop shuts them down.
+func startGatewayBenchBackends(n int) (addrs []string, stop func(), err error) {
+	var srvs []*server.TCPServer
+	stop = func() {
+		for _, srv := range srvs {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			srv.Shutdown(ctx)
+			cancel()
+		}
+	}
+	for i := 0; i < n; i++ {
+		srv := server.NewTCPServer(server.NewManager(server.Config{MaxSessions: 256}), server.TCPConfig{})
+		ln, lerr := net.Listen("tcp", "127.0.0.1:0")
+		if lerr != nil {
+			stop()
+			return nil, nil, lerr
+		}
+		go srv.Serve(ln)
+		srvs = append(srvs, srv)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	return addrs, stop, nil
+}
+
+// gatewayBenchRun opens sessions (round-robin over addrs), installs a
+// full-frame label on each, then times sessions*frames capture round trips
+// started on a shared barrier. Each session verifies its last decode
+// byte-equals its last captured frame before the run counts.
+func gatewayBenchRun(addrs []string, sessions, frames int) (fps float64, err error) {
+	open := make([]*client.Session, 0, sessions)
+	defer func() {
+		for _, s := range open {
+			s.Close()
+		}
+	}()
+	for i := 0; i < sessions; i++ {
+		sess, derr := client.Dial(addrs[i%len(addrs)], client.Config{
+			W: gatewayW, H: gatewayH, Format: rpx.Gray8, Block: true,
+		})
+		if derr != nil {
+			return 0, derr
+		}
+		open = append(open, sess)
+		if lerr := sess.SetRegionLabels([]rpx.RegionLabel{rpx.FullFrame(gatewayW, gatewayH)}); lerr != nil {
+			return 0, lerr
+		}
+	}
+
+	var (
+		wg    sync.WaitGroup
+		start = make(chan struct{})
+		mu    sync.Mutex
+	)
+	fail := func(e error) {
+		mu.Lock()
+		if err == nil {
+			err = e
+		}
+		mu.Unlock()
+	}
+	for si, sess := range open {
+		wg.Add(1)
+		go func(si int, sess *client.Session) {
+			defer wg.Done()
+			fr := rpx.NewFrame(gatewayW, gatewayH, rpx.Gray8)
+			<-start
+			for i := 0; i < frames; i++ {
+				for p := range fr.Pix {
+					fr.Pix[p] = byte(si*37 + i*11 + p)
+				}
+				if _, cerr := sess.Capture(fr); cerr != nil {
+					fail(fmt.Errorf("session %d capture %d: %w", si, i, cerr))
+					return
+				}
+			}
+			dec, derr := sess.Decoded()
+			if derr != nil {
+				fail(fmt.Errorf("session %d decode: %w", si, derr))
+				return
+			}
+			if !dec.Equal(fr) {
+				fail(fmt.Errorf("session %d: decoded frame differs from last capture", si))
+			}
+		}(si, sess)
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0).Seconds()
+	if err != nil {
+		return 0, err
+	}
+	return float64(sessions*frames) / elapsed, nil
+}
+
+// GatewayReport renders the overhead table.
+func GatewayReport(rows []GatewayRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Gateway overhead: %dx%d Gray8 capture throughput, 2 rpxd backends\n", gatewayW, gatewayH)
+	fmt.Fprintf(&b, "%10s %14s %14s %12s\n", "sessions", "direct f/s", "gateway f/s", "overhead")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%10d %14.0f %14.0f %11.1f%%\n", r.Sessions, r.DirectFPS, r.GatewayFPS, r.OverheadPct)
+	}
+	return b.String()
+}
+
+// GatewayCSV writes the overhead rows as CSV.
+func GatewayCSV(w io.Writer, rows []GatewayRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"sessions", "direct_fps", "gateway_fps", "overhead_pct"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			fmt.Sprintf("%d", r.Sessions),
+			fmt.Sprintf("%.1f", r.DirectFPS),
+			fmt.Sprintf("%.1f", r.GatewayFPS),
+			fmt.Sprintf("%.2f", r.OverheadPct),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// GatewayJSON writes the overhead rows as the BENCH_gateway.json document.
+func GatewayJSON(w io.Writer, rows []GatewayRow) error {
+	doc := struct {
+		Experiment string       `json:"experiment"`
+		Workload   string       `json:"workload"`
+		Backends   int          `json:"backends"`
+		Rows       []GatewayRow `json:"rows"`
+	}{
+		Experiment: "gateway_overhead",
+		Workload:   fmt.Sprintf("%dx%d gray8 capture, full-frame labels", gatewayW, gatewayH),
+		Backends:   2,
+		Rows:       rows,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

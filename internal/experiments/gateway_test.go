@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestGatewayOverheadShape runs the gateway bench at Quick scale and asserts
+// structural soundness only — absolute throughput and even the sign of the
+// overhead are scheduling-dependent, so the shape test checks that every row
+// measured something and that the emitters agree with the rows.
+func TestGatewayOverheadShape(t *testing.T) {
+	rows, err := GatewayOverhead(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2 at Quick scale", len(rows))
+	}
+	last := 0
+	for _, r := range rows {
+		if r.Sessions <= last {
+			t.Errorf("session counts not increasing: %+v", rows)
+		}
+		last = r.Sessions
+		if r.DirectFPS <= 0 || r.GatewayFPS <= 0 {
+			t.Errorf("non-positive throughput: %+v", r)
+		}
+	}
+
+	if rep := GatewayReport(rows); !strings.Contains(rep, "Gateway overhead") {
+		t.Error("report missing header")
+	}
+
+	var csvBuf bytes.Buffer
+	if err := GatewayCSV(&csvBuf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(strings.TrimSpace(csvBuf.String()), "\n"); lines != len(rows) {
+		t.Errorf("CSV rows = %d, want %d", lines, len(rows))
+	}
+
+	var jsonBuf bytes.Buffer
+	if err := GatewayJSON(&jsonBuf, rows); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Experiment string       `json:"experiment"`
+		Rows       []GatewayRow `json:"rows"`
+	}
+	if err := json.Unmarshal(jsonBuf.Bytes(), &doc); err != nil {
+		t.Fatalf("JSON emitter output invalid: %v", err)
+	}
+	if doc.Experiment != "gateway_overhead" || len(doc.Rows) != len(rows) {
+		t.Errorf("JSON doc = %q with %d rows", doc.Experiment, len(doc.Rows))
+	}
+}

@@ -1,0 +1,163 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringBackends(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("10.0.0.%d:7621", i+1)
+	}
+	return out
+}
+
+func ringKeys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("192.0.2.%d:%d#%d", i%250, 30000+i, i)
+	}
+	return out
+}
+
+// TestRingDistribution bounds the load skew of the default ring: 1k session
+// keys over 3, 5, and 9 backends must land within a 2x max/min ratio. This
+// is the satellite acceptance bound — it fails if the vnode count or hash
+// is weakened enough to matter operationally.
+func TestRingDistribution(t *testing.T) {
+	keys := ringKeys(1000)
+	for _, n := range []int{3, 5, 9} {
+		r := NewRing(0)
+		backends := ringBackends(n)
+		for _, b := range backends {
+			r.Add(b)
+		}
+		load := map[string]int{}
+		for _, k := range keys {
+			owner, ok := r.Lookup(k)
+			if !ok {
+				t.Fatalf("n=%d: lookup on populated ring failed", n)
+			}
+			load[owner]++
+		}
+		if len(load) != n {
+			t.Fatalf("n=%d: only %d backends received keys: %v", n, len(load), load)
+		}
+		min, max := len(keys), 0
+		for _, c := range load {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		ratio := float64(max) / float64(min)
+		t.Logf("n=%d: min=%d max=%d ratio=%.2f", n, min, max, ratio)
+		if ratio > 2.0 {
+			t.Errorf("n=%d backends: max/min load = %d/%d = %.2f, want <= 2.0 (load %v)", n, max, min, ratio, load)
+		}
+	}
+}
+
+// TestRingMinimalDisruption is the consistent-hashing contract: removing or
+// adding one of N backends moves fewer than 2/N of the keys, and on removal
+// every key not owned by the removed backend stays exactly where it was.
+func TestRingMinimalDisruption(t *testing.T) {
+	keys := ringKeys(1000)
+	for _, n := range []int{3, 5, 9} {
+		backends := ringBackends(n)
+		r := NewRing(0)
+		for _, b := range backends {
+			r.Add(b)
+		}
+		before := make(map[string]string, len(keys))
+		for _, k := range keys {
+			before[k], _ = r.Lookup(k)
+		}
+
+		// Removal: only the removed backend's keys may move.
+		victim := backends[n/2]
+		r.Remove(victim)
+		moved := 0
+		for _, k := range keys {
+			after, _ := r.Lookup(k)
+			if after == victim {
+				t.Fatalf("n=%d: key still routed to removed backend %s", n, victim)
+			}
+			if after != before[k] {
+				moved++
+				if before[k] != victim {
+					t.Errorf("n=%d: key %q moved from surviving backend %s to %s on unrelated removal", n, k, before[k], after)
+				}
+			}
+		}
+		if bound := 2 * len(keys) / n; moved >= bound {
+			t.Errorf("n=%d: removal moved %d/%d keys, want < %d (2/N)", n, moved, len(keys), bound)
+		}
+		t.Logf("n=%d: removal moved %d/%d keys", n, moved, len(keys))
+
+		// Addition back: only keys claimed by the re-added backend may move.
+		middle := make(map[string]string, len(keys))
+		for _, k := range keys {
+			middle[k], _ = r.Lookup(k)
+		}
+		r.Add(victim)
+		moved = 0
+		for _, k := range keys {
+			after, _ := r.Lookup(k)
+			if after != middle[k] {
+				moved++
+				if after != victim {
+					t.Errorf("n=%d: key %q moved to %s (not the added backend) on addition", n, k, after)
+				}
+			}
+			// The ring must return to its exact pre-removal state.
+			if after != before[k] {
+				t.Errorf("n=%d: key %q owned by %s after remove+add, was %s before", n, k, after, before[k])
+			}
+		}
+		if bound := 2 * len(keys) / n; moved >= bound {
+			t.Errorf("n=%d: addition moved %d/%d keys, want < %d (2/N)", n, moved, len(keys), bound)
+		}
+	}
+}
+
+// TestRingSequence pins the failover-order contract Sequence provides to
+// the gateway: the owner first, every member exactly once, and a stable
+// answer for a fixed member set.
+func TestRingSequence(t *testing.T) {
+	r := NewRing(0)
+	backends := ringBackends(5)
+	for _, b := range backends {
+		r.Add(b)
+	}
+	for _, k := range ringKeys(50) {
+		owner, _ := r.Lookup(k)
+		seq := r.Sequence(k)
+		if len(seq) != len(backends) {
+			t.Fatalf("Sequence(%q) has %d entries, want %d", k, len(seq), len(backends))
+		}
+		if seq[0] != owner {
+			t.Fatalf("Sequence(%q)[0] = %s, Lookup owner = %s", k, seq[0], owner)
+		}
+		seen := map[string]bool{}
+		for _, a := range seq {
+			if seen[a] {
+				t.Fatalf("Sequence(%q) repeats %s", k, a)
+			}
+			seen[a] = true
+		}
+	}
+	if got := r.Sequence("any"); len(got) != 5 {
+		t.Fatalf("Sequence on 5-member ring returned %d entries", len(got))
+	}
+	r2 := NewRing(0)
+	if got := r2.Sequence("any"); got != nil {
+		t.Fatalf("Sequence on empty ring = %v, want nil", got)
+	}
+	if _, ok := r2.Lookup("any"); ok {
+		t.Fatal("Lookup on empty ring succeeded")
+	}
+}

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestHealthServing verifies the serving shape: 200 plus a JSON body the
+// gateway watcher can parse, with the live session count.
+func TestHealthServing(t *testing.T) {
+	n := 3
+	h := NewHealth(func() int { return n })
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("code = %d, want 200", resp.StatusCode)
+	}
+	st, err := ParseHealth(body)
+	if err != nil {
+		t.Fatalf("ParseHealth(%q): %v", body, err)
+	}
+	if st.State != HealthOK || st.Sessions != 3 {
+		t.Fatalf("status = %+v, want state ok sessions 3", st)
+	}
+
+	// Drain flips the code to 503 and the state to draining, while the
+	// session count stays live.
+	h.SetDraining()
+	n = 1
+	resp, err = http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining code = %d, want 503", resp.StatusCode)
+	}
+	st, err = ParseHealth(body)
+	if err != nil {
+		t.Fatalf("ParseHealth(%q): %v", body, err)
+	}
+	if st.State != HealthDraining || st.Sessions != 1 {
+		t.Fatalf("draining status = %+v, want state draining sessions 1", st)
+	}
+}
+
+// TestHealthNilSessions covers the zero-dependency construction.
+func TestHealthNilSessions(t *testing.T) {
+	rec := httptest.NewRecorder()
+	NewHealth(nil).ServeHTTP(rec, nil)
+	st, err := ParseHealth(rec.Body.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != HealthOK || st.Sessions != 0 {
+		t.Fatalf("status = %+v, want ok/0", st)
+	}
+}
+
+// TestParseHealthRejects pins the failure modes the watcher must treat as
+// probe errors, not states.
+func TestParseHealthRejects(t *testing.T) {
+	for _, bad := range []string{"", "ok", `{"state":"limping"}`, `{"state":5}`} {
+		if _, err := ParseHealth([]byte(bad)); err == nil {
+			t.Errorf("ParseHealth(%q) succeeded, want error", bad)
+		}
+	}
+}

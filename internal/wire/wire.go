@@ -96,6 +96,12 @@ const (
 	// cap would fail every frame after accepting the connection, so the
 	// server refuses it up front.
 	CodeGeometry uint16 = 7
+	// CodeUnavailable means a gateway could not complete the request against
+	// any backend: the routed rpxd died mid-request and either the request
+	// was not safely retryable (CAPTURE) or no healthy survivor could take
+	// the session. The session itself may still be healthy — rpxgw migrates
+	// it before replying — so the client may simply continue.
+	CodeUnavailable uint16 = 8
 )
 
 // ErrTooLarge is returned when a message payload exceeds the reader's or

@@ -50,6 +50,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/wire"
 	"repro/rpx"
+	"repro/rpx/client/replay"
 )
 
 // ErrBrokenSession is returned by every call after a transport error
@@ -138,7 +139,8 @@ func Dial(addr string, cfg Config) (*Session, error) {
 
 // connectLocked dials and performs the HELLO handshake, installing the new
 // connection on success. Callers must hold s.mu (or own s exclusively, as
-// Dial does).
+// Dial does). The handshake itself lives in the shared replay package so
+// the gateway's session-migration path replays byte-identical messages.
 func (s *Session) connectLocked() error {
 	conn, err := net.DialTimeout("tcp", s.addr, s.dialTimeout)
 	if err != nil {
@@ -152,33 +154,10 @@ func (s *Session) connectLocked() error {
 		Block:        s.cfg.Block,
 		Parallelism:  s.cfg.Parallelism,
 	}
-	conn.SetWriteDeadline(time.Now().Add(s.timeout))
-	if err := wire.WriteMessage(conn, wire.MsgHello, wire.MarshalHello(hello), s.maxPayload); err != nil {
-		conn.Close()
-		return fmt.Errorf("client: send handshake: %w", err)
-	}
-	conn.SetReadDeadline(time.Now().Add(s.timeout))
-	typ, payload, err := wire.ReadMessage(br, s.maxPayload)
+	ack, _, err := replay.Handshake(conn, br, wire.MarshalHello(hello), s.maxPayload, s.timeout)
 	if err != nil {
 		conn.Close()
-		return fmt.Errorf("client: read handshake: %w", err)
-	}
-	switch typ {
-	case wire.MsgHelloAck:
-	case wire.MsgError:
-		conn.Close()
-		if re, uerr := wire.UnmarshalError(payload); uerr == nil {
-			return fmt.Errorf("client: handshake rejected: %w", re)
-		}
-		return fmt.Errorf("client: handshake rejected")
-	default:
-		conn.Close()
-		return fmt.Errorf("client: unexpected handshake reply type %d", typ)
-	}
-	ack, err := wire.UnmarshalHelloAck(payload)
-	if err != nil {
-		conn.Close()
-		return err
+		return fmt.Errorf("client: %w", err)
 	}
 	s.conn = conn
 	s.br = br

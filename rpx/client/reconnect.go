@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/wire"
+	"repro/rpx/client/replay"
 )
 
 // Reconnect defaults.
@@ -77,22 +78,11 @@ func (s *Session) reconnectLocked() error {
 }
 
 // replayLabelsLocked re-installs the remembered workload on a freshly
-// reconnected session; failure re-poisons it.
+// reconnected session via the shared replay helper; failure re-poisons it.
 func (s *Session) replayLabelsLocked() error {
-	rtyp, rpayload, err := s.roundTripLocked(wire.MsgSetLabels, wire.MarshalLabels(s.lastLabels))
-	if err != nil {
-		return fmt.Errorf("client: replay labels: %w", err)
-	}
-	if rtyp == wire.MsgError {
+	if err := replay.InstallLabels(s.conn, s.br, wire.MarshalLabels(s.lastLabels), s.maxPayload, s.timeout); err != nil {
 		s.poisonLocked()
-		if re, uerr := wire.UnmarshalError(rpayload); uerr == nil {
-			return fmt.Errorf("client: replay labels rejected: %w", re)
-		}
-		return fmt.Errorf("client: replay labels rejected")
-	}
-	if rtyp != wire.MsgAck {
-		s.poisonLocked()
-		return fmt.Errorf("%w: replay labels got reply type %d", ErrBrokenSession, rtyp)
+		return fmt.Errorf("client: %w", err)
 	}
 	return nil
 }

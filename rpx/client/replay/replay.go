@@ -1,0 +1,84 @@
+// Package replay implements the session-bootstrap sequence that two very
+// different components need to perform identically: the rpx client's
+// reconnect path (heal a poisoned session by re-dialing) and the rpxgw
+// gateway's migration path (move a live session off a draining or dead
+// backend onto a survivor). Both must open a fresh connection, replay the
+// HELLO handshake, and re-install the last SetRegionLabels workload so the
+// replacement pipeline encodes the same regions the old one did.
+//
+// The functions take the raw marshalled payload rather than the typed
+// structs so a forwarder can replay exactly the bytes the original client
+// sent — the gateway never re-encodes what it routes, and the client's
+// wire.MarshalHello output goes through the same code path, keeping the
+// two implementations byte-identical on the wire by construction.
+package replay
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Handshake writes a HELLO payload on a freshly-dialed connection and reads
+// the reply. On success it returns the parsed acknowledgment plus the raw
+// HELLO_ACK payload (a forwarder relays the latter verbatim). A server-side
+// rejection is returned as an error wrapping the *wire.RemoteError, so
+// callers can distinguish permanent rejections from transport failures with
+// errors.As.
+func Handshake(conn net.Conn, br *bufio.Reader, helloPayload []byte, maxPayload int, timeout time.Duration) (wire.HelloAck, []byte, error) {
+	conn.SetWriteDeadline(time.Now().Add(timeout))
+	if err := wire.WriteMessage(conn, wire.MsgHello, helloPayload, maxPayload); err != nil {
+		return wire.HelloAck{}, nil, fmt.Errorf("send handshake: %w", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(timeout))
+	typ, payload, err := wire.ReadMessage(br, maxPayload)
+	if err != nil {
+		return wire.HelloAck{}, nil, fmt.Errorf("read handshake: %w", err)
+	}
+	switch typ {
+	case wire.MsgHelloAck:
+	case wire.MsgError:
+		if re, uerr := wire.UnmarshalError(payload); uerr == nil {
+			return wire.HelloAck{}, nil, fmt.Errorf("handshake rejected: %w", re)
+		}
+		return wire.HelloAck{}, nil, errors.New("handshake rejected")
+	default:
+		return wire.HelloAck{}, nil, fmt.Errorf("unexpected handshake reply type %d", typ)
+	}
+	ack, err := wire.UnmarshalHelloAck(payload)
+	if err != nil {
+		return wire.HelloAck{}, nil, err
+	}
+	return ack, payload, nil
+}
+
+// InstallLabels re-installs a SET_LABELS payload on a freshly-handshaken
+// connection and expects the ACK. Like Handshake, a server-side rejection
+// wraps the *wire.RemoteError; any other failure is a transport error and
+// the connection's framing must be considered unusable.
+func InstallLabels(conn net.Conn, br *bufio.Reader, labelsPayload []byte, maxPayload int, timeout time.Duration) error {
+	conn.SetWriteDeadline(time.Now().Add(timeout))
+	if err := wire.WriteMessage(conn, wire.MsgSetLabels, labelsPayload, maxPayload); err != nil {
+		return fmt.Errorf("replay labels: %w", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(timeout))
+	typ, payload, err := wire.ReadMessage(br, maxPayload)
+	if err != nil {
+		return fmt.Errorf("replay labels: %w", err)
+	}
+	switch typ {
+	case wire.MsgAck:
+		return nil
+	case wire.MsgError:
+		if re, uerr := wire.UnmarshalError(payload); uerr == nil {
+			return fmt.Errorf("replay labels rejected: %w", re)
+		}
+		return errors.New("replay labels rejected")
+	default:
+		return fmt.Errorf("unexpected replay-labels reply type %d", typ)
+	}
+}

@@ -65,6 +65,75 @@ trap - EXIT INT TERM
 rm -rf "$(dirname "$RPXD_BIN")" "$RPXD_LOG"
 echo "admin endpoint smoke: OK (admin at $ADMIN_ADDR)"
 
+# Gateway smoke: boot 2 real rpxd backends and 1 rpxgw in front of them,
+# then run the live 4-session capture/decode matrix through the gateway while
+# SIGKILLing one backend mid-matrix. The test's candidate-set oracle asserts
+# recovery: every op returns correct bytes or a typed error, and sessions
+# resume on the survivor via HELLO + labels replay. Seed pinned so failures
+# reproduce.
+echo "== gateway smoke (seed ${FAULTNET_SEED})"
+GW_DIR="$(mktemp -d)"
+go build -o "$GW_DIR/rpxd" ./cmd/rpxd
+go build -o "$GW_DIR/rpxgw" ./cmd/rpxgw
+# Pre-create the logs: the address-extraction seds below may run before a
+# backgrounded daemon has opened its stderr redirect.
+: >"$GW_DIR/b1.log"; : >"$GW_DIR/b2.log"; : >"$GW_DIR/gw.log"
+"$GW_DIR/rpxd" -addr 127.0.0.1:0 -admin 127.0.0.1:0 2>"$GW_DIR/b1.log" &
+B1_PID=$!
+"$GW_DIR/rpxd" -addr 127.0.0.1:0 -admin 127.0.0.1:0 2>"$GW_DIR/b2.log" &
+B2_PID=$!
+GW_PID=""
+cleanup_gw() {
+    kill "$B1_PID" "$B2_PID" $GW_PID 2>/dev/null || true
+    wait "$B1_PID" "$B2_PID" $GW_PID 2>/dev/null || true
+    rm -rf "$GW_DIR"
+}
+trap cleanup_gw EXIT INT TERM
+rpxd_addr()  { sed -n 's/^rpxd: listening on \([^ ]*\).*/\1/p' "$1"; }
+rpxd_admin() { sed -n 's/^rpxd: admin listening on //p' "$1"; }
+B1_ADDR=""; B2_ADDR=""
+for _ in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+    B1_ADDR="$(rpxd_addr "$GW_DIR/b1.log")"
+    B2_ADDR="$(rpxd_addr "$GW_DIR/b2.log")"
+    [ -n "$B1_ADDR" ] && [ -n "$B2_ADDR" ] && break
+    sleep 0.25
+done
+if [ -z "$B1_ADDR" ] || [ -z "$B2_ADDR" ]; then
+    echo "ci: rpxd backends never came up" >&2
+    cat "$GW_DIR/b1.log" "$GW_DIR/b2.log" >&2
+    exit 1
+fi
+"$GW_DIR/rpxgw" -addr 127.0.0.1:0 -admin 127.0.0.1:0 \
+    -backends "$B1_ADDR@$(rpxd_admin "$GW_DIR/b1.log"),$B2_ADDR@$(rpxd_admin "$GW_DIR/b2.log")" \
+    -health-interval 250ms 2>"$GW_DIR/gw.log" &
+GW_PID=$!
+GW_ADDR=""
+for _ in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+    GW_ADDR="$(sed -n 's/^rpxgw: listening on \([^ ]*\).*/\1/p' "$GW_DIR/gw.log")"
+    [ -n "$GW_ADDR" ] && break
+    sleep 0.25
+done
+if [ -z "$GW_ADDR" ]; then
+    echo "ci: rpxgw never came up" >&2
+    cat "$GW_DIR/gw.log" >&2
+    exit 1
+fi
+RPXGW_ADDR="$GW_ADDR" RPXGW_KILL_PID="$B2_PID" FAULTNET_SEED="$FAULTNET_SEED" \
+    go test -race -count=1 -run='^TestLiveGatewayMatrix$' ./cmd/rpxgw
+# The gateway must still be serving after losing a backend.
+GW_ADMIN="$(sed -n 's/^rpxgw: admin listening on //p' "$GW_DIR/gw.log")"
+GW_HEALTH="$(curl -fsS "http://$GW_ADMIN/healthz")"
+case "$GW_HEALTH" in
+    *ok*) ;;
+    *) echo "ci: rpxgw unhealthy after backend kill: $GW_HEALTH" >&2; exit 1 ;;
+esac
+kill -TERM "$GW_PID" "$B1_PID" 2>/dev/null || true
+wait "$GW_PID" "$B1_PID" 2>/dev/null || true
+wait "$B2_PID" 2>/dev/null || true
+trap - EXIT INT TERM
+rm -rf "$GW_DIR"
+echo "gateway smoke: OK (gateway at $GW_ADDR survived backend kill)"
+
 # Fuzz smoke: a short budget per untrusted decode surface. Regressions the
 # fuzzer finds land in testdata/fuzz/ seed corpora, which -race above then
 # replays forever after.
