@@ -7,7 +7,7 @@
 //	rpxbench -list
 //
 // Experiments: fig3, table4, fig8, fig9a, fig9b, fig9c, table5, energy,
-// appendix, clsweep, futurework, parallel, gateway.
+// appendix, clsweep, futurework, parallel, gateway, stream.
 package main
 
 import (
@@ -88,6 +88,7 @@ var registry = []experiment{
 	{"futurework", "§7 directions: DRAM-less, in-sensor encoder, adaptive cycle", runFutureWork},
 	{"parallel", "Row-band parallel encode/decode scaling vs worker count", runParallel},
 	{"gateway", "rpxgw proxy overhead vs direct rpxd dial at 1/8/64 sessions", runGateway},
+	{"stream", "v3 push delivery vs request/reply pull at 1/8/64 sessions", runStream},
 }
 
 func main() {
@@ -284,4 +285,18 @@ func runGateway(s experiments.Scale) (string, error) {
 		return "", err
 	}
 	return experiments.GatewayReport(rows), nil
+}
+
+func runStream(s experiments.Scale) (string, error) {
+	rows, err := experiments.StreamDelivery(s)
+	if err != nil {
+		return "", err
+	}
+	if err := writeCSV("stream", func(f *os.File) error { return experiments.StreamCSV(f, rows) }); err != nil {
+		return "", err
+	}
+	if err := writeBenchJSON("stream", func(f *os.File) error { return experiments.StreamJSON(f, rows) }); err != nil {
+		return "", err
+	}
+	return experiments.StreamReport(rows), nil
 }

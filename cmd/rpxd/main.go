@@ -15,6 +15,14 @@
 // closed, their slots freed) so abandoned clients cannot pin -max-sessions;
 // 0 disables eviction and leaves only the per-read -read-timeout guard.
 //
+// Protocol v3 connections may also SUBSCRIBE to another session's frame
+// stream: the connection switches into push mode and receives FRAME_PUSH
+// batches under a credit window granted by the subscriber, so a stalled
+// consumer drops frames (counted) instead of buffering unboundedly or
+// stalling the producer. The rpxd_stream_* metric series on /metrics
+// tracks open subscriptions, pushed/dropped frames, and in-flight buffered
+// frames.
+//
 // With -admin the daemon also serves an observability endpoint on a second
 // address: /metrics (Prometheus text), /healthz (200 while serving, 503
 // once drain begins), /debug/vars (metrics as JSON), /debug/trace (recent

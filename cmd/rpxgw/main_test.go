@@ -254,6 +254,66 @@ func expectedFaultErr(err error) bool {
 		errors.Is(err, net.ErrClosed)
 }
 
+// TestLiveGatewayStream is the CI streaming smoke driver, gated on
+// RPXGW_ADDR: against an externally started rpxgw it opens a producer and
+// a subscriber session, relays a v3 push stream through the gateway, and
+// requires every pushed frame in order followed by a clean UNSUBSCRIBE
+// that hands the connection back to request/reply.
+func TestLiveGatewayStream(t *testing.T) {
+	addr := os.Getenv("RPXGW_ADDR")
+	if addr == "" {
+		t.Skip("RPXGW_ADDR not set; live streaming smoke runs only under scripts/ci.sh")
+	}
+
+	const w, h, frames = 32, 24, 16
+	producer, err := client.Dial(addr, client.Config{W: w, H: h, Format: rpx.Gray8, Block: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer producer.Close()
+	if err := producer.SetRegionLabels([]rpx.RegionLabel{rpx.FullFrame(w, h)}); err != nil {
+		t.Fatal(err)
+	}
+	subscriber, err := client.Dial(addr, client.Config{W: 8, H: 8, Format: rpx.Gray8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer subscriber.Close()
+	st, err := subscriber.Subscribe(client.SubscribeOptions{Target: producer.ID(), Credit: 64, Batch: 4})
+	if err != nil {
+		t.Fatalf("subscribe through live gateway: %v", err)
+	}
+
+	fr := rpx.NewFrame(w, h, rpx.Gray8)
+	for i := 0; i < frames; i++ {
+		for p := range fr.Pix {
+			fr.Pix[p] = byte(i*13 + p)
+		}
+		if _, err := producer.Capture(fr); err != nil {
+			t.Fatalf("capture %d: %v", i, err)
+		}
+	}
+	for i := 0; i < frames; i++ {
+		f, err := st.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if f.Seq != uint64(i) || f.Dropped != 0 {
+			t.Fatalf("frame %d: seq %d dropped %d — gap or reorder through the live gateway", i, f.Seq, f.Dropped)
+		}
+		if _, err := f.Decode(); err != nil {
+			t.Fatalf("frame %d does not decode: %v", i, err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("clean unsubscribe: %v", err)
+	}
+	if _, err := subscriber.ServerStats(); err != nil {
+		t.Fatalf("request/reply after unsubscribe: %v", err)
+	}
+	t.Logf("live streaming smoke: %d frames pushed through %s", frames, addr)
+}
+
 // TestLiveGatewayMatrix is the CI smoke driver, gated on RPXGW_ADDR: it
 // runs a 4-session capture/decode matrix against an externally started
 // rpxgw binary and, when RPXGW_KILL_PID names an rpxd process, kills it

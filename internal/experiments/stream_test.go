@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestStreamDeliveryShape runs the push-vs-pull bench at Quick scale and
+// asserts structural soundness only — absolute throughput is
+// scheduling-dependent, so the shape test checks that every row measured
+// something and that the emitters agree with the rows.
+func TestStreamDeliveryShape(t *testing.T) {
+	rows, err := StreamDelivery(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2 at Quick scale", len(rows))
+	}
+	last := 0
+	for _, r := range rows {
+		if r.Sessions <= last {
+			t.Errorf("consumer counts not increasing: %+v", rows)
+		}
+		last = r.Sessions
+		if r.RPCFPS <= 0 || r.PushFPS <= 0 || r.SpeedupX <= 0 {
+			t.Errorf("non-positive measurement: %+v", r)
+		}
+	}
+
+	if rep := StreamReport(rows); !strings.Contains(rep, "Frame fan-out") {
+		t.Error("report missing header")
+	}
+
+	var csvBuf bytes.Buffer
+	if err := StreamCSV(&csvBuf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(strings.TrimSpace(csvBuf.String()), "\n"); lines != len(rows) {
+		t.Errorf("CSV rows = %d, want %d", lines, len(rows))
+	}
+
+	var jsonBuf bytes.Buffer
+	if err := StreamJSON(&jsonBuf, rows); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Experiment string      `json:"experiment"`
+		Rows       []StreamRow `json:"rows"`
+	}
+	if err := json.Unmarshal(jsonBuf.Bytes(), &doc); err != nil {
+		t.Fatalf("JSON emitter output invalid: %v", err)
+	}
+	if doc.Experiment != "stream_push_vs_rpc" || len(doc.Rows) != len(rows) {
+		t.Errorf("JSON doc = %q with %d rows", doc.Experiment, len(doc.Rows))
+	}
+}

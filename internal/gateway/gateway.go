@@ -112,14 +112,15 @@ type Gateway struct {
 	ring    *Ring
 	watcher *Watcher
 
-	mu        sync.Mutex
-	ln        net.Listener
-	draining  bool
-	conns     map[net.Conn]struct{}
-	sessions  map[*proxySession]struct{}
-	localLoad map[string]int // gateway-local sessions pinned per backend
-	nextKey   uint64
-	wg        sync.WaitGroup
+	mu         sync.Mutex
+	ln         net.Listener
+	draining   bool
+	conns      map[net.Conn]struct{}
+	sessions   map[*proxySession]struct{}
+	localLoad  map[string]int    // gateway-local sessions pinned per backend
+	remotePins map[uint64]string // backend-assigned session id -> backend addr
+	nextKey    uint64
+	wg         sync.WaitGroup
 
 	sessionsOpen  obs.Gauge
 	sessionsTotal obs.Counter
@@ -142,6 +143,7 @@ var proxyOps = [...]struct {
 	{wire.MsgGetEncoded, "get_encoded"},
 	{wire.MsgStats, "stats"},
 	{wire.MsgClose, "close"},
+	{wire.MsgSubscribe, "subscribe"},
 }
 
 func opIndex(typ byte) int {
@@ -386,6 +388,7 @@ type proxySession struct {
 	bbr         *bufio.Reader
 	hello       []byte
 	labels      []byte
+	remoteID    uint64 // session id the pinned backend assigned
 }
 
 // handle runs one client connection: validate HELLO, pin a backend, then
@@ -466,6 +469,23 @@ func (g *Gateway) handle(conn net.Conn) {
 			}
 			return
 		}
+		// SUBSCRIBE hands the connection to the streaming relay until the
+		// stream ends; it may return a request that arrived after a
+		// server-side stream end (possibly another SUBSCRIBE).
+		for typ == wire.MsgSubscribe {
+			start := time.Now()
+			var ok bool
+			typ, payload, ok = s.relayStream(conn, cbr, writeClient, payload)
+			if i := opIndex(wire.MsgSubscribe); i >= 0 {
+				g.opHist[i].Observe(time.Since(start))
+			}
+			if !ok {
+				return
+			}
+		}
+		if typ == 0 {
+			continue // stream ended cleanly, nothing pending
+		}
 		start := time.Now()
 		rtyp, rpayload := s.roundTrip(typ, payload)
 		if i := opIndex(typ); i >= 0 {
@@ -519,7 +539,7 @@ func (s *proxySession) adoptBackendLocked(addr string) ([]byte, error) {
 		return nil, err
 	}
 	br := bufio.NewReader(conn)
-	_, ackPayload, err := replay.Handshake(conn, br, s.hello, s.gw.cfg.MaxPayload, s.gw.cfg.BackendTimeout)
+	ack, ackPayload, err := replay.Handshake(conn, br, s.hello, s.gw.cfg.MaxPayload, s.gw.cfg.BackendTimeout)
 	if err != nil {
 		conn.Close()
 		return nil, err
@@ -531,6 +551,10 @@ func (s *proxySession) adoptBackendLocked(addr string) ([]byte, error) {
 		}
 	}
 	s.bconn, s.bbr, s.backendAddr = conn, br, addr
+	// Remember which backend owns this remote session id so SUBSCRIBE
+	// targets can be routed to the producer's backend.
+	s.remoteID = ack.SessionID
+	s.gw.setRemotePin(ack.SessionID, addr)
 	s.gw.noteLoad(addr, +1)
 	return ackPayload, nil
 }
@@ -542,6 +566,8 @@ func (s *proxySession) closeBackendLocked() {
 	}
 	s.bconn, s.bbr = nil, nil
 	if s.backendAddr != "" {
+		s.gw.dropRemotePin(s.remoteID, s.backendAddr)
+		s.remoteID = 0
 		s.gw.noteLoad(s.backendAddr, -1)
 		s.backendAddr = ""
 	}

@@ -1,0 +1,255 @@
+package gateway_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/gateway"
+	"repro/internal/wire"
+	"repro/rpx"
+	"repro/rpx/client"
+)
+
+// dialVia opens a client session through the gateway.
+func dialVia(t *testing.T, addr string, w, h int) *client.Session {
+	t.Helper()
+	sess, err := client.Dial(addr, client.Config{W: w, H: h, Format: rpx.Gray8, Block: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sess.Close() })
+	return sess
+}
+
+// TestGatewayStreamRelay: a push subscription through the gateway delivers
+// the producer's frames in lockstep — whole messages, correct order — and
+// a clean unsubscribe returns the proxied connection to request/reply.
+func TestGatewayStreamRelay(t *testing.T) {
+	b := startBackend(t)
+	addr, _ := startGateway(t, []gateway.Backend{{Addr: b.addr}}, nil)
+
+	producer := dialVia(t, addr, 64, 48)
+	if err := producer.SetRegionLabels([]rpx.RegionLabel{{X: 8, Y: 8, W: 32, H: 24, Stride: 1, Skip: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	subscriber := dialVia(t, addr, 8, 8)
+	st, err := subscriber.Subscribe(client.SubscribeOptions{Target: producer.ID(), Credit: 32, Batch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const frames = 10
+	fr := rpx.NewFrame(64, 48, rpx.Gray8)
+	for i := 0; i < frames; i++ {
+		fillFrame(fr, 1, i)
+		if _, err := producer.Capture(fr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var lastRaw []byte
+	for i := 0; i < frames; i++ {
+		f, err := st.Recv()
+		if err != nil {
+			t.Fatalf("Recv %d: %v", i, err)
+		}
+		if f.Seq != uint64(i) {
+			t.Fatalf("frame %d seq = %d — gap or reorder through the relay", i, f.Seq)
+		}
+		lastRaw = f.Raw
+	}
+	// The relayed bytes match the request/reply view of the same frame.
+	want, err := producer.LastEncoded()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := want.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(lastRaw, buf.Bytes()) {
+		t.Fatal("relayed frame bytes differ from LastEncoded")
+	}
+
+	if err := st.Close(); err != nil {
+		t.Fatalf("unsubscribe through gateway: %v", err)
+	}
+	if _, err := st.Recv(); err != io.EOF {
+		t.Fatalf("Recv after close = %v, want io.EOF", err)
+	}
+	if _, err := subscriber.ServerStats(); err != nil {
+		t.Fatalf("request/reply after unsubscribe: %v", err)
+	}
+}
+
+// padSessionIDs burns n session ids on a backend by dialing it directly.
+// Session ids are per-backend counters, so without this a producer on one
+// backend and a subscriber on the other can both be "session 1" and the
+// gateway cannot tell them apart (the documented id-collision limitation).
+func padSessionIDs(t *testing.T, addr string, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		s, err := client.Dial(addr, client.Config{W: 8, H: 8, Format: rpx.Gray8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+	}
+}
+
+// backendOf returns which test backend holds n open sessions.
+func sessionsAcross(backends []*testBackend) []int {
+	out := make([]int, len(backends))
+	for i, b := range backends {
+		out[i] = b.mgr.SessionsOpen()
+	}
+	return out
+}
+
+// TestGatewayStreamCrossBackendTarget: when the SUBSCRIBE target lives on a
+// different backend than the subscriber, the gateway migrates the
+// subscriber onto the producer's backend (replaying its handshake) and the
+// stream flows.
+func TestGatewayStreamCrossBackendTarget(t *testing.T) {
+	backends := []*testBackend{startBackend(t), startBackend(t)}
+	addr, _ := startGateway(t, []gateway.Backend{{Addr: backends[0].addr}, {Addr: backends[1].addr}}, nil)
+
+	producer := dialVia(t, addr, 32, 32)
+	if err := producer.SetRegionLabels([]rpx.RegionLabel{rpx.FullFrame(32, 32)}); err != nil {
+		t.Fatal(err)
+	}
+	prodBackend := -1
+	for i, n := range sessionsAcross(backends) {
+		if n == 1 {
+			prodBackend = i
+		}
+	}
+	if prodBackend < 0 {
+		t.Fatal("cannot locate the producer's backend")
+	}
+	padSessionIDs(t, backends[1-prodBackend].addr, 4)
+
+	// Dial subscribers until one lands on the other backend (consistent
+	// hashing keys on the connection, so a handful of dials suffices).
+	var subscriber *client.Session
+	for attempt := 0; attempt < 32 && subscriber == nil; attempt++ {
+		s := dialVia(t, addr, 8, 8)
+		if backends[1-prodBackend].mgr.SessionsOpen() > 0 {
+			subscriber = s
+		} else {
+			s.Close()
+		}
+	}
+	if subscriber == nil {
+		t.Fatal("no subscriber landed on the other backend")
+	}
+
+	st, err := subscriber.Subscribe(client.SubscribeOptions{Target: producer.ID(), Credit: 16})
+	if err != nil {
+		t.Fatalf("cross-backend subscribe: %v", err)
+	}
+	// The subscriber's session must now be co-located with the producer.
+	if n := backends[prodBackend].mgr.SessionsOpen(); n < 2 {
+		t.Fatalf("producer backend has %d sessions, want the migrated subscriber too", n)
+	}
+
+	fr := rpx.NewFrame(32, 32, rpx.Gray8)
+	for i := 0; i < 3; i++ {
+		fillFrame(fr, 2, i)
+		if _, err := producer.Capture(fr); err != nil {
+			t.Fatal(err)
+		}
+		f, err := st.Recv()
+		if err != nil {
+			t.Fatalf("Recv %d: %v", i, err)
+		}
+		if f.Seq != uint64(i) {
+			t.Fatalf("frame %d seq = %d", i, f.Seq)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGatewayStreamBackendKill: killing the backend mid-subscription ends
+// the stream with a typed UNAVAILABLE error — never a torn message — and
+// the same client connection can re-subscribe to a producer on a survivor.
+func TestGatewayStreamBackendKill(t *testing.T) {
+	backends := []*testBackend{startBackend(t), startBackend(t)}
+	addr, _ := startGateway(t, []gateway.Backend{{Addr: backends[0].addr}, {Addr: backends[1].addr}}, nil)
+
+	producer := dialVia(t, addr, 32, 32)
+	if err := producer.SetRegionLabels([]rpx.RegionLabel{rpx.FullFrame(32, 32)}); err != nil {
+		t.Fatal(err)
+	}
+	prodBackend := -1
+	for i, n := range sessionsAcross(backends) {
+		if n == 1 {
+			prodBackend = i
+		}
+	}
+	if prodBackend < 0 {
+		t.Fatal("cannot locate the producer's backend")
+	}
+	padSessionIDs(t, backends[1-prodBackend].addr, 4)
+
+	subscriber := dialVia(t, addr, 8, 8)
+	st, err := subscriber.Subscribe(client.SubscribeOptions{Target: producer.ID(), Credit: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := rpx.NewFrame(32, 32, rpx.Gray8)
+	for i := 0; i < 4; i++ {
+		fillFrame(fr, 3, i)
+		if _, err := producer.Capture(fr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		f, err := st.Recv()
+		if err != nil {
+			t.Fatalf("Recv %d before kill: %v", i, err)
+		}
+		if f.Seq != uint64(i) {
+			t.Fatalf("frame %d seq = %d before kill", i, f.Seq)
+		}
+	}
+
+	backends[prodBackend].kill()
+
+	// The stream must end with the typed error, not torn bytes.
+	_, err = st.Recv()
+	var re *wire.RemoteError
+	if !errors.As(err, &re) || re.Code != wire.CodeUnavailable {
+		t.Fatalf("Recv after kill = %v, want UNAVAILABLE", err)
+	}
+
+	// A fresh producer lands on the survivor; the same subscriber
+	// connection re-subscribes and receives its pushes.
+	producer2 := dialVia(t, addr, 32, 32)
+	if err := producer2.SetRegionLabels([]rpx.RegionLabel{rpx.FullFrame(32, 32)}); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := subscriber.Subscribe(client.SubscribeOptions{Target: producer2.ID(), Credit: 32})
+	if err != nil {
+		t.Fatalf("re-subscribe after kill: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		fillFrame(fr, 4, i)
+		if _, err := producer2.Capture(fr); err != nil {
+			t.Fatal(err)
+		}
+		f, err := st2.Recv()
+		if err != nil {
+			t.Fatalf("Recv %d from survivor: %v", i, err)
+		}
+		if f.Seq != uint64(i) {
+			t.Fatalf("survivor frame %d seq = %d", i, f.Seq)
+		}
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -111,13 +111,23 @@ type Manager struct {
 	sweepQuit chan struct{}
 	sweepDone chan struct{}
 
+	// Push-subscription registry (protocol v3 streaming), its own lock so
+	// subscription churn never contends with Open/Close.
+	subMu         sync.Mutex
+	subscriptions map[uint64]*Subscription
+	nextSubID     uint64
+
 	// Aggregate counters, atomic so Snapshot never blocks a worker.
-	sessionsOpened  atomic.Int64
-	sessionsEvicted atomic.Int64
-	framesCaptured  atomic.Int64
-	encodedBytes    atomic.Int64
-	decodedFrames   atomic.Int64
-	backlogRejects  atomic.Int64
+	sessionsOpened   atomic.Int64
+	sessionsEvicted  atomic.Int64
+	framesCaptured   atomic.Int64
+	encodedBytes     atomic.Int64
+	decodedFrames    atomic.Int64
+	backlogRejects   atomic.Int64
+	streamSubsOpened atomic.Int64
+	streamPublished  atomic.Int64
+	streamPushed     atomic.Int64
+	streamDropped    atomic.Int64
 
 	opHist [numOps]Histogram
 
@@ -186,6 +196,7 @@ func (m *Manager) registerMetrics(reg *obs.Registry) {
 			"Session operation latency (queue wait plus execution).",
 			&m.opHist[op], obs.L("op", op.String()))
 	}
+	m.registerStreamMetrics(reg)
 	reg.Collect(m.collectSessions)
 }
 
@@ -314,6 +325,12 @@ type Session struct {
 	// rpxd_session_op_latency_seconds{session,op}.
 	opHist [numOps]Histogram
 
+	// subMu guards the push subscribers attached to this session's frame
+	// stream and the published-frame high-water mark.
+	subMu  sync.Mutex
+	subs   []*Subscription
+	pubSeq uint64
+
 	mu        sync.Mutex
 	closed    bool
 	evictHook func()
@@ -414,6 +431,12 @@ func (s *Session) worker() {
 			gate(req.op)
 		}
 		res := s.execute(req)
+		if req.op == OpCapture && res.err == nil {
+			// Publish to push subscribers before acking the capture: once
+			// the producer sees its CAPTURE_ACK, every subscription has
+			// been offered the frame (accepted or counted as dropped).
+			s.publish(res.cs)
+		}
 		lat := time.Since(req.start)
 		s.mgr.opHist[req.op].Observe(lat)
 		s.opHist[req.op].Observe(lat)
@@ -580,6 +603,11 @@ func (s *Session) Close() error {
 	close(s.reqs)    // worker drains the remainder and exits
 	<-s.done
 
+	// The worker has exited, so no further publish can run: sealing the
+	// subscriptions now lets their writers drain buffered frames and then
+	// report the closure.
+	s.closeSubscriptions()
+
 	s.mgr.mu.Lock()
 	delete(s.mgr.sessions, s.id)
 	s.mgr.mu.Unlock()
@@ -636,6 +664,10 @@ type Snapshot struct {
 	EncodedBytes    int64                        `json:"encoded_bytes"`
 	DecodedFrames   int64                        `json:"decoded_frames"`
 	BacklogRejects  int64                        `json:"backlog_rejects"`
+	StreamSubsOpen  int                          `json:"stream_subs_open"`
+	StreamPushed    int64                        `json:"stream_frames_pushed"`
+	StreamDropped   int64                        `json:"stream_frames_dropped"`
+	StreamInflight  int                          `json:"stream_inflight"`
 	Queues          []QueueStat                  `json:"queues,omitempty"`
 	OpLatency       map[string]HistogramSnapshot `json:"op_latency,omitempty"`
 }
@@ -651,6 +683,10 @@ func (m *Manager) Snapshot() Snapshot {
 		EncodedBytes:    m.encodedBytes.Load(),
 		DecodedFrames:   m.decodedFrames.Load(),
 		BacklogRejects:  m.backlogRejects.Load(),
+		StreamSubsOpen:  m.SubscriptionsOpen(),
+		StreamPushed:    m.streamPushed.Load(),
+		StreamDropped:   m.streamDropped.Load(),
+		StreamInflight:  m.StreamInflight(),
 	}
 	m.mu.Lock()
 	snap.SessionsOpen = len(m.sessions)

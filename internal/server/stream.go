@@ -1,0 +1,372 @@
+package server
+
+import (
+	"bytes"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+	"repro/rpx"
+)
+
+// Streaming push subscriptions (protocol v3).
+//
+// A Subscription attaches to one session's encoded-frame stream and buffers
+// frames the session's worker publishes until a transport writer drains
+// them. Flow control is a credit ledger: the subscription holds at most as
+// many undelivered frames as the client has granted credit for, so a
+// stalled subscriber bounds server memory by construction and can never
+// block the capture path or other sessions — frames produced with no credit
+// available are dropped for that subscriber and counted, never queued
+// unboundedly and never blocking the publishing worker.
+
+// CloseReason says why a subscription ended; the transport writer picks its
+// final message from it.
+type CloseReason uint8
+
+// Subscription close reasons.
+const (
+	// ReasonNone: still open.
+	ReasonNone CloseReason = iota
+	// ReasonUnsubscribed: the client asked; drain, then a final ACK.
+	ReasonUnsubscribed
+	// ReasonSessionClosed: the producing session closed or was evicted.
+	ReasonSessionClosed
+	// ReasonConnClosed: the subscriber's own transport died.
+	ReasonConnClosed
+)
+
+// pushItem is one published frame: the serialized RPXE container plus the
+// capture statistics, shared read-only across all subscribers.
+type pushItem struct {
+	seq   uint64
+	stats rpx.CaptureStats
+	enc   []byte
+}
+
+// Subscription is one subscriber's view of a session's frame stream.
+type Subscription struct {
+	id    uint64
+	sess  *Session
+	batch int
+
+	// ch buffers accepted-but-undelivered frames. Its capacity is the
+	// credit window cap, and offer only sends after consuming a credit, so
+	// len(ch)+credit <= wire.MaxCreditWindow always holds and a send can
+	// never block the publishing worker.
+	ch chan pushItem
+
+	mu      sync.Mutex
+	credit  int
+	granted uint64 // lifetime credits accepted (initial + grants, post-clamp)
+	dropped uint64 // frames missed while out of credit
+	reason  CloseReason
+}
+
+// ID returns the server-assigned subscription id.
+func (sub *Subscription) ID() uint64 { return sub.id }
+
+// Batch returns the negotiated frames-per-FRAME_PUSH bound.
+func (sub *Subscription) Batch() int { return sub.batch }
+
+// Buffered returns the accepted-but-undelivered frame count (the in-flight
+// gauge reads this; tests assert it never exceeds granted credit).
+func (sub *Subscription) Buffered() int { return len(sub.ch) }
+
+// Credit returns the currently available (unconsumed) credit.
+func (sub *Subscription) Credit() int {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	return sub.credit
+}
+
+// Granted returns the lifetime credits this subscription accepted.
+func (sub *Subscription) Granted() uint64 {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	return sub.granted
+}
+
+// Dropped returns the cumulative frames missed while out of credit.
+func (sub *Subscription) Dropped() uint64 {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	return sub.dropped
+}
+
+// offer hands one published frame to the subscription. It never blocks: a
+// frame either consumes a credit and enters the buffer, or is dropped and
+// counted. Called from the producing session's worker goroutine.
+func (sub *Subscription) offer(it pushItem) {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	if sub.reason != ReasonNone {
+		return
+	}
+	if sub.credit <= 0 {
+		sub.dropped++
+		sub.sess.mgr.streamDropped.Add(1)
+		return
+	}
+	sub.credit--
+	sub.ch <- it // cannot block: see the ch capacity invariant
+}
+
+// Grant adds n credits, clamping the outstanding window (available credit
+// plus undelivered buffered frames) at wire.MaxCreditWindow. Grants after
+// close are ignored.
+func (sub *Subscription) Grant(n int) {
+	if n <= 0 {
+		return
+	}
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	if sub.reason != ReasonNone {
+		return
+	}
+	sub.credit += n
+	// len(ch) may shrink concurrently as the writer drains; reading it once
+	// here only ever under-grants, never breaks the window invariant.
+	if max := wire.MaxCreditWindow - len(sub.ch); sub.credit > max {
+		n -= sub.credit - max
+		sub.credit = max
+	}
+	if n > 0 {
+		sub.granted += uint64(n)
+	}
+}
+
+// close ends the subscription: offers stop, the buffer is sealed so a
+// reader draining ch observes end-of-stream after the already-accepted
+// frames. Idempotent; the first reason wins.
+func (sub *Subscription) close(reason CloseReason) {
+	sub.mu.Lock()
+	if sub.reason != ReasonNone {
+		sub.mu.Unlock()
+		return
+	}
+	sub.reason = reason
+	// Safe: every send into ch happens in offer while holding sub.mu and
+	// checking reason, so no send can race this close.
+	close(sub.ch)
+	sub.mu.Unlock()
+
+	sub.sess.dropSubscription(sub)
+	sub.sess.mgr.removeSubscription(sub)
+}
+
+// Reason returns why the subscription ended (ReasonNone while open).
+func (sub *Subscription) Reason() CloseReason {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	return sub.reason
+}
+
+// Unsubscribe ends the subscription cleanly on the client's behalf: frames
+// already accepted remain readable until the channel drains.
+func (sub *Subscription) Unsubscribe() { sub.close(ReasonUnsubscribed) }
+
+// Abort ends the subscription because the subscriber's transport died.
+func (sub *Subscription) Abort() { sub.close(ReasonConnClosed) }
+
+// Next blocks for the next accepted frame, then opportunistically drains up
+// to batch-1 more without blocking — one call builds one FRAME_PUSH. The
+// second return is the cumulative dropped count; ok=false means the
+// subscription ended and the buffer is fully drained.
+func (sub *Subscription) Next() (items []pushItem, dropped uint64, ok bool) {
+	it, ok := <-sub.ch
+	if !ok {
+		return nil, sub.Dropped(), false
+	}
+	items = append(items, it)
+	for len(items) < sub.batch {
+		select {
+		case it, more := <-sub.ch:
+			if !more {
+				// Closed mid-drain: deliver what we have; the next call
+				// observes end-of-stream.
+				return items, sub.Dropped(), true
+			}
+			items = append(items, it)
+		default:
+			return items, sub.Dropped(), true
+		}
+	}
+	return items, sub.Dropped(), true
+}
+
+// Subscribe attaches a push subscription to this session's frame stream.
+// credit is the initial window, batch the frames-per-push bound (both
+// validated by the wire layer; batch 0 means 1).
+func (s *Session) Subscribe(credit, batch int) (*Subscription, error) {
+	if batch <= 0 {
+		batch = 1
+	}
+	if batch > wire.MaxBatch {
+		batch = wire.MaxBatch
+	}
+	if credit < 0 {
+		credit = 0
+	}
+	if credit > wire.MaxCreditWindow {
+		credit = wire.MaxCreditWindow
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrSessionClosed
+	}
+	s.mu.Unlock()
+
+	sub := &Subscription{
+		sess:    s,
+		batch:   batch,
+		ch:      make(chan pushItem, wire.MaxCreditWindow),
+		credit:  credit,
+		granted: uint64(credit),
+	}
+	sub.id = s.mgr.addSubscription(sub)
+
+	s.subMu.Lock()
+	s.subs = append(s.subs, sub)
+	s.subMu.Unlock()
+	return sub, nil
+}
+
+// NextSeq returns the sequence number of the next frame a new subscription
+// would observe (the session's published-frame high-water mark).
+func (s *Session) NextSeq() uint64 {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	if s.pubSeq > 0 {
+		return s.pubSeq
+	}
+	// No capture has been published yet; the next frame carries the
+	// pipeline's next frame index. FrameIndex is monitoring-safe only
+	// between requests, so fall back to 0 for a virgin session: frame
+	// indices start at the configured first index which defaults to 0.
+	return 0
+}
+
+// publish hands one captured frame to every attached subscription. It runs
+// on the session worker goroutine immediately after a successful capture,
+// so LastEncoded is exactly the frame just captured; the RPXE container is
+// serialized once and the bytes shared read-only across subscribers.
+func (s *Session) publish(cs rpx.CaptureStats) {
+	seq := uint64(cs.FrameIndex)
+	s.subMu.Lock()
+	s.pubSeq = seq + 1
+	if len(s.subs) == 0 {
+		s.subMu.Unlock()
+		return
+	}
+	subs := append([]*Subscription(nil), s.subs...)
+	s.subMu.Unlock()
+
+	ef := s.sys.LastEncoded()
+	if ef == nil {
+		return
+	}
+	var buf bytes.Buffer
+	if _, err := ef.WriteTo(&buf); err != nil {
+		return
+	}
+	it := pushItem{seq: seq, stats: cs, enc: buf.Bytes()}
+	for _, sub := range subs {
+		sub.offer(it)
+	}
+	s.mgr.streamPublished.Add(int64(len(subs)))
+}
+
+// dropSubscription detaches a closed subscription from the session.
+func (s *Session) dropSubscription(sub *Subscription) {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	for i, x := range s.subs {
+		if x == sub {
+			s.subs = append(s.subs[:i], s.subs[i+1:]...)
+			return
+		}
+	}
+}
+
+// closeSubscriptions ends every attached subscription because the session
+// is going away; their writers drain buffered frames and then report the
+// session closure to their clients.
+func (s *Session) closeSubscriptions() {
+	s.subMu.Lock()
+	subs := append([]*Subscription(nil), s.subs...)
+	s.subMu.Unlock()
+	for _, sub := range subs {
+		sub.close(ReasonSessionClosed)
+	}
+}
+
+// Lookup returns the live session with the given id — the SUBSCRIBE
+// Target resolution path for cross-connection fan-out.
+func (m *Manager) Lookup(id uint64) (*Session, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	return s, ok
+}
+
+// addSubscription registers a subscription and assigns its id.
+func (m *Manager) addSubscription(sub *Subscription) uint64 {
+	m.streamSubsOpened.Add(1)
+	m.subMu.Lock()
+	defer m.subMu.Unlock()
+	m.nextSubID++
+	id := m.nextSubID
+	if m.subscriptions == nil {
+		m.subscriptions = make(map[uint64]*Subscription)
+	}
+	m.subscriptions[id] = sub
+	return id
+}
+
+// removeSubscription unregisters a closed subscription.
+func (m *Manager) removeSubscription(sub *Subscription) {
+	m.subMu.Lock()
+	defer m.subMu.Unlock()
+	delete(m.subscriptions, sub.id)
+}
+
+// StreamInflight sums accepted-but-undelivered frames across all open
+// subscriptions — the rpxd_stream_inflight gauge.
+func (m *Manager) StreamInflight() int {
+	m.subMu.Lock()
+	defer m.subMu.Unlock()
+	total := 0
+	for _, sub := range m.subscriptions {
+		total += sub.Buffered()
+	}
+	return total
+}
+
+// SubscriptionsOpen returns the number of live subscriptions.
+func (m *Manager) SubscriptionsOpen() int {
+	m.subMu.Lock()
+	defer m.subMu.Unlock()
+	return len(m.subscriptions)
+}
+
+// registerStreamMetrics publishes the streaming series into the registry;
+// called from registerMetrics.
+func (m *Manager) registerStreamMetrics(reg *obs.Registry) {
+	reg.CounterFunc("rpxd_stream_subscriptions_opened_total", "Push subscriptions opened over the process lifetime.",
+		func() uint64 { return uint64(m.streamSubsOpened.Load()) })
+	reg.CounterFunc("rpxd_stream_frames_published_total", "Frames offered to subscriptions (one per frame per subscriber).",
+		func() uint64 { return uint64(m.streamPublished.Load()) })
+	reg.CounterFunc("rpxd_stream_frames_pushed_total", "Frames delivered to subscribers in FRAME_PUSH messages.",
+		func() uint64 { return uint64(m.streamPushed.Load()) })
+	reg.CounterFunc("rpxd_stream_frames_dropped_total", "Frames dropped because a subscription was out of credit.",
+		func() uint64 { return uint64(m.streamDropped.Load()) })
+	reg.GaugeFunc("rpxd_stream_subscriptions_open", "Currently open push subscriptions.",
+		func() float64 { return float64(m.SubscriptionsOpen()) })
+	reg.GaugeFunc("rpxd_stream_inflight", "Accepted-but-undelivered frames buffered across all subscriptions; bounded by granted credit.",
+		func() float64 { return float64(m.StreamInflight()) })
+}
+
+// noteFramesPushed records frames actually written to a subscriber.
+func (m *Manager) noteFramesPushed(n int) { m.streamPushed.Add(int64(n)) }

@@ -202,9 +202,13 @@ func (s *TCPServer) handle(conn net.Conn) {
 	// When the idle janitor evicts this session, close the connection so a
 	// handler blocked in ReadMessage wakes and tears down promptly.
 	sess.OnEvict(func() { conn.Close() })
+	// The ack echoes the negotiated version: a v2 HELLO gets the legacy
+	// 12-byte form (all an old client can parse), a v3 HELLO the extended
+	// form that confirms streaming is available.
 	if err := writeMsg(wire.MsgHelloAck, wire.MarshalHelloAck(wire.HelloAck{
 		SessionID:  sess.ID(),
 		MaxPayload: s.cfg.MaxPayload,
+		Version:    hello.Version,
 	})); err != nil {
 		return
 	}
@@ -221,9 +225,160 @@ func (s *TCPServer) handle(conn net.Conn) {
 			// (its queued requests are drained by Close).
 			return
 		}
+		if typ == wire.MsgSubscribe {
+			// Streaming mode runs its own read loop and hands the write
+			// side to a dedicated writer until the subscription ends.
+			if done := s.serveStream(sess, conn, br, writeMsg, writeErr, hello, payload); done {
+				return
+			}
+			continue
+		}
 		if done := s.serveMsg(sess, writeMsg, writeErr, typ, payload, hello, frameBytes); done {
 			return
 		}
+	}
+}
+
+// serveStream runs one push subscription's lifecycle: validate and attach,
+// ack, then split the connection — a writer goroutine owns the write side
+// (FRAME_PUSH batches, the final ACK or error), while this loop keeps
+// reading CREDIT grants until UNSUBSCRIBE or teardown. It reports true when
+// the connection should end; false resumes the request/reply loop.
+func (s *TCPServer) serveStream(sess *Session, conn net.Conn, br *bufio.Reader, writeMsg func(byte, []byte) error, writeErr func(uint16, string) error, hello wire.Hello, payload []byte) bool {
+	if hello.Version < 3 {
+		return writeErr(wire.CodeProto, fmt.Sprintf(
+			"SUBSCRIBE requires protocol v3, session negotiated v%d", hello.Version)) != nil
+	}
+	req, err := wire.UnmarshalSubscribe(payload)
+	if err != nil {
+		return writeErr(wire.CodeProto, err.Error()) != nil
+	}
+	target := sess
+	if req.Target != 0 && req.Target != sess.ID() {
+		t, ok := s.mgr.Lookup(req.Target)
+		if !ok {
+			return writeErr(wire.CodeBadRequest, fmt.Sprintf(
+				"SUBSCRIBE target session %d not found", req.Target)) != nil
+		}
+		target = t
+	}
+	sub, err := target.Subscribe(int(req.Credit), int(req.Batch))
+	if err != nil {
+		return writeErr(wire.CodeSessionLimit, err.Error()) != nil
+	}
+	if err := writeMsg(wire.MsgSubscribeAck, wire.MarshalSubscribeAck(wire.SubscribeAck{
+		SubID:   sub.ID(),
+		NextSeq: target.NextSeq(),
+	})); err != nil {
+		sub.Abort()
+		return true
+	}
+
+	writerDone := make(chan error, 1)
+	go func() { writerDone <- s.streamWriter(sub, conn, writeMsg) }()
+
+	for {
+		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		typ, payload, err := wire.ReadMessage(br, s.cfg.MaxPayload)
+		if err != nil {
+			// Disconnect, timeout, shutdown wake-up, or the writer ended
+			// the stream server-side and woke us: tear the stream down.
+			sub.Abort()
+			<-writerDone
+			return true
+		}
+		switch typ {
+		case wire.MsgCredit:
+			c, err := wire.UnmarshalCredit(payload)
+			if err != nil || c.SubID != sub.ID() {
+				sub.Abort()
+				<-writerDone
+				return true
+			}
+			sub.Grant(int(c.N))
+		case wire.MsgUnsubscribe:
+			u, err := wire.UnmarshalUnsubscribe(payload)
+			if err != nil || u.SubID != sub.ID() {
+				sub.Abort()
+				<-writerDone
+				return true
+			}
+			sub.Unsubscribe()
+			// The writer drains the already-accepted frames and emits the
+			// final ACK; then the write side is ours again.
+			return <-writerDone != nil
+		default:
+			// Only CREDIT and UNSUBSCRIBE are legal while streaming.
+			sub.Abort()
+			<-writerDone
+			return writeErr(wire.CodeProto, fmt.Sprintf(
+				"message type %d not allowed while streaming", typ)) != nil
+		}
+	}
+}
+
+// streamWriter owns the connection's write side for the life of one
+// subscription: it blocks for published frames, batches what is already
+// buffered (splitting on the payload cap), and finishes with the final ACK
+// (clean unsubscribe) or a typed error (producing session closed).
+func (s *TCPServer) streamWriter(sub *Subscription, conn net.Conn, writeMsg func(byte, []byte) error) error {
+	for {
+		items, dropped, ok := sub.Next()
+		if !ok {
+			break
+		}
+		// Split the batch so no single FRAME_PUSH exceeds the payload cap
+		// (an item bigger than the cap alone fails the write, mirroring
+		// what GET_ENCODED would do for the same frame).
+		for len(items) > 0 {
+			size := wire.PushHeaderOverhead
+			n := 0
+			for _, it := range items {
+				rec := wire.PushRecordOverhead + len(it.enc)
+				if n > 0 && size+rec > s.cfg.MaxPayload {
+					break
+				}
+				size += rec
+				n++
+			}
+			push := wire.FramePush{SubID: sub.ID(), Dropped: dropped}
+			for _, it := range items[:n] {
+				push.Frames = append(push.Frames, wire.PushFrame{
+					Seq: it.seq,
+					Stats: wire.CaptureAck{
+						FrameIndex:    it.stats.FrameIndex,
+						EncodedPixels: it.stats.EncodedPixels,
+						EncodedBytes:  it.stats.EncodedBytes,
+						PixelFraction: it.stats.PixelFraction,
+					},
+					Enc: it.enc,
+				})
+			}
+			if err := writeMsg(wire.MsgFramePush, wire.MarshalFramePush(push)); err != nil {
+				sub.Abort()
+				for _, _, ok := sub.Next(); ok; _, _, ok = sub.Next() {
+					// Drain so the in-flight gauge returns to zero.
+				}
+				return err
+			}
+			s.mgr.noteFramesPushed(n)
+			items = items[n:]
+		}
+	}
+	switch sub.Reason() {
+	case ReasonUnsubscribed:
+		// Echo the subscription id so the client can match the ack.
+		return writeMsg(wire.MsgAck, wire.MarshalUnsubscribe(wire.Unsubscribe{SubID: sub.ID()}))
+	case ReasonSessionClosed:
+		err := writeMsg(wire.MsgError, wire.MarshalError(wire.CodeUnavailable,
+			"server: subscribed session closed"))
+		// Wake the connection's reader: the stream cannot continue, and
+		// the client was just told so.
+		conn.SetReadDeadline(time.Now())
+		return err
+	default:
+		// ReasonConnClosed: the reader is already tearing down.
+		return nil
 	}
 }
 

@@ -21,6 +21,9 @@ func FuzzReadMessage(f *testing.F) {
 	}
 	f.Add(seed(MsgHello, MarshalHello(Hello{W: 64, H: 48, HistoryDepth: 4, Parallelism: 2})))
 	f.Add(seed(MsgHelloAck, MarshalHelloAck(HelloAck{SessionID: 7, MaxPayload: DefaultMaxPayload})))
+	f.Add(seed(MsgHelloAck, MarshalHelloAck(HelloAck{SessionID: 7, MaxPayload: DefaultMaxPayload, Version: ProtoVersion})))
+	f.Add(seed(MsgSubscribe, MarshalSubscribe(Subscribe{Target: 3, Credit: 8, Batch: 4})))
+	f.Add(seed(MsgFramePush, MarshalFramePush(FramePush{SubID: 1, Frames: []PushFrame{{Seq: 2, Enc: []byte{1, 2, 3}}}})))
 	f.Add(seed(MsgCaptureAck, MarshalCaptureAck(CaptureAck{FrameIndex: 3, EncodedPixels: 10, EncodedBytes: 10, PixelFraction: 0.5})))
 	f.Add(seed(MsgDecodeWindow, MarshalWindow(Window{X: 1, Y: 2, W: 3, H: 4})))
 	f.Add(seed(MsgError, MarshalError(CodeBadRequest, "nope")))
@@ -54,7 +57,79 @@ func FuzzReadMessage(f *testing.F) {
 				UnmarshalFrame(payload)
 			case MsgError:
 				UnmarshalError(payload)
+			case MsgSubscribe:
+				UnmarshalSubscribe(payload)
+			case MsgSubscribeAck:
+				UnmarshalSubscribeAck(payload)
+			case MsgCredit:
+				UnmarshalCredit(payload)
+			case MsgFramePush:
+				UnmarshalFramePush(payload)
+			case MsgUnsubscribe:
+				UnmarshalUnsubscribe(payload)
 			}
+		}
+	})
+}
+
+// FuzzReadSubscribe exercises the small fixed-size v3 control payloads
+// (SUBSCRIBE, SUBSCRIBE_ACK, CREDIT, UNSUBSCRIBE) with arbitrary bytes:
+// errors, never panics, and any accepted SUBSCRIBE obeys the credit and
+// batch caps — the bounds the server's per-subscription ledger relies on.
+func FuzzReadSubscribe(f *testing.F) {
+	f.Add(MarshalSubscribe(Subscribe{Target: 0, Credit: 1, Batch: 1}))
+	f.Add(MarshalSubscribe(Subscribe{Target: 1 << 40, Credit: MaxCreditWindow, Batch: MaxBatch}))
+	f.Add(MarshalCredit(Credit{SubID: 9, N: 1 << 30}))
+	f.Add(MarshalUnsubscribe(Unsubscribe{SubID: ^uint64(0)}))
+	hostile := MarshalSubscribe(Subscribe{})
+	for i := 8; i < len(hostile); i++ {
+		hostile[i] = 0xff // credit and batch fields at their uint32 max
+	}
+	f.Add(hostile)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if s, err := UnmarshalSubscribe(data); err == nil {
+			if s.Credit > MaxCreditWindow || s.Batch > MaxBatch {
+				t.Fatalf("accepted subscribe breaks caps: %+v", s)
+			}
+		}
+		UnmarshalSubscribeAck(data)
+		UnmarshalCredit(data)
+		UnmarshalUnsubscribe(data)
+	})
+}
+
+// FuzzReadFramePush drives arbitrary bytes through the batched push
+// decoder. Hostile batch counts and per-record encoded lengths must fail
+// before any allocation proportional to the claim, and every accepted
+// payload must re-marshal byte-identically (the decoder neither invents
+// nor drops bytes).
+func FuzzReadFramePush(f *testing.F) {
+	f.Add(MarshalFramePush(FramePush{SubID: 1}))
+	f.Add(MarshalFramePush(FramePush{
+		SubID:   2,
+		Dropped: 5,
+		Frames: []PushFrame{
+			{Seq: 7, Stats: CaptureAck{FrameIndex: 7, EncodedPixels: 4, EncodedBytes: 12, PixelFraction: 0.5}, Enc: []byte{1, 2, 3, 4}},
+			{Seq: 9, Stats: CaptureAck{FrameIndex: 9}, Enc: nil},
+		},
+	}))
+	hostileCount := MarshalFramePush(FramePush{SubID: 3, Frames: []PushFrame{{Seq: 1, Enc: []byte{8}}}})
+	hostileCount[16], hostileCount[17], hostileCount[18], hostileCount[19] = 0xff, 0xff, 0xff, 0xff
+	f.Add(hostileCount)
+	hostileLen := MarshalFramePush(FramePush{SubID: 4, Frames: []PushFrame{{Seq: 1, Enc: []byte{8, 9}}}})
+	hostileLen[framePushHeaderSize+28] = 0xf0
+	hostileLen[framePushHeaderSize+31] = 0xff
+	f.Add(hostileLen)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := UnmarshalFramePush(data)
+		if err != nil {
+			return
+		}
+		if len(p.Frames) > MaxBatch {
+			t.Fatalf("accepted push with %d frames above the %d batch cap", len(p.Frames), MaxBatch)
+		}
+		if got := MarshalFramePush(p); !bytes.Equal(got, data) {
+			t.Fatalf("re-marshal differs: %d bytes in, %d out", len(data), len(got))
 		}
 	})
 }

@@ -1,0 +1,267 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Streaming push mode (protocol v3) payloads.
+//
+// The flow-control contract: a subscription starts with Subscribe.Credit
+// push credits; every frame the server accepts into the subscription
+// consumes one credit, and CREDIT messages grant more. The server never
+// holds more undelivered frames than the client has granted credit for, so
+// a stalled client bounds server memory by construction; frames produced
+// while a subscription has no credit are dropped for that subscriber and
+// counted in FramePush.Dropped (sequence numbers expose the gap).
+
+// Streaming bounds. They cap what a hostile SUBSCRIBE can ask the server
+// to buffer (credits are accepted-but-undelivered frames held server-side)
+// or assemble into one message (batch).
+const (
+	// MaxCreditWindow caps a subscription's outstanding credit: granted
+	// but unconsumed credits plus accepted-but-undelivered frames.
+	MaxCreditWindow = 4096
+	// MaxBatch caps how many frames one FRAME_PUSH message may carry.
+	MaxBatch = 64
+)
+
+// Subscribe opens a push subscription.
+type Subscribe struct {
+	// Target selects the session whose encoded-frame stream to attach to:
+	// 0 means the connection's own session, otherwise a server-assigned
+	// session id (from HELLO_ACK) of another live session — the
+	// multi-subscriber fan-out path.
+	Target uint64
+	// Credit is the initial credit window in frames (may be 0: frames are
+	// dropped until the first CREDIT grant).
+	Credit uint32
+	// Batch bounds how many frames the server packs into one FRAME_PUSH
+	// (0 means 1, capped at MaxBatch).
+	Batch uint32
+}
+
+const subscribeSize = 8 + 4 + 4
+
+// MarshalSubscribe encodes a SUBSCRIBE payload.
+func MarshalSubscribe(s Subscribe) []byte {
+	b := make([]byte, subscribeSize)
+	binary.LittleEndian.PutUint64(b, s.Target)
+	binary.LittleEndian.PutUint32(b[8:], s.Credit)
+	binary.LittleEndian.PutUint32(b[12:], s.Batch)
+	return b
+}
+
+// UnmarshalSubscribe decodes and validates a SUBSCRIBE payload.
+func UnmarshalSubscribe(b []byte) (Subscribe, error) {
+	if len(b) != subscribeSize {
+		return Subscribe{}, fmt.Errorf("wire: SUBSCRIBE payload is %d bytes, want %d", len(b), subscribeSize)
+	}
+	s := Subscribe{
+		Target: binary.LittleEndian.Uint64(b),
+		Credit: binary.LittleEndian.Uint32(b[8:]),
+		Batch:  binary.LittleEndian.Uint32(b[12:]),
+	}
+	if s.Credit > MaxCreditWindow {
+		return Subscribe{}, fmt.Errorf("wire: SUBSCRIBE credit %d exceeds window cap %d", s.Credit, MaxCreditWindow)
+	}
+	if s.Batch > MaxBatch {
+		return Subscribe{}, fmt.Errorf("wire: SUBSCRIBE batch %d exceeds cap %d", s.Batch, MaxBatch)
+	}
+	return s, nil
+}
+
+// SubscribeAck confirms a subscription.
+type SubscribeAck struct {
+	// SubID identifies the subscription in CREDIT, FRAME_PUSH and
+	// UNSUBSCRIBE messages.
+	SubID uint64
+	// NextSeq is the sequence number (session frame index) of the first
+	// frame the subscription can observe; frames captured before the
+	// subscription attached are never replayed.
+	NextSeq uint64
+}
+
+const subscribeAckSize = 8 + 8
+
+// MarshalSubscribeAck encodes a SUBSCRIBE_ACK payload.
+func MarshalSubscribeAck(a SubscribeAck) []byte {
+	b := make([]byte, subscribeAckSize)
+	binary.LittleEndian.PutUint64(b, a.SubID)
+	binary.LittleEndian.PutUint64(b[8:], a.NextSeq)
+	return b
+}
+
+// UnmarshalSubscribeAck decodes a SUBSCRIBE_ACK payload.
+func UnmarshalSubscribeAck(b []byte) (SubscribeAck, error) {
+	if len(b) != subscribeAckSize {
+		return SubscribeAck{}, fmt.Errorf("wire: SUBSCRIBE_ACK payload is %d bytes, want %d", len(b), subscribeAckSize)
+	}
+	return SubscribeAck{
+		SubID:   binary.LittleEndian.Uint64(b),
+		NextSeq: binary.LittleEndian.Uint64(b[8:]),
+	}, nil
+}
+
+// Credit grants a subscription more push credits.
+type Credit struct {
+	SubID uint64
+	// N is the number of additional frames the server may push (>= 1; the
+	// server clamps the total outstanding window at MaxCreditWindow).
+	N uint32
+}
+
+const creditSize = 8 + 4
+
+// MarshalCredit encodes a CREDIT payload.
+func MarshalCredit(c Credit) []byte {
+	b := make([]byte, creditSize)
+	binary.LittleEndian.PutUint64(b, c.SubID)
+	binary.LittleEndian.PutUint32(b[8:], c.N)
+	return b
+}
+
+// UnmarshalCredit decodes and validates a CREDIT payload.
+func UnmarshalCredit(b []byte) (Credit, error) {
+	if len(b) != creditSize {
+		return Credit{}, fmt.Errorf("wire: CREDIT payload is %d bytes, want %d", len(b), creditSize)
+	}
+	c := Credit{
+		SubID: binary.LittleEndian.Uint64(b),
+		N:     binary.LittleEndian.Uint32(b[8:]),
+	}
+	if c.N == 0 {
+		return Credit{}, fmt.Errorf("wire: CREDIT grants zero credits")
+	}
+	return c, nil
+}
+
+// Unsubscribe ends a subscription.
+type Unsubscribe struct {
+	SubID uint64
+}
+
+const unsubscribeSize = 8
+
+// MarshalUnsubscribe encodes an UNSUBSCRIBE payload.
+func MarshalUnsubscribe(u Unsubscribe) []byte {
+	b := make([]byte, unsubscribeSize)
+	binary.LittleEndian.PutUint64(b, u.SubID)
+	return b
+}
+
+// UnmarshalUnsubscribe decodes an UNSUBSCRIBE payload.
+func UnmarshalUnsubscribe(b []byte) (Unsubscribe, error) {
+	if len(b) != unsubscribeSize {
+		return Unsubscribe{}, fmt.Errorf("wire: UNSUBSCRIBE payload is %d bytes, want %d", len(b), unsubscribeSize)
+	}
+	return Unsubscribe{SubID: binary.LittleEndian.Uint64(b)}, nil
+}
+
+// PushFrame is one encoded frame inside a FRAME_PUSH batch.
+type PushFrame struct {
+	// Seq is the frame's sequence number: the session frame index the
+	// producer captured it at. Consecutive pushes with non-consecutive Seq
+	// mean the subscription ran out of credit and frames were dropped.
+	Seq uint64
+	// Stats are the frame's capture statistics, identical to what a v2
+	// CAPTURE_ACK for the same frame reported.
+	Stats CaptureAck
+	// Enc is the encoded frame in the RPXE container framing
+	// (core.EncodedFrame.WriteTo) — byte-identical to a v2 GET_ENCODED
+	// reply for the same frame.
+	Enc []byte
+}
+
+// FramePush is the server-to-client push message: up to Batch frames.
+type FramePush struct {
+	SubID uint64
+	// Dropped is the cumulative count of frames this subscription missed
+	// because it had no credit when they were produced.
+	Dropped uint64
+	Frames  []PushFrame
+}
+
+// framePushHeaderSize is u64 subID + u64 dropped + u32 count.
+const framePushHeaderSize = 8 + 8 + 4
+
+// pushRecordHeaderSize prefixes each frame record: u64 seq + the 20-byte
+// capture statistics + u32 encoded length.
+const pushRecordHeaderSize = 8 + 20 + 4
+
+// PushHeaderOverhead and PushRecordOverhead expose the FRAME_PUSH framing
+// costs so a sender can split a batch across messages without exceeding
+// the negotiated payload cap.
+const (
+	PushHeaderOverhead = framePushHeaderSize
+	PushRecordOverhead = pushRecordHeaderSize
+)
+
+// MarshalFramePush encodes a FRAME_PUSH payload.
+func MarshalFramePush(p FramePush) []byte {
+	n := framePushHeaderSize
+	for _, f := range p.Frames {
+		n += pushRecordHeaderSize + len(f.Enc)
+	}
+	b := make([]byte, framePushHeaderSize, n)
+	binary.LittleEndian.PutUint64(b, p.SubID)
+	binary.LittleEndian.PutUint64(b[8:], p.Dropped)
+	binary.LittleEndian.PutUint32(b[16:], uint32(len(p.Frames)))
+	for _, f := range p.Frames {
+		var rec [pushRecordHeaderSize]byte
+		binary.LittleEndian.PutUint64(rec[0:], f.Seq)
+		copy(rec[8:28], MarshalCaptureAck(f.Stats))
+		binary.LittleEndian.PutUint32(rec[28:], uint32(len(f.Enc)))
+		b = append(b, rec[:]...)
+		b = append(b, f.Enc...)
+	}
+	return b
+}
+
+// UnmarshalFramePush decodes a FRAME_PUSH payload. The input is untrusted:
+// the claimed batch count is bounded by what the payload can actually carry
+// before any allocation, and every record's encoded length is checked
+// against the remaining bytes, so hostile counts or length prefixes yield
+// an error, never a panic or an oversized allocation.
+func UnmarshalFramePush(b []byte) (FramePush, error) {
+	if len(b) < framePushHeaderSize {
+		return FramePush{}, fmt.Errorf("wire: FRAME_PUSH payload is %d bytes, want >= %d", len(b), framePushHeaderSize)
+	}
+	p := FramePush{
+		SubID:   binary.LittleEndian.Uint64(b),
+		Dropped: binary.LittleEndian.Uint64(b[8:]),
+	}
+	count := int64(binary.LittleEndian.Uint32(b[16:]))
+	if count > MaxBatch {
+		return FramePush{}, fmt.Errorf("wire: FRAME_PUSH claims %d frames, batch cap is %d", count, MaxBatch)
+	}
+	if max := int64(len(b)-framePushHeaderSize) / pushRecordHeaderSize; count > max {
+		return FramePush{}, fmt.Errorf("wire: FRAME_PUSH claims %d frames, payload fits %d", count, max)
+	}
+	p.Frames = make([]PushFrame, 0, count)
+	off := framePushHeaderSize
+	for i := int64(0); i < count; i++ {
+		if len(b)-off < pushRecordHeaderSize {
+			return FramePush{}, fmt.Errorf("wire: FRAME_PUSH record %d truncated at %d bytes", i, len(b)-off)
+		}
+		var f PushFrame
+		f.Seq = binary.LittleEndian.Uint64(b[off:])
+		stats, err := UnmarshalCaptureAck(b[off+8 : off+28])
+		if err != nil {
+			return FramePush{}, fmt.Errorf("wire: FRAME_PUSH record %d: %w", i, err)
+		}
+		f.Stats = stats
+		encLen := int64(binary.LittleEndian.Uint32(b[off+28:]))
+		off += pushRecordHeaderSize
+		if encLen > int64(len(b)-off) {
+			return FramePush{}, fmt.Errorf("wire: FRAME_PUSH record %d claims %d encoded bytes, %d remain", i, encLen, len(b)-off)
+		}
+		f.Enc = b[off : off+int(encLen)]
+		off += int(encLen)
+		p.Frames = append(p.Frames, f)
+	}
+	if off != len(b) {
+		return FramePush{}, fmt.Errorf("wire: FRAME_PUSH carries %d trailing bytes", len(b)-off)
+	}
+	return p, nil
+}

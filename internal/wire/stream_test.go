@@ -1,0 +1,124 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestSubscribeRoundTrip(t *testing.T) {
+	s := Subscribe{Target: 42, Credit: 16, Batch: 4}
+	got, err := UnmarshalSubscribe(MarshalSubscribe(s))
+	if err != nil || got != s {
+		t.Fatalf("subscribe round trip = %+v %v, want %+v", got, err, s)
+	}
+	// Zero credit is legal (frames drop until the first grant).
+	if _, err := UnmarshalSubscribe(MarshalSubscribe(Subscribe{})); err != nil {
+		t.Fatalf("zero subscribe rejected: %v", err)
+	}
+	if _, err := UnmarshalSubscribe(MarshalSubscribe(Subscribe{Credit: MaxCreditWindow + 1})); err == nil {
+		t.Fatal("credit above window cap accepted")
+	}
+	if _, err := UnmarshalSubscribe(MarshalSubscribe(Subscribe{Batch: MaxBatch + 1})); err == nil {
+		t.Fatal("batch above cap accepted")
+	}
+	if _, err := UnmarshalSubscribe(make([]byte, subscribeSize-1)); err == nil {
+		t.Fatal("short subscribe accepted")
+	}
+}
+
+func TestSubscribeAckRoundTrip(t *testing.T) {
+	a := SubscribeAck{SubID: 7, NextSeq: 120}
+	got, err := UnmarshalSubscribeAck(MarshalSubscribeAck(a))
+	if err != nil || got != a {
+		t.Fatalf("subscribe ack round trip = %+v %v, want %+v", got, err, a)
+	}
+	if _, err := UnmarshalSubscribeAck(nil); err == nil {
+		t.Fatal("empty subscribe ack accepted")
+	}
+}
+
+func TestCreditRoundTrip(t *testing.T) {
+	c := Credit{SubID: 3, N: 9}
+	got, err := UnmarshalCredit(MarshalCredit(c))
+	if err != nil || got != c {
+		t.Fatalf("credit round trip = %+v %v, want %+v", got, err, c)
+	}
+	if _, err := UnmarshalCredit(MarshalCredit(Credit{SubID: 3})); err == nil {
+		t.Fatal("zero-credit grant accepted")
+	}
+	if _, err := UnmarshalCredit(make([]byte, creditSize+1)); err == nil {
+		t.Fatal("long credit accepted")
+	}
+}
+
+func TestUnsubscribeRoundTrip(t *testing.T) {
+	u := Unsubscribe{SubID: 11}
+	got, err := UnmarshalUnsubscribe(MarshalUnsubscribe(u))
+	if err != nil || got != u {
+		t.Fatalf("unsubscribe round trip = %+v %v, want %+v", got, err, u)
+	}
+	if _, err := UnmarshalUnsubscribe(make([]byte, 7)); err == nil {
+		t.Fatal("short unsubscribe accepted")
+	}
+}
+
+func TestFramePushRoundTrip(t *testing.T) {
+	p := FramePush{
+		SubID:   5,
+		Dropped: 2,
+		Frames: []PushFrame{
+			{Seq: 10, Stats: CaptureAck{FrameIndex: 10, EncodedPixels: 3, EncodedBytes: 8, PixelFraction: 0.25}, Enc: []byte{1, 2, 3}},
+			{Seq: 12, Stats: CaptureAck{FrameIndex: 12, EncodedPixels: 4, EncodedBytes: 9, PixelFraction: 0.5}, Enc: nil},
+			{Seq: 13, Stats: CaptureAck{FrameIndex: 13}, Enc: bytes.Repeat([]byte{0xAB}, 100)},
+		},
+	}
+	got, err := UnmarshalFramePush(MarshalFramePush(p))
+	if err != nil {
+		t.Fatalf("UnmarshalFramePush: %v", err)
+	}
+	if got.SubID != p.SubID || got.Dropped != p.Dropped || len(got.Frames) != len(p.Frames) {
+		t.Fatalf("push header = %+v", got)
+	}
+	for i, f := range p.Frames {
+		g := got.Frames[i]
+		if g.Seq != f.Seq || g.Stats != f.Stats || !bytes.Equal(g.Enc, f.Enc) {
+			t.Fatalf("frame %d = %+v, want %+v", i, g, f)
+		}
+	}
+	if got, err := UnmarshalFramePush(MarshalFramePush(FramePush{SubID: 1})); err != nil || len(got.Frames) != 0 {
+		t.Fatalf("empty push = %+v %v", got, err)
+	}
+}
+
+// TestFramePushHostileCounts pins the untrusted-input guarantees: batch
+// counts and per-record encoded lengths the payload cannot carry must fail
+// before any allocation proportional to the claim.
+func TestFramePushHostileCounts(t *testing.T) {
+	b := MarshalFramePush(FramePush{
+		SubID:  1,
+		Frames: []PushFrame{{Seq: 1, Enc: []byte{9, 9}}},
+	})
+	// Claimed count far beyond what the payload carries.
+	for _, n := range []uint32{2, MaxBatch, 1 << 20, 0xffffffff} {
+		bad := append([]byte(nil), b...)
+		binary.LittleEndian.PutUint32(bad[16:], n)
+		if _, err := UnmarshalFramePush(bad); err == nil {
+			t.Fatalf("count %d accepted for a one-frame payload", n)
+		}
+	}
+	// Hostile per-record encoded length overrunning the payload.
+	bad := append([]byte(nil), b...)
+	binary.LittleEndian.PutUint32(bad[framePushHeaderSize+28:], 0xfffffff0)
+	if _, err := UnmarshalFramePush(bad); err == nil {
+		t.Fatal("overrunning encoded length accepted")
+	}
+	// Truncated mid-record.
+	if _, err := UnmarshalFramePush(b[:len(b)-1]); err == nil {
+		t.Fatal("truncated push accepted")
+	}
+	// Trailing garbage after the declared batch.
+	if _, err := UnmarshalFramePush(append(append([]byte(nil), b...), 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}

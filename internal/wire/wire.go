@@ -31,10 +31,21 @@ import (
 // ProtoMagic identifies the rpxd protocol in the HELLO message.
 const ProtoMagic = 0x52505844 // "RPXD"
 
-// ProtoVersion is the protocol revision this package speaks. HELLO carries
-// it; servers reject mismatches so framing changes fail loudly. Version 2
-// added the Parallelism field to HELLO.
-const ProtoVersion = 2
+// ProtoVersion is the newest protocol revision this package speaks. HELLO
+// carries the client's version; servers negotiate down to it when it is
+// older but still supported, and reject anything outside
+// [MinProtoVersion, ProtoVersion] with a typed *VersionError so framing
+// changes fail loudly. Version 2 added the Parallelism field to HELLO.
+// Version 3 added the streaming push mode: SUBSCRIBE / SUBSCRIBE_ACK /
+// CREDIT / FRAME_PUSH / UNSUBSCRIBE and the extended HELLO_ACK that echoes
+// the negotiated version.
+const ProtoVersion = 3
+
+// MinProtoVersion is the oldest protocol revision servers still accept. A
+// v2 client negotiates a v2 session against a v3 server and sees identical
+// behaviour to the old implementation: 12-byte HELLO_ACK, request/reply
+// only, no push traffic.
+const MinProtoVersion = 2
 
 // DefaultMaxPayload caps a single message payload (32 MiB): comfortably
 // above a 1080p RGB frame plus metadata, far below an OOM.
@@ -75,6 +86,27 @@ const (
 	MsgClose byte = 14
 	// MsgError is the failure reply: code + human-readable message.
 	MsgError byte = 15
+
+	// Streaming push mode (protocol v3). A SUBSCRIBE switches the
+	// connection from request/reply to push mode: the server sends
+	// FRAME_PUSH messages as frames are produced — never beyond the credits
+	// the client has granted — until the client UNSUBSCRIBEs (acknowledged
+	// with ACK after the last push) or the stream ends with an ERROR.
+
+	// MsgSubscribe attaches the connection to a session's encoded-frame
+	// stream with an initial credit window and a batching bound.
+	MsgSubscribe byte = 16
+	// MsgSubscribeAck confirms a subscription: subscription id + next
+	// sequence number the stream will observe.
+	MsgSubscribeAck byte = 17
+	// MsgCredit grants the server more push credits (client to server).
+	MsgCredit byte = 18
+	// MsgFramePush carries up to Batch encoded frames with their capture
+	// statistics and sequence numbers (server to client, unsolicited).
+	MsgFramePush byte = 19
+	// MsgUnsubscribe ends the subscription; the server flushes frames
+	// already accepted against credit, then replies ACK.
+	MsgUnsubscribe byte = 20
 )
 
 // Error codes carried by MsgError.
@@ -107,6 +139,21 @@ const (
 // ErrTooLarge is returned when a message payload exceeds the reader's or
 // writer's cap.
 var ErrTooLarge = errors.New("wire: message exceeds payload cap")
+
+// VersionError is the typed rejection of a HELLO whose protocol version is
+// outside the range a receiver supports. It is distinguishable from other
+// handshake failures (errors.As) so clients and gateways can report "speak
+// an older protocol" rather than a generic rejection.
+type VersionError struct {
+	// Got is the version the HELLO carried.
+	Got uint32
+	// Min, Max bound the versions the receiver accepts.
+	Min, Max uint32
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("wire: unsupported protocol version %d (speak %d..%d)", e.Got, e.Min, e.Max)
+}
 
 // RemoteError is a server-reported failure decoded from MsgError.
 type RemoteError struct {
@@ -169,6 +216,11 @@ func ReadMessage(r io.Reader, maxPayload int) (typ byte, payload []byte, err err
 
 // Hello is the session-opening handshake payload.
 type Hello struct {
+	// Version is the protocol revision the client speaks. MarshalHello
+	// writes ProtoVersion when it is zero; UnmarshalHello records what the
+	// peer actually sent so servers can gate v3-only messages (SUBSCRIBE)
+	// on the negotiated revision.
+	Version int
 	// W, H are the session frame dimensions.
 	W, H int
 	// Format is the pixel format (Gray8, RGB24, YUV444).
@@ -192,11 +244,16 @@ const MaxParallelism = 256
 
 const helloSize = 4 + 4 + 4 + 4 + 1 + 4 + 4 + 1 + 4
 
-// MarshalHello encodes a HELLO payload, prefixed with magic and version.
+// MarshalHello encodes a HELLO payload, prefixed with magic and version
+// (h.Version, defaulting to ProtoVersion when zero).
 func MarshalHello(h Hello) []byte {
+	v := uint32(h.Version)
+	if v == 0 {
+		v = ProtoVersion
+	}
 	b := make([]byte, helloSize)
 	binary.LittleEndian.PutUint32(b[0:], ProtoMagic)
-	binary.LittleEndian.PutUint32(b[4:], ProtoVersion)
+	binary.LittleEndian.PutUint32(b[4:], v)
 	binary.LittleEndian.PutUint32(b[8:], uint32(h.W))
 	binary.LittleEndian.PutUint32(b[12:], uint32(h.H))
 	b[16] = byte(h.Format)
@@ -217,10 +274,12 @@ func UnmarshalHello(b []byte) (Hello, error) {
 	if m := binary.LittleEndian.Uint32(b); m != ProtoMagic {
 		return Hello{}, fmt.Errorf("wire: bad protocol magic %#x", m)
 	}
-	if v := binary.LittleEndian.Uint32(b[4:]); v != ProtoVersion {
-		return Hello{}, fmt.Errorf("wire: unsupported protocol version %d (speak %d)", v, ProtoVersion)
+	v := binary.LittleEndian.Uint32(b[4:])
+	if v < MinProtoVersion || v > ProtoVersion {
+		return Hello{}, &VersionError{Got: v, Min: MinProtoVersion, Max: ProtoVersion}
 	}
 	h := Hello{
+		Version:      int(v),
 		W:            int(binary.LittleEndian.Uint32(b[8:])),
 		H:            int(binary.LittleEndian.Uint32(b[12:])),
 		Format:       frame.Format(b[16]),
@@ -249,24 +308,44 @@ type HelloAck struct {
 	SessionID uint64
 	// MaxPayload is the per-message payload cap both sides must honour.
 	MaxPayload int
+	// Version is the negotiated protocol revision. Sessions negotiated at
+	// v2 receive the legacy 12-byte acknowledgment (which cannot carry a
+	// version and implies 2), so old clients parse replies from new servers
+	// unchanged; v3 sessions receive the 16-byte form.
+	Version int
 }
 
-// MarshalHelloAck encodes a HELLO acknowledgment.
+// MarshalHelloAck encodes a HELLO acknowledgment: the legacy 12-byte form
+// for v2 (or unset) sessions, the extended 16-byte form from v3 on.
 func MarshalHelloAck(a HelloAck) []byte {
-	b := make([]byte, 12)
+	if a.Version <= MinProtoVersion {
+		b := make([]byte, 12)
+		binary.LittleEndian.PutUint64(b, a.SessionID)
+		binary.LittleEndian.PutUint32(b[8:], uint32(a.MaxPayload))
+		return b
+	}
+	b := make([]byte, 16)
 	binary.LittleEndian.PutUint64(b, a.SessionID)
 	binary.LittleEndian.PutUint32(b[8:], uint32(a.MaxPayload))
+	binary.LittleEndian.PutUint32(b[12:], uint32(a.Version))
 	return b
 }
 
-// UnmarshalHelloAck decodes a HELLO acknowledgment.
+// UnmarshalHelloAck decodes a HELLO acknowledgment in either form.
 func UnmarshalHelloAck(b []byte) (HelloAck, error) {
-	if len(b) != 12 {
-		return HelloAck{}, fmt.Errorf("wire: HELLO_ACK payload is %d bytes, want 12", len(b))
+	if len(b) != 12 && len(b) != 16 {
+		return HelloAck{}, fmt.Errorf("wire: HELLO_ACK payload is %d bytes, want 12 or 16", len(b))
 	}
 	a := HelloAck{
 		SessionID:  binary.LittleEndian.Uint64(b),
 		MaxPayload: int(binary.LittleEndian.Uint32(b[8:])),
+		Version:    MinProtoVersion,
+	}
+	if len(b) == 16 {
+		a.Version = int(binary.LittleEndian.Uint32(b[12:]))
+		if a.Version < MinProtoVersion || a.Version > ProtoVersion {
+			return HelloAck{}, &VersionError{Got: uint32(a.Version), Min: MinProtoVersion, Max: ProtoVersion}
+		}
 	}
 	if a.MaxPayload <= 0 {
 		return HelloAck{}, fmt.Errorf("wire: non-positive payload cap %d", a.MaxPayload)

@@ -57,8 +57,63 @@ func TestHelloRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("UnmarshalHello: %v", err)
 	}
+	h.Version = ProtoVersion // zero Version marshals as the newest revision
 	if got != h {
 		t.Fatalf("hello round trip = %+v, want %+v", got, h)
+	}
+}
+
+// TestHelloVersionNegotiation pins the compatibility contract: a v2 HELLO
+// against a v3 decoder negotiates down cleanly (the old wire layout is
+// version-identical), while versions outside [MinProtoVersion, ProtoVersion]
+// — what a v3 HELLO hits on a server with the old strict `v != 2` check, and
+// what a hypothetical v4 client hits on this server — fail with the typed
+// *VersionError rather than a stringly error.
+func TestHelloVersionNegotiation(t *testing.T) {
+	h := Hello{W: 64, H: 48, Format: frame.Gray8, Version: MinProtoVersion}
+	got, err := UnmarshalHello(MarshalHello(h))
+	if err != nil {
+		t.Fatalf("v2 HELLO rejected: %v", err)
+	}
+	if got.Version != MinProtoVersion {
+		t.Fatalf("negotiated version = %d, want %d", got.Version, MinProtoVersion)
+	}
+	for _, v := range []uint32{MinProtoVersion - 1, ProtoVersion + 1, 0xffffffff} {
+		b := MarshalHello(Hello{W: 64, H: 48, Format: frame.Gray8, Version: ProtoVersion})
+		binary.LittleEndian.PutUint32(b[4:], v)
+		_, err := UnmarshalHello(b)
+		var ve *VersionError
+		if !errors.As(err, &ve) {
+			t.Fatalf("version %d: err = %v, want *VersionError", v, err)
+		}
+		if ve.Got != v || ve.Min != MinProtoVersion || ve.Max != ProtoVersion {
+			t.Fatalf("version %d: VersionError = %+v", v, ve)
+		}
+	}
+}
+
+// TestHelloAckBothForms: the legacy 12-byte HELLO_ACK (what a v2 session
+// receives, and all an old client can parse) implies version 2; the 16-byte
+// v3 form carries the negotiated version explicitly.
+func TestHelloAckBothForms(t *testing.T) {
+	legacy := MarshalHelloAck(HelloAck{SessionID: 9, MaxPayload: 1 << 20, Version: 2})
+	if len(legacy) != 12 {
+		t.Fatalf("v2 HELLO_ACK is %d bytes, want 12 (old clients reject anything else)", len(legacy))
+	}
+	a, err := UnmarshalHelloAck(legacy)
+	if err != nil || a.Version != 2 || a.SessionID != 9 {
+		t.Fatalf("legacy ack = %+v %v", a, err)
+	}
+	ext := MarshalHelloAck(HelloAck{SessionID: 9, MaxPayload: 1 << 20, Version: 3})
+	if len(ext) != 16 {
+		t.Fatalf("v3 HELLO_ACK is %d bytes, want 16", len(ext))
+	}
+	a, err = UnmarshalHelloAck(ext)
+	if err != nil || a.Version != 3 || a.SessionID != 9 || a.MaxPayload != 1<<20 {
+		t.Fatalf("extended ack = %+v %v", a, err)
+	}
+	if _, err := UnmarshalHelloAck(ext[:14]); err == nil {
+		t.Fatal("14-byte HELLO_ACK accepted")
 	}
 }
 

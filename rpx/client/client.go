@@ -99,15 +99,18 @@ type Session struct {
 	addr string
 	cfg  Config
 
-	mu          sync.Mutex // serializes request/reply round trips
-	conn        net.Conn
-	br          *bufio.Reader
-	closed      bool
-	broken      bool
-	id          uint64
-	maxPayload  int
-	dialTimeout time.Duration
-	timeout     time.Duration
+	mu           sync.Mutex // serializes request/reply round trips
+	wmu          sync.Mutex // serializes raw writes in streaming mode
+	conn         net.Conn
+	br           *bufio.Reader
+	closed       bool
+	broken       bool
+	id           uint64
+	maxPayload   int
+	protoVersion int     // negotiated protocol revision (from HELLO_ACK)
+	stream       *Stream // open push subscription, nil in request/reply mode
+	dialTimeout  time.Duration
+	timeout      time.Duration
 	lastLabels  []rpx.RegionLabel // replayed after reconnect; nil = never set
 	reconnects  int
 	rng         *rand.Rand // backoff jitter; guarded by mu
@@ -163,8 +166,17 @@ func (s *Session) connectLocked() error {
 	s.br = br
 	s.id = ack.SessionID
 	s.maxPayload = ack.MaxPayload
+	s.protoVersion = ack.Version
 	s.broken = false
 	return nil
+}
+
+// ProtoVersion returns the protocol revision the server negotiated in the
+// HELLO_ACK (wire.MinProtoVersion for a legacy 12-byte ack).
+func (s *Session) ProtoVersion() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.protoVersion
 }
 
 // ID returns the server-assigned session id (of the newest connection, if
@@ -231,6 +243,10 @@ func (s *Session) call(typ byte, payload []byte, wantReply byte, idempotent bool
 	for attempt := 0; ; attempt++ {
 		if s.closed {
 			return nil, fmt.Errorf("client: session closed")
+		}
+		if s.stream != nil {
+			// An open push subscription owns the connection's framing.
+			return nil, ErrStreaming
 		}
 		if s.broken {
 			if !s.cfg.Reconnect {
@@ -352,7 +368,9 @@ func (s *Session) Close() error {
 		return nil
 	}
 	s.closed = true
-	if s.broken || s.conn == nil {
+	if s.broken || s.conn == nil || s.stream != nil {
+		// A poisoned session's framing is not trustworthy, and an open
+		// stream owns the framing: tear down without the CLOSE exchange.
 		if s.conn != nil {
 			s.conn.Close()
 		}

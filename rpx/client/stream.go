@@ -1,0 +1,313 @@
+package client
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+	"repro/rpx"
+)
+
+// Streaming push mode (protocol v3).
+//
+// Subscribe switches the session from request/reply to server push: the
+// server sends FRAME_PUSH batches as frames are captured, bounded by the
+// credit the client has granted, until Close (a clean UNSUBSCRIBE) or a
+// terminal server error ends the stream and the session returns to
+// request/reply. While a stream is open every normal call fails with
+// ErrStreaming — the connection's framing belongs to the stream.
+//
+// A Stream is a single-consumer object: Recv and Close must not be called
+// concurrently with each other. Grant has its own write path and may be
+// called from any goroutine (typically the one consuming frames).
+//
+// Failure semantics mirror the session's (see the package comment): any
+// transport error poisons the underlying session, the failing stream call
+// returns the error, and later calls fail with ErrBrokenSession. A terminal
+// server error (the producing session closed) ends only the stream — it is
+// reported as a *wire.RemoteError and the session stays usable.
+
+// ErrStreaming is returned by request/reply calls while a push stream owns
+// the connection.
+var ErrStreaming = errors.New("client: session is in streaming mode")
+
+// ErrStreamingUnsupported is returned by Subscribe when the server
+// negotiated protocol v2, which has no push mode.
+var ErrStreamingUnsupported = errors.New("client: server negotiated protocol v2, streaming needs v3")
+
+// SubscribeOptions parameterizes Subscribe.
+type SubscribeOptions struct {
+	// Target selects the session whose frame stream to attach to: 0 means
+	// this session's own stream, otherwise a server-assigned session id
+	// (another client's Session.ID()) for cross-session fan-out.
+	Target uint64
+	// Credit is the initial credit window in frames (0 = frames drop until
+	// the first Grant). At most wire.MaxCreditWindow.
+	Credit int
+	// Batch bounds frames per FRAME_PUSH message (0 = 1, at most
+	// wire.MaxBatch).
+	Batch int
+}
+
+// StreamFrame is one pushed frame.
+type StreamFrame struct {
+	// Seq is the producing session's frame index for this frame. A gap
+	// between consecutive frames' Seq means the subscription was out of
+	// credit and frames were dropped.
+	Seq uint64
+	// Stats are the frame's capture statistics, identical to what the
+	// producer's Capture call returned.
+	Stats rpx.CaptureStats
+	// Dropped is the subscription's cumulative dropped-frame count as of
+	// the push that carried this frame.
+	Dropped uint64
+	// Raw is the encoded frame in the RPXE container framing —
+	// byte-identical to LastEncoded's wire payload for the same frame.
+	Raw []byte
+}
+
+// Decode unpacks the frame's RPXE container.
+func (f *StreamFrame) Decode() (*rpx.EncodedFrame, error) {
+	return core.ReadEncodedFrame(bytes.NewReader(f.Raw))
+}
+
+// Stream is an open push subscription.
+type Stream struct {
+	s       *Session
+	id      uint64
+	nextSeq uint64
+	buf     []StreamFrame
+	done    bool
+	err     error
+}
+
+// Subscribe opens a push stream. The session must have negotiated protocol
+// v3 and must not be broken, closed, or already streaming.
+func (s *Session) Subscribe(opts SubscribeOptions) (*Stream, error) {
+	if opts.Credit < 0 || opts.Credit > wire.MaxCreditWindow {
+		return nil, fmt.Errorf("client: subscribe credit %d outside [0, %d]", opts.Credit, wire.MaxCreditWindow)
+	}
+	if opts.Batch < 0 || opts.Batch > wire.MaxBatch {
+		return nil, fmt.Errorf("client: subscribe batch %d outside [0, %d]", opts.Batch, wire.MaxBatch)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("client: session closed")
+	}
+	if s.stream != nil {
+		return nil, ErrStreaming
+	}
+	if s.broken {
+		if !s.cfg.Reconnect {
+			return nil, ErrBrokenSession
+		}
+		if err := s.reconnectLocked(); err != nil {
+			return nil, err
+		}
+	}
+	if s.protoVersion < 3 {
+		return nil, ErrStreamingUnsupported
+	}
+	rtyp, rpayload, err := s.roundTripLocked(wire.MsgSubscribe, wire.MarshalSubscribe(wire.Subscribe{
+		Target: opts.Target,
+		Credit: uint32(opts.Credit),
+		Batch:  uint32(opts.Batch),
+	}))
+	if err != nil {
+		return nil, err
+	}
+	if rtyp == wire.MsgError {
+		re, uerr := wire.UnmarshalError(rpayload)
+		if uerr != nil {
+			return nil, uerr
+		}
+		return nil, re
+	}
+	if rtyp != wire.MsgSubscribeAck {
+		s.poisonLocked()
+		return nil, fmt.Errorf("%w: got reply type %d, want %d", ErrBrokenSession, rtyp, wire.MsgSubscribeAck)
+	}
+	ack, err := wire.UnmarshalSubscribeAck(rpayload)
+	if err != nil {
+		s.poisonLocked()
+		return nil, err
+	}
+	st := &Stream{s: s, id: ack.SubID, nextSeq: ack.NextSeq}
+	s.stream = st
+	return st, nil
+}
+
+// ID returns the server-assigned subscription id.
+func (st *Stream) ID() uint64 { return st.id }
+
+// NextSeq returns the sequence number of the first frame the subscription
+// could observe (from the SUBSCRIBE_ACK).
+func (st *Stream) NextSeq() uint64 { return st.nextSeq }
+
+// failTransport poisons the session — stream framing is request/reply
+// framing, a transport error desynchronizes both — and ends the stream.
+func (st *Stream) failTransport(err error) error {
+	st.s.mu.Lock()
+	st.s.poisonLocked()
+	st.s.stream = nil
+	st.s.mu.Unlock()
+	st.done = true
+	st.err = err
+	return err
+}
+
+// finish ends the stream without poisoning: the session's request/reply
+// framing is intact and resumes.
+func (st *Stream) finish(err error) {
+	st.s.mu.Lock()
+	st.s.stream = nil
+	st.s.mu.Unlock()
+	st.done = true
+	st.err = err
+}
+
+// Recv returns the next pushed frame, reading FRAME_PUSH batches off the
+// wire as needed. It returns io.EOF after a clean Close, and the terminal
+// *wire.RemoteError if the server ended the stream (the session remains
+// usable in both cases). Transport errors poison the session.
+func (st *Stream) Recv() (StreamFrame, error) {
+	for {
+		if len(st.buf) > 0 {
+			f := st.buf[0]
+			st.buf = st.buf[1:]
+			return f, nil
+		}
+		if st.done {
+			return StreamFrame{}, st.err
+		}
+		typ, payload, err := st.readMsg()
+		if err != nil {
+			return StreamFrame{}, st.failTransport(fmt.Errorf("client: stream receive: %w", err))
+		}
+		switch typ {
+		case wire.MsgFramePush:
+			if err := st.buffer(payload); err != nil {
+				return StreamFrame{}, st.failTransport(err)
+			}
+		case wire.MsgError:
+			re, uerr := wire.UnmarshalError(payload)
+			if uerr != nil {
+				return StreamFrame{}, st.failTransport(uerr)
+			}
+			st.finish(re)
+			return StreamFrame{}, re
+		default:
+			return StreamFrame{}, st.failTransport(fmt.Errorf(
+				"%w: got message type %d while streaming", ErrBrokenSession, typ))
+		}
+	}
+}
+
+// readMsg reads one message off the stream's connection. The stream owns
+// the read side while open (request/reply calls are locked out), so no
+// session lock is needed.
+func (st *Stream) readMsg() (byte, []byte, error) {
+	s := st.s
+	s.conn.SetReadDeadline(time.Now().Add(s.timeout))
+	return wire.ReadMessage(s.br, s.maxPayload)
+}
+
+// buffer validates one FRAME_PUSH payload and queues its frames.
+func (st *Stream) buffer(payload []byte) error {
+	p, err := wire.UnmarshalFramePush(payload)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	if p.SubID != st.id {
+		return fmt.Errorf("%w: FRAME_PUSH for subscription %d, want %d", ErrBrokenSession, p.SubID, st.id)
+	}
+	for _, f := range p.Frames {
+		st.buf = append(st.buf, StreamFrame{
+			Seq: f.Seq,
+			Stats: rpx.CaptureStats{
+				FrameIndex:    f.Stats.FrameIndex,
+				EncodedPixels: f.Stats.EncodedPixels,
+				EncodedBytes:  f.Stats.EncodedBytes,
+				PixelFraction: f.Stats.PixelFraction,
+			},
+			Dropped: p.Dropped,
+			Raw:     f.Enc,
+		})
+	}
+	return nil
+}
+
+// Grant gives the server n more push credits (1 <= n <=
+// wire.MaxCreditWindow; the server clamps the total outstanding window).
+// Safe to call while another goroutine blocks in Recv — grants ride the
+// connection's write side, pushes its read side.
+func (st *Stream) Grant(n int) error {
+	if n <= 0 || n > wire.MaxCreditWindow {
+		return fmt.Errorf("client: grant %d outside [1, %d]", n, wire.MaxCreditWindow)
+	}
+	s := st.s
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if st.done {
+		return st.err
+	}
+	s.conn.SetWriteDeadline(time.Now().Add(s.timeout))
+	if err := wire.WriteMessage(s.conn, wire.MsgCredit, wire.MarshalCredit(wire.Credit{
+		SubID: st.id,
+		N:     uint32(n),
+	}), s.maxPayload); err != nil {
+		return st.failTransport(fmt.Errorf("client: stream grant: %w", err))
+	}
+	return nil
+}
+
+// Close unsubscribes cleanly: it sends UNSUBSCRIBE, then reads and discards
+// remaining pushes until the server's final ACK, returning the session to
+// request/reply mode. After Close, Recv returns io.EOF. Close must not be
+// called concurrently with Recv.
+func (st *Stream) Close() error {
+	if st.done {
+		return nil
+	}
+	s := st.s
+	s.wmu.Lock()
+	err := func() error {
+		s.conn.SetWriteDeadline(time.Now().Add(s.timeout))
+		return wire.WriteMessage(s.conn, wire.MsgUnsubscribe, wire.MarshalUnsubscribe(wire.Unsubscribe{
+			SubID: st.id,
+		}), s.maxPayload)
+	}()
+	s.wmu.Unlock()
+	if err != nil {
+		return st.failTransport(fmt.Errorf("client: unsubscribe: %w", err))
+	}
+	for {
+		typ, payload, err := st.readMsg()
+		if err != nil {
+			return st.failTransport(fmt.Errorf("client: unsubscribe: %w", err))
+		}
+		switch typ {
+		case wire.MsgFramePush:
+			// Frames that were already in flight when we unsubscribed;
+			// discarded by choice — Recv before Close to keep them.
+		case wire.MsgAck:
+			st.finish(io.EOF)
+			return nil
+		case wire.MsgError:
+			re, uerr := wire.UnmarshalError(payload)
+			if uerr != nil {
+				return st.failTransport(uerr)
+			}
+			st.finish(re)
+			return re
+		default:
+			return st.failTransport(fmt.Errorf(
+				"%w: got message type %d awaiting unsubscribe ack", ErrBrokenSession, typ))
+		}
+	}
+}

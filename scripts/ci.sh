@@ -118,6 +118,13 @@ if [ -z "$GW_ADDR" ]; then
     cat "$GW_DIR/gw.log" >&2
     exit 1
 fi
+# Streaming smoke first (while both backends are still alive): a v3 push
+# subscription relayed through the real rpxgw must deliver every frame in
+# order and unsubscribe cleanly back to request/reply.
+echo "== streaming smoke"
+RPXGW_ADDR="$GW_ADDR" \
+    go test -race -count=1 -run='^TestLiveGatewayStream$' ./cmd/rpxgw
+echo "streaming smoke: OK (push stream relayed through $GW_ADDR)"
 RPXGW_ADDR="$GW_ADDR" RPXGW_KILL_PID="$B2_PID" FAULTNET_SEED="$FAULTNET_SEED" \
     go test -race -count=1 -run='^TestLiveGatewayMatrix$' ./cmd/rpxgw
 # The gateway must still be serving after losing a backend.
@@ -140,6 +147,8 @@ echo "gateway smoke: OK (gateway at $GW_ADDR survived backend kill)"
 FUZZTIME="${FUZZTIME:-10s}"
 echo "== fuzz smoke (${FUZZTIME} per target)"
 go test -run='^$' -fuzz='^FuzzReadMessage$' -fuzztime="$FUZZTIME" ./internal/wire
+go test -run='^$' -fuzz='^FuzzReadSubscribe$' -fuzztime="$FUZZTIME" ./internal/wire
+go test -run='^$' -fuzz='^FuzzReadFramePush$' -fuzztime="$FUZZTIME" ./internal/wire
 go test -run='^$' -fuzz='^FuzzReadEncodedFrame$' -fuzztime="$FUZZTIME" ./internal/core
 go test -run='^$' -fuzz='^FuzzStreamReader$' -fuzztime="$FUZZTIME" ./internal/core
 
