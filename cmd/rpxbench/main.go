@@ -7,7 +7,7 @@
 //	rpxbench -list
 //
 // Experiments: fig3, table4, fig8, fig9a, fig9b, fig9c, table5, energy,
-// appendix, clsweep, futurework, parallel, gateway, stream.
+// appendix, clsweep, futurework, parallel, gateway, stream, hotpath.
 package main
 
 import (
@@ -89,6 +89,7 @@ var registry = []experiment{
 	{"parallel", "Row-band parallel encode/decode scaling vs worker count", runParallel},
 	{"gateway", "rpxgw proxy overhead vs direct rpxd dial at 1/8/64 sessions", runGateway},
 	{"stream", "v3 push delivery vs request/reply pull at 1/8/64 sessions", runStream},
+	{"hotpath", "pooled zero-copy frame path vs copy-heavy baseline at 1/8/64 sessions", runHotpath},
 }
 
 func main() {
@@ -299,4 +300,18 @@ func runStream(s experiments.Scale) (string, error) {
 		return "", err
 	}
 	return experiments.StreamReport(rows), nil
+}
+
+func runHotpath(s experiments.Scale) (string, error) {
+	rows, err := experiments.Hotpath(s)
+	if err != nil {
+		return "", err
+	}
+	if err := writeCSV("hotpath", func(f *os.File) error { return experiments.HotpathCSV(f, rows) }); err != nil {
+		return "", err
+	}
+	if err := writeBenchJSON("hotpath", func(f *os.File) error { return experiments.HotpathJSON(f, rows) }); err != nil {
+		return "", err
+	}
+	return experiments.HotpathReport(rows), nil
 }

@@ -14,7 +14,11 @@
 // popcount tables for the R code.
 package bitpack
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
 
 // Code is a two-bit EncMask entry.
 type Code uint8
@@ -155,23 +159,39 @@ func (m *Mask2) Reset() {
 	}
 }
 
+// countRBytes counts the "11" two-bit fields across whole packed bytes,
+// eight bytes (32 mask elements) per step. A field is R exactly when both of
+// its bits are set, so `w & (w>>1)` puts a marker on each field's low bit and
+// masking with 0x55… isolates those markers for a single OnesCount64.
+// Two-bit fields never straddle byte boundaries (4 fields per byte), so the
+// little-endian uint64 load preserves field alignment.
+func countRBytes(data []byte) int {
+	total := 0
+	for len(data) >= 8 {
+		w := binary.LittleEndian.Uint64(data)
+		total += bits.OnesCount64(w & (w >> 1) & 0x5555555555555555)
+		data = data[8:]
+	}
+	for _, b := range data {
+		total += int(rCountTable[b])
+	}
+	return total
+}
+
 // CountR returns the number of CodeR elements in [0, hi).
 //
 // This is the decoder's column-offset primitive: "the count of the number of
 // full regional pixels from the start of the row until that pixel (the number
-// of 11 entries in the EncMask)" (§4.2.1). It runs in O(hi/4) using the byte
-// popcount table.
+// of 11 entries in the EncMask)" (§4.2.1). Whole bytes are counted 32
+// elements at a time via a masked popcount; only the trailing partial byte
+// consults the prefix table.
 func (m *Mask2) CountR(hi int) int {
 	if hi < 0 || hi > m.n {
 		panic(fmt.Sprintf("bitpack: CountR bound %d out of range [0,%d]", hi, m.n))
 	}
-	full := hi >> 2
-	total := 0
-	for _, b := range m.data[:full] {
-		total += int(rCountTable[b])
-	}
+	total := countRBytes(m.data[:hi>>2])
 	if rem := hi & 3; rem != 0 {
-		total += int(rPrefixTable[m.data[full]][rem])
+		total += int(rPrefixTable[m.data[hi>>2]][rem])
 	}
 	return total
 }
@@ -198,10 +218,8 @@ func (m *Mask2) CountRRange(lo, hi int) int {
 		total += int(rPrefixTable[m.data[loByte]][4]) - int(rPrefixTable[m.data[loByte]][rem])
 		loByte++
 	}
-	// Middle: whole bytes.
-	for _, b := range m.data[loByte:hiByte] {
-		total += int(rCountTable[b])
-	}
+	// Middle: whole bytes, word at a time.
+	total += countRBytes(m.data[loByte:hiByte])
 	// Tail: elements [start of hi's byte, hi).
 	if rem := hi & 3; rem != 0 {
 		total += int(rPrefixTable[m.data[hiByte]][rem])

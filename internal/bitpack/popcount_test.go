@@ -1,0 +1,80 @@
+package bitpack
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveCountRRange is the per-element reference the word-at-a-time counters
+// must match exactly.
+func naiveCountRRange(m *Mask2, lo, hi int) int {
+	total := 0
+	for i := lo; i < hi; i++ {
+		if m.Get(i) == CodeR {
+			total++
+		}
+	}
+	return total
+}
+
+// TestCountRWordEquivalence cross-checks the OnesCount64 fast path against a
+// per-element scan over random masks at sizes chosen to exercise every
+// head/word/tail split (sub-word masks, exact word multiples, ragged tails).
+func TestCountRWordEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range []int{0, 1, 3, 4, 31, 32, 33, 64, 100, 255, 256, 257, 1000, 4096 + 7} {
+		m := NewMask2(n)
+		for i := 0; i < n; i++ {
+			m.Set(i, Code(rng.Intn(4)))
+		}
+		for trial := 0; trial < 200; trial++ {
+			hi := rng.Intn(n + 1)
+			if got, want := m.CountR(hi), naiveCountRRange(m, 0, hi); got != want {
+				t.Fatalf("n=%d CountR(%d) = %d, want %d", n, hi, got, want)
+			}
+			lo := rng.Intn(hi + 1)
+			if got, want := m.CountRRange(lo, hi), naiveCountRRange(m, lo, hi); got != want {
+				t.Fatalf("n=%d CountRRange(%d,%d) = %d, want %d", n, lo, hi, got, want)
+			}
+		}
+	}
+}
+
+// TestCountRAllR pins the saturated case: every element R, so counts must
+// equal the range width at any alignment.
+func TestCountRAllR(t *testing.T) {
+	const n = 517
+	m := NewMask2(n)
+	m.Fill(0, n, CodeR)
+	for hi := 0; hi <= n; hi++ {
+		if got := m.CountR(hi); got != hi {
+			t.Fatalf("CountR(%d) = %d on all-R mask", hi, got)
+		}
+	}
+	for lo := 0; lo <= n; lo += 13 {
+		for hi := lo; hi <= n; hi += 29 {
+			if got := m.CountRRange(lo, hi); got != hi-lo {
+				t.Fatalf("CountRRange(%d,%d) = %d on all-R mask", lo, hi, got)
+			}
+		}
+	}
+}
+
+// TestAllocsCountR pins the PMMU translation primitives at zero allocations:
+// they run per decoded pixel-address translation and must never touch the
+// heap.
+func TestAllocsCountR(t *testing.T) {
+	const n = 4096
+	m := NewMask2(n)
+	for i := 0; i < n; i += 3 {
+		m.Set(i, CodeR)
+	}
+	sink := 0
+	if allocs := testing.AllocsPerRun(100, func() {
+		sink += m.CountR(n - 5)
+		sink += m.CountRRange(17, n-17)
+	}); allocs != 0 {
+		t.Fatalf("CountR/CountRRange allocate %v per run, want 0", allocs)
+	}
+	_ = sink
+}

@@ -120,12 +120,22 @@ func NewDecoder(w, h int, format frame.Format, opts ...DecoderOption) *Decoder {
 // geometry. Push never allocates: the ring slots and the newest-first view
 // are fixed buffers sized at construction.
 func (d *Decoder) Push(ef *EncodedFrame) error {
+	_, err := d.PushEvict(ef)
+	return err
+}
+
+// PushEvict is Push returning ownership of the frame it displaced: once a
+// frame falls off the history ring the decoder holds no reference to it, so
+// the caller may recycle its buffers (e.g. hand it to a FramePool). The
+// result is nil until the ring has wrapped.
+func (d *Decoder) PushEvict(ef *EncodedFrame) (evicted *EncodedFrame, err error) {
 	if ef.W != d.w || ef.H != d.h || ef.BytesPerPixel != d.bpp {
-		return fmt.Errorf("core: encoded frame %dx%d bpp=%d does not match decoder %dx%d bpp=%d",
+		return nil, fmt.Errorf("core: encoded frame %dx%d bpp=%d does not match decoder %dx%d bpp=%d",
 			ef.W, ef.H, ef.BytesPerPixel, d.w, d.h, d.bpp)
 	}
 	d.head = (d.head + d.depth - 1) % d.depth
-	d.ring[d.head] = ef // overwrites (and un-pins) the evicted oldest frame
+	evicted = d.ring[d.head] // non-nil once the ring has wrapped
+	d.ring[d.head] = ef
 	if d.count < d.depth {
 		d.count++
 	}
@@ -133,7 +143,7 @@ func (d *Decoder) Push(ef *EncodedFrame) error {
 	for i := 0; i < d.count; i++ {
 		d.history[i] = d.ring[(d.head+i)%d.depth]
 	}
-	return nil
+	return evicted, nil
 }
 
 // HistoryLen returns the number of buffered encoded frames.

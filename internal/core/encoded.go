@@ -114,8 +114,65 @@ func (ef *EncodedFrame) Validate() error {
 	return nil
 }
 
+// Clone returns a deep copy of ef that shares no storage with the original.
+// The copy is safe to hold, mutate, or serialize regardless of what later
+// happens to ef (e.g. the producing System recycling its buffers).
+func (ef *EncodedFrame) Clone() *EncodedFrame {
+	c := &EncodedFrame{
+		W:             ef.W,
+		H:             ef.H,
+		BytesPerPixel: ef.BytesPerPixel,
+		FrameIndex:    ef.FrameIndex,
+		Pix:           append([]byte(nil), ef.Pix...),
+		RowOffsets:    append([]uint32(nil), ef.RowOffsets...),
+		Mask:          ef.Mask.Clone(),
+	}
+	return c
+}
+
+// CopyFrom makes dst a deep copy of src, reusing dst's buffers where their
+// capacity allows. dst afterwards shares no storage with src.
+func (ef *EncodedFrame) CopyFrom(src *EncodedFrame) {
+	ef.W, ef.H, ef.BytesPerPixel, ef.FrameIndex = src.W, src.H, src.BytesPerPixel, src.FrameIndex
+	ef.Pix = append(ef.Pix[:0], src.Pix...)
+	ef.RowOffsets = append(ef.RowOffsets[:0], src.RowOffsets...)
+	if ef.Mask == nil || ef.Mask.Len() != src.Mask.Len() {
+		ef.Mask = src.Mask.Clone()
+	} else {
+		copy(ef.Mask.Bytes(), src.Mask.Bytes())
+	}
+}
+
 // encodedMagic identifies the serialized encoded-frame container.
 const encodedMagic = 0x52505845 // "RPXE"
+
+// encodedHeaderSize is the fixed RPXE container header length.
+const encodedHeaderSize = 28
+
+// EncodedSize returns the exact serialized length of the RPXE container
+// WriteTo/AppendTo produce, so callers can size a destination buffer and
+// serialize with a single allocation (or none).
+func (ef *EncodedFrame) EncodedSize() int {
+	return encodedHeaderSize + len(ef.Pix) + 4*len(ef.RowOffsets) + ef.Mask.SizeBytes()
+}
+
+// AppendTo appends the RPXE container (the same layout WriteTo emits) to dst
+// and returns the extended slice. It performs no allocation when dst has
+// EncodedSize() spare capacity.
+func (ef *EncodedFrame) AppendTo(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, encodedMagic)
+	dst = binary.LittleEndian.AppendUint32(dst, 1) // version
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(ef.W))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(ef.H))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(ef.BytesPerPixel))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(ef.FrameIndex))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(ef.Pix)))
+	dst = append(dst, ef.Pix...)
+	for _, v := range ef.RowOffsets {
+		dst = binary.LittleEndian.AppendUint32(dst, v)
+	}
+	return append(dst, ef.Mask.Bytes()...)
+}
 
 // WriteTo serializes the encoded frame in a compact binary container so CLI
 // tools can persist encoded streams. Layout: magic, version, W, H, bpp,

@@ -43,6 +43,8 @@ type Encoder struct {
 	rowCodes []bitpack.Code // scratch: classification of the current row
 	sublist  []int          // scratch: RoI Selector output (indices into labels)
 
+	pool *FramePool // optional frame recycling; nil means allocate fresh
+
 	stats EncoderStats
 }
 
@@ -104,17 +106,18 @@ func (e *Encoder) Stats() EncoderStats { return e.stats }
 // ResetStats zeroes the work counters.
 func (e *Encoder) ResetStats() { e.stats = EncoderStats{} }
 
+// SetFramePool installs a frame-recycling pool that BeginFrame draws output
+// frames from. Frames the caller is done with must be returned via
+// pool.Put; a nil pool restores fresh allocation per frame.
+func (e *Encoder) SetFramePool(p *FramePool) { e.pool = p }
+
 // BeginFrame starts streaming a new frame with the given temporal index.
 // Any partially streamed frame is discarded.
 func (e *Encoder) BeginFrame(frameIndex int) {
-	e.cur = &EncodedFrame{
-		W:             e.w,
-		H:             e.h,
-		BytesPerPixel: e.bpp,
-		FrameIndex:    frameIndex,
-		RowOffsets:    make([]uint32, 1, e.h+1),
-		Mask:          bitpack.NewMask2(e.w * e.h),
-	}
+	ef := e.pool.Get(e.w, e.h, e.bpp)
+	ef.FrameIndex = frameIndex
+	ef.RowOffsets = append(ef.RowOffsets, 0)
+	e.cur = ef
 	e.row = 0
 }
 

@@ -43,6 +43,8 @@ type ParallelEncoder struct {
 	bands   [][2]int // [y0, y1) row ranges, fixed at construction
 	workers []*encodeWorker
 
+	pool *FramePool // optional frame recycling; nil means allocate fresh
+
 	stats EncoderStats
 }
 
@@ -112,6 +114,11 @@ func (p *ParallelEncoder) Stats() EncoderStats { return p.stats }
 // ResetStats zeroes the work counters.
 func (p *ParallelEncoder) ResetStats() { p.stats = EncoderStats{} }
 
+// SetFramePool installs a frame-recycling pool that EncodeFrame draws output
+// frames from. Frames the caller is done with must be returned via
+// pool.Put; a nil pool restores fresh allocation per frame.
+func (p *ParallelEncoder) SetFramePool(fp *FramePool) { p.pool = fp }
+
 // EncodeFrame encodes an entire frame and returns the result. The frame
 // must match the encoder's dimensions and format. Band workers run
 // concurrently; the call returns after all bands are stitched.
@@ -122,13 +129,13 @@ func (p *ParallelEncoder) EncodeFrame(fr *frame.Frame, frameIndex int) (*Encoded
 	if fr.Format != p.format {
 		return nil, fmt.Errorf("core: frame format %v, encoder expects %v", fr.Format, p.format)
 	}
-	ef := &EncodedFrame{
-		W:             p.w,
-		H:             p.h,
-		BytesPerPixel: p.bpp,
-		FrameIndex:    frameIndex,
-		RowOffsets:    make([]uint32, p.h+1),
-		Mask:          bitpack.NewMask2(p.w * p.h),
+	ef := p.pool.Get(p.w, p.h, p.bpp)
+	ef.FrameIndex = frameIndex
+	// Stitching fills every entry by index, so size the table up front; the
+	// pool guarantees the capacity.
+	ef.RowOffsets = ef.RowOffsets[:0]
+	for i := 0; i <= p.h; i++ {
+		ef.RowOffsets = append(ef.RowOffsets, 0)
 	}
 	stride := fr.Stride()
 
@@ -160,7 +167,11 @@ func (p *ParallelEncoder) EncodeFrame(fr *frame.Frame, frameIndex int) (*Encoded
 		total += len(w.payload)
 	}
 	ef.RowOffsets[p.h] = off
-	ef.Pix = make([]byte, 0, total)
+	if cap(ef.Pix) < total {
+		ef.Pix = make([]byte, 0, total)
+	} else {
+		ef.Pix = ef.Pix[:0]
+	}
 	for bi := range p.bands {
 		ef.Pix = append(ef.Pix, p.workers[bi].payload...)
 	}

@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+	"repro/rpx"
+)
+
+// Hot-path allocation pricing: the capture → encode → RPXE-serialize →
+// wire-write pipeline run two ways over identical inputs. The baseline is
+// the pre-pooling idiom — LastEncoded's owned deep copy, a fresh
+// bytes.Buffer per serialization, a bare WriteMessage per send — and the
+// pooled path is the zero-copy contract this repo's transports use:
+// BorrowLastEncoded on the owning goroutine, AppendTo into a reused
+// scratch, and a MessageWriter assembling header+payload vectored. Same
+// bytes leave both pipelines; the difference is purely allocator and
+// memcpy traffic, which is what this experiment prices at 1/8/64
+// concurrent pipelines.
+
+// HotpathRow is one concurrency-level measurement.
+type HotpathRow struct {
+	// Sessions is the number of concurrent independent pipelines.
+	Sessions int `json:"sessions"`
+	// BaselineFPS is frames/sec through the copy-heavy baseline path.
+	BaselineFPS float64 `json:"baseline_fps"`
+	// PooledFPS is frames/sec through the pooled zero-copy path.
+	PooledFPS float64 `json:"pooled_fps"`
+	// SpeedupX is PooledFPS/BaselineFPS.
+	SpeedupX float64 `json:"speedup_x"`
+	// BaselineAllocs is heap allocations per frame on the baseline path.
+	BaselineAllocs float64 `json:"baseline_allocs_per_frame"`
+	// PooledAllocs is heap allocations per frame on the pooled path.
+	PooledAllocs float64 `json:"pooled_allocs_per_frame"`
+}
+
+// hotpath geometry: matches the stream/gateway benches so rows are
+// comparable across BENCH files.
+const (
+	hotpathW = 160
+	hotpathH = 120
+)
+
+// Hotpath measures the two pipeline variants at increasing concurrency.
+func Hotpath(s Scale) ([]HotpathRow, error) {
+	counts := []int{1, 8}
+	frames := 150
+	if s == Full {
+		counts = []int{1, 8, 64}
+		frames = 400
+	}
+	rows := make([]HotpathRow, 0, len(counts))
+	for _, n := range counts {
+		baseFPS, baseAllocs, err := hotpathRun(n, frames, hotpathBaseline)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: hotpath baseline %d sessions: %w", n, err)
+		}
+		poolFPS, poolAllocs, err := hotpathRun(n, frames, hotpathPooled)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: hotpath pooled %d sessions: %w", n, err)
+		}
+		rows = append(rows, HotpathRow{
+			Sessions:       n,
+			BaselineFPS:    baseFPS,
+			PooledFPS:      poolFPS,
+			SpeedupX:       poolFPS / baseFPS,
+			BaselineAllocs: baseAllocs,
+			PooledAllocs:   poolAllocs,
+		})
+	}
+	return rows, nil
+}
+
+// hotpathPipeline runs one pipeline's frames; sink swallows the framed wire
+// bytes (the experiment prices assembly, not the kernel's TCP stack).
+type hotpathPipeline func(sys *rpx.System, fr *rpx.Frame, frames, seed int, sink io.Writer) error
+
+// hotpathRun times n concurrent pipelines and meters allocations across the
+// run. Allocation accounting is process-global, so runs are sequential per
+// variant and the warm-up frames run before the meter starts.
+func hotpathRun(n, frames int, pipeline hotpathPipeline) (fps, allocsPerFrame float64, err error) {
+	systems := make([]*rpx.System, n)
+	inputs := make([]*rpx.Frame, n)
+	for i := range systems {
+		sys, serr := rpx.NewSystem(hotpathW, hotpathH, rpx.Gray8)
+		if serr != nil {
+			return 0, 0, serr
+		}
+		if serr := sys.SetRegionLabels([]rpx.RegionLabel{rpx.FullFrame(hotpathW, hotpathH)}); serr != nil {
+			return 0, 0, serr
+		}
+		systems[i] = sys
+		inputs[i] = rpx.NewFrame(hotpathW, hotpathH, rpx.Gray8)
+		// Warm up past the history depth so frame recycling (and every
+		// lazily-grown buffer) reaches steady state before the meter starts.
+		if serr := pipeline(sys, inputs[i], 8, i, io.Discard); serr != nil {
+			return 0, 0, serr
+		}
+	}
+
+	var (
+		wg    sync.WaitGroup
+		start = make(chan struct{})
+		mu    sync.Mutex
+	)
+	fail := func(e error) {
+		mu.Lock()
+		if err == nil {
+			err = e
+		}
+		mu.Unlock()
+	}
+	for i := range systems {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			if perr := pipeline(systems[i], inputs[i], frames, i, io.Discard); perr != nil {
+				fail(perr)
+			}
+		}(i)
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0).Seconds()
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return 0, 0, err
+	}
+	total := float64(n * frames)
+	return total / elapsed, float64(after.Mallocs-before.Mallocs) / total, nil
+}
+
+// hotpathBaseline is the pre-pooling idiom: every stage allocates — the
+// owned LastEncoded copy, a fresh serialization buffer, a bare per-message
+// WriteMessage.
+func hotpathBaseline(sys *rpx.System, fr *rpx.Frame, frames, seed int, sink io.Writer) error {
+	for i := 0; i < frames; i++ {
+		for p := range fr.Pix {
+			fr.Pix[p] = byte(seed*37 + i*11 + p)
+		}
+		if _, err := sys.Capture(fr); err != nil {
+			return err
+		}
+		ef := sys.LastEncoded()
+		var buf bytes.Buffer
+		if _, err := ef.WriteTo(&buf); err != nil {
+			return err
+		}
+		if err := wire.WriteMessage(sink, wire.MsgEncoded, buf.Bytes(), 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// hotpathPooled is the zero-copy contract: borrow the live frame on its
+// owning goroutine, serialize into a reused scratch, frame through a
+// MessageWriter.
+func hotpathPooled(sys *rpx.System, fr *rpx.Frame, frames, seed int, sink io.Writer) error {
+	mw := wire.NewMessageWriter(sink)
+	var scratch []byte
+	for i := 0; i < frames; i++ {
+		for p := range fr.Pix {
+			fr.Pix[p] = byte(seed*37 + i*11 + p)
+		}
+		if _, err := sys.Capture(fr); err != nil {
+			return err
+		}
+		ef := sys.BorrowLastEncoded()
+		scratch = ef.AppendTo(scratch[:0])
+		if err := mw.WriteMessage(wire.MsgEncoded, scratch, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HotpathReport renders the allocation-pricing table.
+func HotpathReport(rows []HotpathRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Hot path: %dx%d Gray8 capture -> encode -> RPXE serialize -> wire write\n", hotpathW, hotpathH)
+	fmt.Fprintf(&b, "%9s %14s %14s %9s %14s %14s\n",
+		"sessions", "baseline f/s", "pooled f/s", "speedup", "base allocs/f", "pool allocs/f")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%9d %14.0f %14.0f %8.2fx %14.1f %14.1f\n",
+			r.Sessions, r.BaselineFPS, r.PooledFPS, r.SpeedupX, r.BaselineAllocs, r.PooledAllocs)
+	}
+	return b.String()
+}
+
+// HotpathCSV writes the rows as CSV.
+func HotpathCSV(w io.Writer, rows []HotpathRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"sessions", "baseline_fps", "pooled_fps", "speedup_x", "baseline_allocs_per_frame", "pooled_allocs_per_frame"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			fmt.Sprintf("%d", r.Sessions),
+			fmt.Sprintf("%.1f", r.BaselineFPS),
+			fmt.Sprintf("%.1f", r.PooledFPS),
+			fmt.Sprintf("%.3f", r.SpeedupX),
+			fmt.Sprintf("%.1f", r.BaselineAllocs),
+			fmt.Sprintf("%.1f", r.PooledAllocs),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// HotpathJSON writes the rows as the BENCH_hotpath.json document.
+func HotpathJSON(w io.Writer, rows []HotpathRow) error {
+	doc := struct {
+		Experiment string       `json:"experiment"`
+		Workload   string       `json:"workload"`
+		Rows       []HotpathRow `json:"rows"`
+	}{
+		Experiment: "hotpath_pooled_vs_baseline",
+		Workload:   fmt.Sprintf("%dx%d gray8 capture, full-frame labels, in-process serialize+frame", hotpathW, hotpathH),
+		Rows:       rows,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

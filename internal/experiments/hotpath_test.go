@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestHotpathShape runs the allocation-pricing bench at Quick scale and
+// asserts structural soundness plus the one property that is
+// scheduling-independent: the pooled path allocates strictly less per
+// frame than the baseline (absolute throughput is not asserted).
+func TestHotpathShape(t *testing.T) {
+	rows, err := Hotpath(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2 at Quick scale", len(rows))
+	}
+	last := 0
+	for _, r := range rows {
+		if r.Sessions <= last {
+			t.Errorf("session counts not increasing: %+v", rows)
+		}
+		last = r.Sessions
+		if r.BaselineFPS <= 0 || r.PooledFPS <= 0 || r.SpeedupX <= 0 {
+			t.Errorf("non-positive measurement: %+v", r)
+		}
+		if r.PooledAllocs >= r.BaselineAllocs {
+			t.Errorf("pooled path allocates %.1f/frame, baseline %.1f — pooling regressed", r.PooledAllocs, r.BaselineAllocs)
+		}
+		// The pooled pipeline's steady state is allocation-free; allow only
+		// runtime background noise.
+		if r.PooledAllocs > 1 {
+			t.Errorf("pooled path allocates %.2f/frame, want < 1", r.PooledAllocs)
+		}
+	}
+
+	if rep := HotpathReport(rows); !strings.Contains(rep, "Hot path") {
+		t.Error("report missing header")
+	}
+
+	var csvBuf bytes.Buffer
+	if err := HotpathCSV(&csvBuf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(csvBuf.String(), "\n"); lines != len(rows)+1 {
+		t.Errorf("CSV has %d lines, want %d", lines, len(rows)+1)
+	}
+
+	var jsonBuf bytes.Buffer
+	if err := HotpathJSON(&jsonBuf, rows); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Experiment string       `json:"experiment"`
+		Rows       []HotpathRow `json:"rows"`
+	}
+	if err := json.Unmarshal(jsonBuf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Experiment != "hotpath_pooled_vs_baseline" || len(doc.Rows) != len(rows) {
+		t.Errorf("JSON document malformed: %+v", doc)
+	}
+}

@@ -396,13 +396,15 @@ type proxySession struct {
 func (g *Gateway) handle(conn net.Conn) {
 	defer conn.Close()
 	cbr := bufio.NewReader(conn)
-	cbw := bufio.NewWriter(conn)
+	// One MessageWriter per client connection: each message leaves in a
+	// single vectored write, and its internal lock keeps the streaming
+	// relay's pump goroutine from tearing frames against this loop's writes.
+	// Client reads stay fresh-alloc (no buffer reuse): HELLO and SET_LABELS
+	// payloads are retained verbatim for migration replay.
+	cmw := wire.NewMessageWriter(conn)
 	writeClient := func(typ byte, payload []byte) error {
 		conn.SetWriteDeadline(time.Now().Add(g.cfg.WriteTimeout))
-		if err := wire.WriteMessage(cbw, typ, payload, g.cfg.MaxPayload); err != nil {
-			return err
-		}
-		return cbw.Flush()
+		return cmw.WriteMessage(typ, payload, g.cfg.MaxPayload)
 	}
 	writeErr := func(code uint16, msg string) error {
 		return writeClient(wire.MsgError, wire.MarshalError(code, msg))

@@ -342,8 +342,13 @@ type request struct {
 	labels region.List
 	frame  *frame.Frame
 	window wire4
-	start  time.Time
-	reply  chan result
+	// encInto is the caller-supplied scratch OpLastEncoded serializes the
+	// RPXE container into (worker-side, while the frame is stable); wantFrame
+	// asks for a deep-copied *EncodedFrame instead.
+	encInto   []byte
+	wantFrame bool
+	start     time.Time
+	reply     chan result
 }
 
 type wire4 struct{ x, y, w, h int }
@@ -352,6 +357,7 @@ type result struct {
 	cs  rpx.CaptureStats
 	fr  *frame.Frame
 	ef  *core.EncodedFrame
+	enc []byte
 	err error
 }
 
@@ -468,11 +474,17 @@ func (s *Session) execute(req *request) result {
 		}
 		return result{fr: fr, err: err}
 	case OpLastEncoded:
-		ef := s.sys.LastEncoded()
+		// Borrow, don't copy: on the worker goroutine the live frame is
+		// stable, so both variants (serialize into caller scratch, or hand
+		// out an owned deep copy) read it without aliasing it to the caller.
+		ef := s.sys.BorrowLastEncoded()
 		if ef == nil {
 			return result{err: fmt.Errorf("server: no frame captured yet")}
 		}
-		return result{ef: ef}
+		if req.wantFrame {
+			return result{ef: ef.Clone()}
+		}
+		return result{enc: ef.AppendTo(req.encInto[:0])}
 	}
 	return result{err: fmt.Errorf("server: unknown op %d", req.op)}
 }
@@ -543,10 +555,22 @@ func (s *Session) DecodeWindow(x, y, w, h int) (*frame.Frame, error) {
 	return res.fr, res.err
 }
 
-// LastEncoded returns the newest encoded frame.
+// LastEncoded returns the newest encoded frame. The caller owns the result:
+// it is a deep copy made on the session worker and later captures never
+// touch it.
 func (s *Session) LastEncoded() (*core.EncodedFrame, error) {
-	res := s.submit(&request{op: OpLastEncoded})
+	res := s.submit(&request{op: OpLastEncoded, wantFrame: true})
 	return res.ef, res.err
+}
+
+// LastEncodedTo serializes the newest encoded frame as an RPXE container
+// into dst (reusing its capacity, like append) and returns the result. The
+// serialization happens on the session worker while the frame is stable, so
+// no intermediate *EncodedFrame copy is made — this is the transport's
+// zero-copy GET_ENCODED path.
+func (s *Session) LastEncodedTo(dst []byte) ([]byte, error) {
+	res := s.submit(&request{op: OpLastEncoded, encInto: dst})
+	return res.enc, res.err
 }
 
 // SystemStats snapshots the underlying pipeline's traffic counters without

@@ -1,7 +1,6 @@
 package server
 
 import (
-	"bytes"
 	"sync"
 
 	"repro/internal/obs"
@@ -250,7 +249,7 @@ func (s *Session) NextSeq() uint64 {
 
 // publish hands one captured frame to every attached subscription. It runs
 // on the session worker goroutine immediately after a successful capture,
-// so LastEncoded is exactly the frame just captured; the RPXE container is
+// so the borrowed frame is exactly the one just captured; the RPXE container is
 // serialized once and the bytes shared read-only across subscribers.
 func (s *Session) publish(cs rpx.CaptureStats) {
 	seq := uint64(cs.FrameIndex)
@@ -263,15 +262,17 @@ func (s *Session) publish(cs rpx.CaptureStats) {
 	subs := append([]*Subscription(nil), s.subs...)
 	s.subMu.Unlock()
 
-	ef := s.sys.LastEncoded()
+	// Borrow the live frame (we are on the worker goroutine, so it is
+	// stable) and serialize it exactly once into a right-sized buffer. The
+	// buffer is deliberately a fresh allocation, not pooled: its bytes are
+	// shared read-only across every subscriber's queue with no refcount, so
+	// its lifetime ends whenever the last writer drains it — GC ownership is
+	// the contract. One allocation per published frame, fan-out free.
+	ef := s.sys.BorrowLastEncoded()
 	if ef == nil {
 		return
 	}
-	var buf bytes.Buffer
-	if _, err := ef.WriteTo(&buf); err != nil {
-		return
-	}
-	it := pushItem{seq: seq, stats: cs, enc: buf.Bytes()}
+	it := pushItem{seq: seq, stats: cs, enc: ef.AppendTo(make([]byte, 0, ef.EncodedSize()))}
 	for _, sub := range subs {
 		sub.offer(it)
 	}

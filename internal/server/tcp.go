@@ -2,7 +2,6 @@ package server
 
 import (
 	"bufio"
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -14,6 +13,41 @@ import (
 	"repro/internal/frame"
 	"repro/internal/wire"
 )
+
+// connWriter is one connection's write side: a wire.MessageWriter (vectored
+// header+payload assembly, safe for concurrent writers) plus a reusable
+// marshaling scratch buffer. The scratch is single-owner: it belongs to the
+// request/reply loop, and during streaming it is only touched again after
+// the stream writer goroutine has been joined.
+type connWriter struct {
+	conn       net.Conn
+	mw         *wire.MessageWriter
+	timeout    time.Duration
+	maxPayload int
+	scratch    []byte
+}
+
+func newConnWriter(conn net.Conn, cfg TCPConfig) *connWriter {
+	return &connWriter{
+		conn:       conn,
+		mw:         wire.NewMessageWriter(conn),
+		timeout:    cfg.WriteTimeout,
+		maxPayload: cfg.MaxPayload,
+	}
+}
+
+// write frames and sends one message under the write deadline. Safe for
+// concurrent use as long as callers do not share payload buffers.
+func (cw *connWriter) write(typ byte, payload []byte) error {
+	cw.conn.SetWriteDeadline(time.Now().Add(cw.timeout))
+	return cw.mw.WriteMessage(typ, payload, cw.maxPayload)
+}
+
+// writeErr sends a typed ERROR, marshaling into the loop-owned scratch.
+func (cw *connWriter) writeErr(code uint16, msg string) error {
+	cw.scratch = wire.AppendError(cw.scratch[:0], code, msg)
+	return cw.write(wire.MsgError, cw.scratch)
+}
 
 // TCPConfig tunes the network front end.
 type TCPConfig struct {
@@ -145,32 +179,28 @@ func (s *TCPServer) Shutdown(ctx context.Context) error {
 func (s *TCPServer) handle(conn net.Conn) {
 	defer conn.Close()
 	br := bufio.NewReader(conn)
-	bw := bufio.NewWriter(conn)
+	cw := newConnWriter(conn, s.cfg)
 
-	writeMsg := func(typ byte, payload []byte) error {
-		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-		if err := wire.WriteMessage(bw, typ, payload, s.cfg.MaxPayload); err != nil {
-			return err
-		}
-		return bw.Flush()
-	}
-	writeErr := func(code uint16, msg string) error {
-		return writeMsg(wire.MsgError, wire.MarshalError(code, msg))
-	}
+	// rbuf is this connection's reusable inbound payload buffer. Reuse is
+	// safe because every payload is consumed before the next read: control
+	// payloads are decoded into their own structs immediately, and CAPTURE
+	// pixel payloads — which the frame wrapper aliases — are fully copied by
+	// the encoder before Capture returns.
+	var rbuf []byte
 
 	// The first message must be a valid HELLO.
 	conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
-	typ, payload, err := wire.ReadMessage(br, s.cfg.MaxPayload)
+	typ, payload, err := wire.ReadMessageInto(br, &rbuf, s.cfg.MaxPayload)
 	if err != nil {
 		return
 	}
 	if typ != wire.MsgHello {
-		writeErr(wire.CodeProto, fmt.Sprintf("first message must be HELLO, got %d", typ))
+		cw.writeErr(wire.CodeProto, fmt.Sprintf("first message must be HELLO, got %d", typ))
 		return
 	}
 	hello, err := wire.UnmarshalHello(payload)
 	if err != nil {
-		writeErr(wire.CodeProto, err.Error())
+		cw.writeErr(wire.CodeProto, err.Error())
 		return
 	}
 	// Reject geometries whose CAPTURE/FRAME payloads could never fit the
@@ -178,7 +208,7 @@ func (s *TCPServer) handle(conn net.Conn) {
 	// accepted session would fail ErrTooLarge and drop the connection with
 	// no error ever reaching the client.
 	if need := wire.FramePayloadSize(hello.W, hello.H, hello.Format); need > int64(s.cfg.MaxPayload) {
-		writeErr(wire.CodeGeometry, fmt.Sprintf(
+		cw.writeErr(wire.CodeGeometry, fmt.Sprintf(
 			"session geometry %dx%d %v needs %d-byte frame payloads, cap is %d",
 			hello.W, hello.H, hello.Format, need, s.cfg.MaxPayload))
 		return
@@ -195,7 +225,7 @@ func (s *TCPServer) handle(conn net.Conn) {
 		if errors.Is(err, ErrSessionLimit) || errors.Is(err, ErrManagerClosed) {
 			code = wire.CodeSessionLimit
 		}
-		writeErr(code, err.Error())
+		cw.writeErr(code, err.Error())
 		return
 	}
 	defer sess.Close()
@@ -205,21 +235,22 @@ func (s *TCPServer) handle(conn net.Conn) {
 	// The ack echoes the negotiated version: a v2 HELLO gets the legacy
 	// 12-byte form (all an old client can parse), a v3 HELLO the extended
 	// form that confirms streaming is available.
-	if err := writeMsg(wire.MsgHelloAck, wire.MarshalHelloAck(wire.HelloAck{
+	cw.scratch = wire.AppendHelloAck(cw.scratch[:0], wire.HelloAck{
 		SessionID:  sess.ID(),
 		MaxPayload: s.cfg.MaxPayload,
 		Version:    hello.Version,
-	})); err != nil {
+	})
+	if err := cw.write(wire.MsgHelloAck, cw.scratch); err != nil {
 		return
 	}
 
 	frameBytes := hello.W * hello.H * hello.Format.BytesPerPixel()
 	for {
 		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
-		typ, payload, err := wire.ReadMessage(br, s.cfg.MaxPayload)
+		typ, payload, err := wire.ReadMessageInto(br, &rbuf, s.cfg.MaxPayload)
 		if err != nil {
 			if errors.Is(err, wire.ErrTooLarge) {
-				writeErr(wire.CodeTooLarge, err.Error())
+				cw.writeErr(wire.CodeTooLarge, err.Error())
 			}
 			// Disconnect, timeout, or shutdown wake-up: close the session
 			// (its queued requests are drained by Close).
@@ -228,12 +259,12 @@ func (s *TCPServer) handle(conn net.Conn) {
 		if typ == wire.MsgSubscribe {
 			// Streaming mode runs its own read loop and hands the write
 			// side to a dedicated writer until the subscription ends.
-			if done := s.serveStream(sess, conn, br, writeMsg, writeErr, hello, payload); done {
+			if done := s.serveStream(sess, conn, br, &rbuf, cw, hello, payload); done {
 				return
 			}
 			continue
 		}
-		if done := s.serveMsg(sess, writeMsg, writeErr, typ, payload, hello, frameBytes); done {
+		if done := s.serveMsg(sess, cw, typ, payload, hello, frameBytes); done {
 			return
 		}
 	}
@@ -244,42 +275,46 @@ func (s *TCPServer) handle(conn net.Conn) {
 // (FRAME_PUSH batches, the final ACK or error), while this loop keeps
 // reading CREDIT grants until UNSUBSCRIBE or teardown. It reports true when
 // the connection should end; false resumes the request/reply loop.
-func (s *TCPServer) serveStream(sess *Session, conn net.Conn, br *bufio.Reader, writeMsg func(byte, []byte) error, writeErr func(uint16, string) error, hello wire.Hello, payload []byte) bool {
+func (s *TCPServer) serveStream(sess *Session, conn net.Conn, br *bufio.Reader, rbuf *[]byte, cw *connWriter, hello wire.Hello, payload []byte) bool {
 	if hello.Version < 3 {
-		return writeErr(wire.CodeProto, fmt.Sprintf(
+		return cw.writeErr(wire.CodeProto, fmt.Sprintf(
 			"SUBSCRIBE requires protocol v3, session negotiated v%d", hello.Version)) != nil
 	}
 	req, err := wire.UnmarshalSubscribe(payload)
 	if err != nil {
-		return writeErr(wire.CodeProto, err.Error()) != nil
+		return cw.writeErr(wire.CodeProto, err.Error()) != nil
 	}
 	target := sess
 	if req.Target != 0 && req.Target != sess.ID() {
 		t, ok := s.mgr.Lookup(req.Target)
 		if !ok {
-			return writeErr(wire.CodeBadRequest, fmt.Sprintf(
+			return cw.writeErr(wire.CodeBadRequest, fmt.Sprintf(
 				"SUBSCRIBE target session %d not found", req.Target)) != nil
 		}
 		target = t
 	}
 	sub, err := target.Subscribe(int(req.Credit), int(req.Batch))
 	if err != nil {
-		return writeErr(wire.CodeSessionLimit, err.Error()) != nil
+		return cw.writeErr(wire.CodeSessionLimit, err.Error()) != nil
 	}
-	if err := writeMsg(wire.MsgSubscribeAck, wire.MarshalSubscribeAck(wire.SubscribeAck{
+	cw.scratch = wire.AppendSubscribeAck(cw.scratch[:0], wire.SubscribeAck{
 		SubID:   sub.ID(),
 		NextSeq: target.NextSeq(),
-	})); err != nil {
+	})
+	if err := cw.write(wire.MsgSubscribeAck, cw.scratch); err != nil {
 		sub.Abort()
 		return true
 	}
 
+	// From here the writer goroutine owns cw for writing (its MessageWriter
+	// serializes the actual sends); this loop only writes again after
+	// joining writerDone, so cw.scratch is never shared.
 	writerDone := make(chan error, 1)
-	go func() { writerDone <- s.streamWriter(sub, conn, writeMsg) }()
+	go func() { writerDone <- s.streamWriter(sub, conn, cw) }()
 
 	for {
 		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
-		typ, payload, err := wire.ReadMessage(br, s.cfg.MaxPayload)
+		typ, payload, err := wire.ReadMessageInto(br, rbuf, s.cfg.MaxPayload)
 		if err != nil {
 			// Disconnect, timeout, shutdown wake-up, or the writer ended
 			// the stream server-side and woke us: tear the stream down.
@@ -311,7 +346,7 @@ func (s *TCPServer) serveStream(sess *Session, conn net.Conn, br *bufio.Reader, 
 			// Only CREDIT and UNSUBSCRIBE are legal while streaming.
 			sub.Abort()
 			<-writerDone
-			return writeErr(wire.CodeProto, fmt.Sprintf(
+			return cw.writeErr(wire.CodeProto, fmt.Sprintf(
 				"message type %d not allowed while streaming", typ)) != nil
 		}
 	}
@@ -321,7 +356,13 @@ func (s *TCPServer) serveStream(sess *Session, conn net.Conn, br *bufio.Reader, 
 // subscription: it blocks for published frames, batches what is already
 // buffered (splitting on the payload cap), and finishes with the final ACK
 // (clean unsubscribe) or a typed error (producing session closed).
-func (s *TCPServer) streamWriter(sub *Subscription, conn net.Conn, writeMsg func(byte, []byte) error) error {
+func (s *TCPServer) streamWriter(sub *Subscription, conn net.Conn, cw *connWriter) error {
+	// The writer's own marshaling state — it runs concurrently with the
+	// stream read loop, so it must not share cw.scratch. The FramePush
+	// frames slice and the serialized-payload scratch are both reused
+	// across batches: steady-state streaming marshals without allocating.
+	var scratch []byte
+	push := wire.FramePush{SubID: sub.ID()}
 	for {
 		items, dropped, ok := sub.Next()
 		if !ok {
@@ -341,7 +382,8 @@ func (s *TCPServer) streamWriter(sub *Subscription, conn net.Conn, writeMsg func
 				size += rec
 				n++
 			}
-			push := wire.FramePush{SubID: sub.ID(), Dropped: dropped}
+			push.Dropped = dropped
+			push.Frames = push.Frames[:0]
 			for _, it := range items[:n] {
 				push.Frames = append(push.Frames, wire.PushFrame{
 					Seq: it.seq,
@@ -354,7 +396,8 @@ func (s *TCPServer) streamWriter(sub *Subscription, conn net.Conn, writeMsg func
 					Enc: it.enc,
 				})
 			}
-			if err := writeMsg(wire.MsgFramePush, wire.MarshalFramePush(push)); err != nil {
+			scratch = wire.AppendFramePush(scratch[:0], push)
+			if err := cw.write(wire.MsgFramePush, scratch); err != nil {
 				sub.Abort()
 				for _, _, ok := sub.Next(); ok; _, _, ok = sub.Next() {
 					// Drain so the in-flight gauge returns to zero.
@@ -368,10 +411,12 @@ func (s *TCPServer) streamWriter(sub *Subscription, conn net.Conn, writeMsg func
 	switch sub.Reason() {
 	case ReasonUnsubscribed:
 		// Echo the subscription id so the client can match the ack.
-		return writeMsg(wire.MsgAck, wire.MarshalUnsubscribe(wire.Unsubscribe{SubID: sub.ID()}))
+		scratch = wire.AppendUnsubscribe(scratch[:0], wire.Unsubscribe{SubID: sub.ID()})
+		return cw.write(wire.MsgAck, scratch)
 	case ReasonSessionClosed:
-		err := writeMsg(wire.MsgError, wire.MarshalError(wire.CodeUnavailable,
-			"server: subscribed session closed"))
+		scratch = wire.AppendError(scratch[:0], wire.CodeUnavailable,
+			"server: subscribed session closed")
+		err := cw.write(wire.MsgError, scratch)
 		// Wake the connection's reader: the stream cannot continue, and
 		// the client was just told so.
 		conn.SetReadDeadline(time.Now())
@@ -384,7 +429,7 @@ func (s *TCPServer) streamWriter(sub *Subscription, conn net.Conn, writeMsg func
 
 // serveMsg dispatches one request message; it reports true when the
 // connection should end.
-func (s *TCPServer) serveMsg(sess *Session, writeMsg func(byte, []byte) error, writeErr func(uint16, string) error, typ byte, payload []byte, hello wire.Hello, frameBytes int) bool {
+func (s *TCPServer) serveMsg(sess *Session, cw *connWriter, typ byte, payload []byte, hello wire.Hello, frameBytes int) bool {
 	fail := func(err error) bool {
 		code := wire.CodeInternal
 		switch {
@@ -393,87 +438,90 @@ func (s *TCPServer) serveMsg(sess *Session, writeMsg func(byte, []byte) error, w
 		case errors.Is(err, ErrSessionClosed), errors.Is(err, ErrManagerClosed):
 			code = wire.CodeSessionLimit
 		}
-		return writeErr(code, err.Error()) != nil
+		return cw.writeErr(code, err.Error()) != nil
 	}
 	switch typ {
 	case wire.MsgSetLabels:
 		labels, err := wire.UnmarshalLabels(payload)
 		if err != nil {
-			return writeErr(wire.CodeProto, err.Error()) != nil
+			return cw.writeErr(wire.CodeProto, err.Error()) != nil
 		}
 		if err := sess.SetRegionLabels(labels); err != nil {
 			if errors.Is(err, ErrBacklog) || errors.Is(err, ErrSessionClosed) {
 				return fail(err)
 			}
-			return writeErr(wire.CodeBadRequest, err.Error()) != nil
+			return cw.writeErr(wire.CodeBadRequest, err.Error()) != nil
 		}
-		return writeMsg(wire.MsgAck, nil) != nil
+		return cw.write(wire.MsgAck, nil) != nil
 
 	case wire.MsgCapture:
 		if len(payload) != frameBytes {
-			return writeErr(wire.CodeBadRequest, fmt.Sprintf(
+			return cw.writeErr(wire.CodeBadRequest, fmt.Sprintf(
 				"CAPTURE carries %d bytes, session %dx%d %v needs %d",
 				len(payload), hello.W, hello.H, hello.Format, frameBytes)) != nil
 		}
 		fr, err := frame.FromPix(hello.W, hello.H, hello.Format, payload)
 		if err != nil {
-			return writeErr(wire.CodeBadRequest, err.Error()) != nil
+			return cw.writeErr(wire.CodeBadRequest, err.Error()) != nil
 		}
 		cs, err := sess.Capture(fr)
 		if err != nil {
 			return fail(err)
 		}
-		return writeMsg(wire.MsgCaptureAck, wire.MarshalCaptureAck(wire.CaptureAck{
+		cw.scratch = wire.AppendCaptureAck(cw.scratch[:0], wire.CaptureAck{
 			FrameIndex:    cs.FrameIndex,
 			EncodedPixels: cs.EncodedPixels,
 			EncodedBytes:  cs.EncodedBytes,
 			PixelFraction: cs.PixelFraction,
-		})) != nil
+		})
+		return cw.write(wire.MsgCaptureAck, cw.scratch) != nil
 
 	case wire.MsgDecode:
 		fr, err := sess.Decoded()
 		if err != nil {
 			return fail(err)
 		}
-		return writeMsg(wire.MsgFrame, wire.MarshalFrame(fr)) != nil
+		cw.scratch = wire.AppendFrame(cw.scratch[:0], fr)
+		return cw.write(wire.MsgFrame, cw.scratch) != nil
 
 	case wire.MsgDecodeWindow:
 		win, err := wire.UnmarshalWindow(payload)
 		if err != nil {
-			return writeErr(wire.CodeProto, err.Error()) != nil
+			return cw.writeErr(wire.CodeProto, err.Error()) != nil
 		}
 		fr, err := sess.DecodeWindow(win.X, win.Y, win.W, win.H)
 		if err != nil {
 			if errors.Is(err, ErrBacklog) || errors.Is(err, ErrSessionClosed) {
 				return fail(err)
 			}
-			return writeErr(wire.CodeBadRequest, err.Error()) != nil
+			return cw.writeErr(wire.CodeBadRequest, err.Error()) != nil
 		}
-		return writeMsg(wire.MsgFrame, wire.MarshalFrame(fr)) != nil
+		cw.scratch = wire.AppendFrame(cw.scratch[:0], fr)
+		return cw.write(wire.MsgFrame, cw.scratch) != nil
 
 	case wire.MsgGetEncoded:
-		ef, err := sess.LastEncoded()
+		// The RPXE container is serialized on the session worker directly
+		// into this connection's scratch — no intermediate EncodedFrame copy
+		// and no per-request buffer.
+		enc, err := sess.LastEncodedTo(cw.scratch[:0])
 		if err != nil {
 			return fail(err)
 		}
-		var buf bytes.Buffer
-		if _, err := ef.WriteTo(&buf); err != nil {
-			return fail(err)
-		}
-		return writeMsg(wire.MsgEncoded, buf.Bytes()) != nil
+		cw.scratch = enc
+		return cw.write(wire.MsgEncoded, cw.scratch) != nil
 
 	case wire.MsgStats:
 		b, err := json.Marshal(s.mgr.Snapshot())
 		if err != nil {
 			return fail(err)
 		}
-		return writeMsg(wire.MsgStatsAck, b) != nil
+		return cw.write(wire.MsgStatsAck, b) != nil
 
 	case wire.MsgClose:
-		writeMsg(wire.MsgAck, nil)
+		cw.write(wire.MsgAck, nil)
 		return true
 
 	default:
-		return writeErr(wire.CodeProto, fmt.Sprintf("unexpected message type %d", typ)) != nil
+		return cw.writeErr(wire.CodeProto, fmt.Sprintf("unexpected message type %d", typ)) != nil
 	}
 }

@@ -29,6 +29,9 @@ func FuzzReadMessage(f *testing.F) {
 	f.Add(seed(MsgError, MarshalError(CodeBadRequest, "nope")))
 	f.Add(seed(MsgAck, nil))
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1}) // hostile length prefix
+	// Hostile length just under the cap with a tiny body: the chunked read
+	// must fail on the truncation without allocating the claimed length.
+	f.Add([]byte{0xff, 0xff, 0x00, 0x00, MsgCapture, 1, 2, 3})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		const maxPayload = 1 << 16
 		r := bytes.NewReader(data)

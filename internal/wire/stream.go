@@ -43,14 +43,15 @@ type Subscribe struct {
 
 const subscribeSize = 8 + 4 + 4
 
-// MarshalSubscribe encodes a SUBSCRIBE payload.
-func MarshalSubscribe(s Subscribe) []byte {
-	b := make([]byte, subscribeSize)
-	binary.LittleEndian.PutUint64(b, s.Target)
-	binary.LittleEndian.PutUint32(b[8:], s.Credit)
-	binary.LittleEndian.PutUint32(b[12:], s.Batch)
-	return b
+// AppendSubscribe appends a SUBSCRIBE payload to dst.
+func AppendSubscribe(dst []byte, s Subscribe) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, s.Target)
+	dst = binary.LittleEndian.AppendUint32(dst, s.Credit)
+	return binary.LittleEndian.AppendUint32(dst, s.Batch)
 }
+
+// MarshalSubscribe encodes a SUBSCRIBE payload into a fresh buffer.
+func MarshalSubscribe(s Subscribe) []byte { return AppendSubscribe(nil, s) }
 
 // UnmarshalSubscribe decodes and validates a SUBSCRIBE payload.
 func UnmarshalSubscribe(b []byte) (Subscribe, error) {
@@ -84,13 +85,14 @@ type SubscribeAck struct {
 
 const subscribeAckSize = 8 + 8
 
-// MarshalSubscribeAck encodes a SUBSCRIBE_ACK payload.
-func MarshalSubscribeAck(a SubscribeAck) []byte {
-	b := make([]byte, subscribeAckSize)
-	binary.LittleEndian.PutUint64(b, a.SubID)
-	binary.LittleEndian.PutUint64(b[8:], a.NextSeq)
-	return b
+// AppendSubscribeAck appends a SUBSCRIBE_ACK payload to dst.
+func AppendSubscribeAck(dst []byte, a SubscribeAck) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, a.SubID)
+	return binary.LittleEndian.AppendUint64(dst, a.NextSeq)
 }
+
+// MarshalSubscribeAck encodes a SUBSCRIBE_ACK payload into a fresh buffer.
+func MarshalSubscribeAck(a SubscribeAck) []byte { return AppendSubscribeAck(nil, a) }
 
 // UnmarshalSubscribeAck decodes a SUBSCRIBE_ACK payload.
 func UnmarshalSubscribeAck(b []byte) (SubscribeAck, error) {
@@ -113,13 +115,14 @@ type Credit struct {
 
 const creditSize = 8 + 4
 
-// MarshalCredit encodes a CREDIT payload.
-func MarshalCredit(c Credit) []byte {
-	b := make([]byte, creditSize)
-	binary.LittleEndian.PutUint64(b, c.SubID)
-	binary.LittleEndian.PutUint32(b[8:], c.N)
-	return b
+// AppendCredit appends a CREDIT payload to dst.
+func AppendCredit(dst []byte, c Credit) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, c.SubID)
+	return binary.LittleEndian.AppendUint32(dst, c.N)
 }
+
+// MarshalCredit encodes a CREDIT payload into a fresh buffer.
+func MarshalCredit(c Credit) []byte { return AppendCredit(nil, c) }
 
 // UnmarshalCredit decodes and validates a CREDIT payload.
 func UnmarshalCredit(b []byte) (Credit, error) {
@@ -143,12 +146,13 @@ type Unsubscribe struct {
 
 const unsubscribeSize = 8
 
-// MarshalUnsubscribe encodes an UNSUBSCRIBE payload.
-func MarshalUnsubscribe(u Unsubscribe) []byte {
-	b := make([]byte, unsubscribeSize)
-	binary.LittleEndian.PutUint64(b, u.SubID)
-	return b
+// AppendUnsubscribe appends an UNSUBSCRIBE payload to dst.
+func AppendUnsubscribe(dst []byte, u Unsubscribe) []byte {
+	return binary.LittleEndian.AppendUint64(dst, u.SubID)
 }
+
+// MarshalUnsubscribe encodes an UNSUBSCRIBE payload into a fresh buffer.
+func MarshalUnsubscribe(u Unsubscribe) []byte { return AppendUnsubscribe(nil, u) }
 
 // UnmarshalUnsubscribe decodes an UNSUBSCRIBE payload.
 func UnmarshalUnsubscribe(b []byte) (Unsubscribe, error) {
@@ -197,25 +201,35 @@ const (
 	PushRecordOverhead = pushRecordHeaderSize
 )
 
-// MarshalFramePush encodes a FRAME_PUSH payload.
-func MarshalFramePush(p FramePush) []byte {
+// AppendFramePush appends a FRAME_PUSH payload to dst. With a dst of
+// sufficient capacity it performs no allocation, which is what lets the
+// server's push writer reuse one scratch buffer per stream.
+func AppendFramePush(dst []byte, p FramePush) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, p.SubID)
+	dst = binary.LittleEndian.AppendUint64(dst, p.Dropped)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(p.Frames)))
+	for _, f := range p.Frames {
+		dst = binary.LittleEndian.AppendUint64(dst, f.Seq)
+		dst = AppendCaptureAck(dst, f.Stats)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(f.Enc)))
+		dst = append(dst, f.Enc...)
+	}
+	return dst
+}
+
+// FramePushSize returns the exact payload length AppendFramePush produces
+// for p, so a sender can size its scratch buffer up front.
+func FramePushSize(p FramePush) int {
 	n := framePushHeaderSize
 	for _, f := range p.Frames {
 		n += pushRecordHeaderSize + len(f.Enc)
 	}
-	b := make([]byte, framePushHeaderSize, n)
-	binary.LittleEndian.PutUint64(b, p.SubID)
-	binary.LittleEndian.PutUint64(b[8:], p.Dropped)
-	binary.LittleEndian.PutUint32(b[16:], uint32(len(p.Frames)))
-	for _, f := range p.Frames {
-		var rec [pushRecordHeaderSize]byte
-		binary.LittleEndian.PutUint64(rec[0:], f.Seq)
-		copy(rec[8:28], MarshalCaptureAck(f.Stats))
-		binary.LittleEndian.PutUint32(rec[28:], uint32(len(f.Enc)))
-		b = append(b, rec[:]...)
-		b = append(b, f.Enc...)
-	}
-	return b
+	return n
+}
+
+// MarshalFramePush encodes a FRAME_PUSH payload into a fresh buffer.
+func MarshalFramePush(p FramePush) []byte {
+	return AppendFramePush(make([]byte, 0, FramePushSize(p)), p)
 }
 
 // UnmarshalFramePush decodes a FRAME_PUSH payload. The input is untrusted:

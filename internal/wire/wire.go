@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net"
+	"sync"
 
 	"repro/internal/frame"
 	"repro/internal/region"
@@ -167,6 +169,15 @@ func (e *RemoteError) Error() string {
 
 // WriteMessage frames one message onto w. Payloads above maxPayload (0 means
 // DefaultMaxPayload) fail with ErrTooLarge before any bytes are written.
+// Header and payload are handed to the writer as one vectored write
+// (net.Buffers), so on a *net.TCPConn the whole message leaves in a single
+// writev syscall and a reader never observes a header without its payload.
+//
+// WriteMessage itself is not safe for concurrent writers on one conn — two
+// goroutines can still interleave whole messages' bytes only if the writer
+// below splits them (bufio does). Connections with concurrent writers (the
+// v3 push publisher sharing a conn with a reply path) must funnel through a
+// MessageWriter, which serializes messages under its own mutex.
 func WriteMessage(w io.Writer, typ byte, payload []byte, maxPayload int) error {
 	if maxPayload <= 0 {
 		maxPayload = DefaultMaxPayload
@@ -174,44 +185,137 @@ func WriteMessage(w io.Writer, typ byte, payload []byte, maxPayload int) error {
 	if len(payload) > maxPayload {
 		return fmt.Errorf("%w: %d > %d", ErrTooLarge, len(payload), maxPayload)
 	}
-	hdr := make([]byte, headerSize)
-	binary.LittleEndian.PutUint32(hdr, uint32(len(payload)))
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
 	hdr[4] = typ
-	if _, err := w.Write(hdr); err != nil {
+	if len(payload) == 0 {
+		_, err := w.Write(hdr[:])
 		return err
 	}
-	if len(payload) == 0 {
-		return nil
-	}
-	_, err := w.Write(payload)
+	vec := net.Buffers{hdr[:], payload}
+	_, err := vec.WriteTo(w)
 	return err
 }
 
-// ReadMessage reads one framed message from r. The payload buffer is
-// allocated only after the length passes the cap check (0 means
-// DefaultMaxPayload), so a hostile length prefix cannot force a huge
-// allocation.
-func ReadMessage(r io.Reader, maxPayload int) (typ byte, payload []byte, err error) {
+// MessageWriter serializes framed messages onto a shared writer. It exists
+// for connections with more than one writing goroutine — the server's v3
+// FRAME_PUSH publisher and its reply path, the client's CREDIT grants racing
+// round-trip requests — where per-message atomicity must hold: a message's
+// header and payload always reach the wire contiguously, never interleaved
+// with another goroutine's message.
+//
+// Each message is assembled into a reusable two-element vector (header,
+// payload) and handed to the writer in one net.Buffers.WriteTo — a single
+// writev syscall on a *net.TCPConn — so the steady-state write path
+// performs zero allocations.
+type MessageWriter struct {
+	mu     sync.Mutex
+	w      io.Writer
+	hdr    [headerSize]byte
+	vecbuf [2][]byte
+	// vec is the reusable net.Buffers handed to WriteTo; it lives in the
+	// struct (not a local) because WriteTo's pointer receiver would
+	// otherwise force a per-message heap escape.
+	vec net.Buffers
+}
+
+// NewMessageWriter returns a MessageWriter framing messages onto w.
+func NewMessageWriter(w io.Writer) *MessageWriter {
+	return &MessageWriter{w: w}
+}
+
+// WriteMessage frames one message, atomically with respect to other
+// WriteMessage calls on the same MessageWriter. The payload is fully
+// consumed before the call returns; the caller may reuse it immediately.
+func (mw *MessageWriter) WriteMessage(typ byte, payload []byte, maxPayload int) error {
 	if maxPayload <= 0 {
 		maxPayload = DefaultMaxPayload
 	}
-	hdr := make([]byte, headerSize)
-	if _, err := io.ReadFull(r, hdr); err != nil {
+	if len(payload) > maxPayload {
+		return fmt.Errorf("%w: %d > %d", ErrTooLarge, len(payload), maxPayload)
+	}
+	mw.mu.Lock()
+	defer mw.mu.Unlock()
+	binary.LittleEndian.PutUint32(mw.hdr[:], uint32(len(payload)))
+	mw.hdr[4] = typ
+	if len(payload) == 0 {
+		_, err := mw.w.Write(mw.hdr[:])
+		return err
+	}
+	mw.vecbuf[0] = mw.hdr[:]
+	mw.vecbuf[1] = payload
+	mw.vec = mw.vecbuf[:]
+	_, err := mw.vec.WriteTo(mw.w)
+	mw.vecbuf[1] = nil // do not pin the payload past the write
+	mw.vec = nil
+	return err
+}
+
+// readChunk bounds how far a payload read extends its buffer beyond the
+// bytes that have actually arrived, mirroring the RPXE reader: a hostile
+// length prefix on a truncated stream costs at most one spare chunk, not an
+// up-front allocation of the claimed length.
+const readChunk = 1 << 20
+
+// ReadMessage reads one framed message from r into a freshly allocated
+// payload buffer. The length prefix is validated against the cap (0 means
+// DefaultMaxPayload) before any allocation, and the buffer grows in
+// readChunk steps as bytes arrive. Use ReadMessageInto to amortize the
+// payload buffer across a connection's messages.
+func ReadMessage(r io.Reader, maxPayload int) (typ byte, payload []byte, err error) {
+	var buf []byte
+	return ReadMessageInto(r, &buf, maxPayload)
+}
+
+// ReadMessageInto reads one framed message from r, placing the payload in
+// *buf (grown as needed, reused otherwise) and returning a slice of it.
+// The returned payload is valid only until the next ReadMessageInto with
+// the same buf; callers that retain it must copy.
+//
+// Reuse is what makes the server's steady-state read path allocation-free:
+// each connection owns one buffer that every request payload lands in, and
+// the request is fully consumed before the next read overwrites it.
+func ReadMessageInto(r io.Reader, buf *[]byte, maxPayload int) (typ byte, payload []byte, err error) {
+	if maxPayload <= 0 {
+		maxPayload = DefaultMaxPayload
+	}
+	b := *buf
+	if cap(b) < headerSize {
+		b = make([]byte, headerSize, 4096)
+		*buf = b
+	}
+	b = b[:headerSize]
+	if _, err := io.ReadFull(r, b); err != nil {
 		return 0, nil, err
 	}
-	n := int(binary.LittleEndian.Uint32(hdr))
-	typ = hdr[4]
+	n := int(binary.LittleEndian.Uint32(b))
+	typ = b[4]
 	if n > maxPayload {
 		return typ, nil, fmt.Errorf("%w: %d > %d", ErrTooLarge, n, maxPayload)
 	}
 	if n == 0 {
 		return typ, nil, nil
 	}
-	payload = make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return typ, nil, fmt.Errorf("wire: short payload: %w", err)
+	// Fill [0, n) of the buffer, extending by at most readChunk beyond the
+	// bytes actually read so far (the header bytes are overwritten — they
+	// are already decoded).
+	filled := 0
+	b = b[:0]
+	for filled < n {
+		m := min(readChunk, n-filled)
+		if cap(b) < filled+m {
+			b = append(b[:filled], make([]byte, m)...)
+		} else {
+			b = b[:filled+m]
+		}
+		if _, err := io.ReadFull(r, b[filled:]); err != nil {
+			*buf = b[:0]
+			return typ, nil, fmt.Errorf("wire: short payload: %w", err)
+		}
+		filled += m
 	}
-	return typ, payload, nil
+	*buf = b
+	return typ, b, nil
 }
 
 // Hello is the session-opening handshake payload.
@@ -244,27 +348,30 @@ const MaxParallelism = 256
 
 const helloSize = 4 + 4 + 4 + 4 + 1 + 4 + 4 + 1 + 4
 
-// MarshalHello encodes a HELLO payload, prefixed with magic and version
-// (h.Version, defaulting to ProtoVersion when zero).
-func MarshalHello(h Hello) []byte {
+// AppendHello appends a HELLO payload to dst, prefixed with magic and
+// version (h.Version, defaulting to ProtoVersion when zero).
+func AppendHello(dst []byte, h Hello) []byte {
 	v := uint32(h.Version)
 	if v == 0 {
 		v = ProtoVersion
 	}
-	b := make([]byte, helloSize)
-	binary.LittleEndian.PutUint32(b[0:], ProtoMagic)
-	binary.LittleEndian.PutUint32(b[4:], v)
-	binary.LittleEndian.PutUint32(b[8:], uint32(h.W))
-	binary.LittleEndian.PutUint32(b[12:], uint32(h.H))
-	b[16] = byte(h.Format)
-	binary.LittleEndian.PutUint32(b[17:], uint32(h.HistoryDepth))
-	binary.LittleEndian.PutUint32(b[21:], uint32(h.QueueDepth))
+	dst = binary.LittleEndian.AppendUint32(dst, ProtoMagic)
+	dst = binary.LittleEndian.AppendUint32(dst, v)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(h.W))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(h.H))
+	dst = append(dst, byte(h.Format))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(h.HistoryDepth))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(h.QueueDepth))
 	if h.Block {
-		b[25] = 1
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
 	}
-	binary.LittleEndian.PutUint32(b[26:], uint32(h.Parallelism))
-	return b
+	return binary.LittleEndian.AppendUint32(dst, uint32(h.Parallelism))
 }
+
+// MarshalHello encodes a HELLO payload into a fresh buffer.
+func MarshalHello(h Hello) []byte { return AppendHello(nil, h) }
 
 // UnmarshalHello validates magic and version and decodes the handshake.
 func UnmarshalHello(b []byte) (Hello, error) {
@@ -315,21 +422,19 @@ type HelloAck struct {
 	Version int
 }
 
-// MarshalHelloAck encodes a HELLO acknowledgment: the legacy 12-byte form
-// for v2 (or unset) sessions, the extended 16-byte form from v3 on.
-func MarshalHelloAck(a HelloAck) []byte {
+// AppendHelloAck appends a HELLO acknowledgment to dst: the legacy 12-byte
+// form for v2 (or unset) sessions, the extended 16-byte form from v3 on.
+func AppendHelloAck(dst []byte, a HelloAck) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, a.SessionID)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(a.MaxPayload))
 	if a.Version <= MinProtoVersion {
-		b := make([]byte, 12)
-		binary.LittleEndian.PutUint64(b, a.SessionID)
-		binary.LittleEndian.PutUint32(b[8:], uint32(a.MaxPayload))
-		return b
+		return dst
 	}
-	b := make([]byte, 16)
-	binary.LittleEndian.PutUint64(b, a.SessionID)
-	binary.LittleEndian.PutUint32(b[8:], uint32(a.MaxPayload))
-	binary.LittleEndian.PutUint32(b[12:], uint32(a.Version))
-	return b
+	return binary.LittleEndian.AppendUint32(dst, uint32(a.Version))
 }
+
+// MarshalHelloAck encodes a HELLO acknowledgment into a fresh buffer.
+func MarshalHelloAck(a HelloAck) []byte { return AppendHelloAck(nil, a) }
 
 // UnmarshalHelloAck decodes a HELLO acknowledgment in either form.
 func UnmarshalHelloAck(b []byte) (HelloAck, error) {
@@ -356,19 +461,19 @@ func UnmarshalHelloAck(b []byte) (HelloAck, error) {
 // labelSize is the wire size of one region label: seven int32 fields.
 const labelSize = 7 * 4
 
-// MarshalLabels encodes a region-label list.
-func MarshalLabels(labels region.List) []byte {
-	b := make([]byte, 4+len(labels)*labelSize)
-	binary.LittleEndian.PutUint32(b, uint32(len(labels)))
-	off := 4
+// AppendLabels appends a region-label list payload to dst.
+func AppendLabels(dst []byte, labels region.List) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(labels)))
 	for _, l := range labels {
 		for _, v := range [7]int{l.X, l.Y, l.W, l.H, l.Stride, l.Skip, l.Phase} {
-			binary.LittleEndian.PutUint32(b[off:], uint32(int32(v)))
-			off += 4
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(v)))
 		}
 	}
-	return b
+	return dst
 }
+
+// MarshalLabels encodes a region-label list into a fresh buffer.
+func MarshalLabels(labels region.List) []byte { return AppendLabels(nil, labels) }
 
 // UnmarshalLabels decodes a region-label list. It checks only framing; the
 // server's driver path validates the labels against session geometry.
@@ -412,15 +517,16 @@ type CaptureAck struct {
 	PixelFraction float64
 }
 
-// MarshalCaptureAck encodes capture statistics.
-func MarshalCaptureAck(a CaptureAck) []byte {
-	b := make([]byte, 20)
-	binary.LittleEndian.PutUint32(b, uint32(a.FrameIndex))
-	binary.LittleEndian.PutUint32(b[4:], uint32(a.EncodedPixels))
-	binary.LittleEndian.PutUint32(b[8:], uint32(a.EncodedBytes))
-	binary.LittleEndian.PutUint64(b[12:], math.Float64bits(a.PixelFraction))
-	return b
+// AppendCaptureAck appends capture statistics to dst.
+func AppendCaptureAck(dst []byte, a CaptureAck) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(a.FrameIndex))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(a.EncodedPixels))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(a.EncodedBytes))
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(a.PixelFraction))
 }
+
+// MarshalCaptureAck encodes capture statistics into a fresh buffer.
+func MarshalCaptureAck(a CaptureAck) []byte { return AppendCaptureAck(nil, a) }
 
 // UnmarshalCaptureAck decodes capture statistics.
 func UnmarshalCaptureAck(b []byte) (CaptureAck, error) {
@@ -440,15 +546,16 @@ type Window struct {
 	X, Y, W, H int
 }
 
-// MarshalWindow encodes a decode-window request.
-func MarshalWindow(w Window) []byte {
-	b := make([]byte, 16)
-	binary.LittleEndian.PutUint32(b, uint32(int32(w.X)))
-	binary.LittleEndian.PutUint32(b[4:], uint32(int32(w.Y)))
-	binary.LittleEndian.PutUint32(b[8:], uint32(int32(w.W)))
-	binary.LittleEndian.PutUint32(b[12:], uint32(int32(w.H)))
-	return b
+// AppendWindow appends a decode-window request to dst.
+func AppendWindow(dst []byte, w Window) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(w.X)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(w.Y)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(w.W)))
+	return binary.LittleEndian.AppendUint32(dst, uint32(int32(w.H)))
 }
+
+// MarshalWindow encodes a decode-window request into a fresh buffer.
+func MarshalWindow(w Window) []byte { return AppendWindow(nil, w) }
 
 // UnmarshalWindow decodes a decode-window request.
 func UnmarshalWindow(b []byte) (Window, error) {
@@ -476,15 +583,16 @@ func FramePayloadSize(w, h int, f frame.Format) int64 {
 	return frameHeaderSize + int64(w)*int64(h)*int64(f.BytesPerPixel())
 }
 
-// MarshalFrame encodes a reconstructed frame (header + raster pixels).
-func MarshalFrame(fr *frame.Frame) []byte {
-	b := make([]byte, frameHeaderSize+len(fr.Pix))
-	binary.LittleEndian.PutUint32(b, uint32(fr.W))
-	binary.LittleEndian.PutUint32(b[4:], uint32(fr.H))
-	b[8] = byte(fr.Format)
-	copy(b[frameHeaderSize:], fr.Pix)
-	return b
+// AppendFrame appends a reconstructed frame (header + raster pixels) to dst.
+func AppendFrame(dst []byte, fr *frame.Frame) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(fr.W))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(fr.H))
+	dst = append(dst, byte(fr.Format))
+	return append(dst, fr.Pix...)
 }
+
+// MarshalFrame encodes a reconstructed frame into a fresh buffer.
+func MarshalFrame(fr *frame.Frame) []byte { return AppendFrame(nil, fr) }
 
 // UnmarshalFrame decodes a FRAME payload, validating the pixel count
 // against the header geometry.
@@ -510,13 +618,14 @@ func UnmarshalFrame(b []byte) (*frame.Frame, error) {
 	return frame.FromPix(w, h, f, pix)
 }
 
-// MarshalError encodes a failure reply.
-func MarshalError(code uint16, msg string) []byte {
-	b := make([]byte, 2+len(msg))
-	binary.LittleEndian.PutUint16(b, code)
-	copy(b[2:], msg)
-	return b
+// AppendError appends a failure reply to dst.
+func AppendError(dst []byte, code uint16, msg string) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, code)
+	return append(dst, msg...)
 }
+
+// MarshalError encodes a failure reply into a fresh buffer.
+func MarshalError(code uint16, msg string) []byte { return AppendError(nil, code, msg) }
 
 // UnmarshalError decodes a failure reply into a RemoteError.
 func UnmarshalError(b []byte) (*RemoteError, error) {

@@ -100,9 +100,9 @@ type Session struct {
 	cfg  Config
 
 	mu           sync.Mutex // serializes request/reply round trips
-	wmu          sync.Mutex // serializes raw writes in streaming mode
 	conn         net.Conn
 	br           *bufio.Reader
+	mw           *wire.MessageWriter // framing writer; serializes concurrent writers itself
 	closed       bool
 	broken       bool
 	id           uint64
@@ -164,6 +164,11 @@ func (s *Session) connectLocked() error {
 	}
 	s.conn = conn
 	s.br = br
+	// All post-handshake writes go through one MessageWriter: header and
+	// payload leave in a single vectored write, and its internal lock makes
+	// concurrent writers (request/reply vs. streaming grants) safe without
+	// a separate write mutex.
+	s.mw = wire.NewMessageWriter(conn)
 	s.id = ack.SessionID
 	s.maxPayload = ack.MaxPayload
 	s.protoVersion = ack.Version
@@ -220,7 +225,7 @@ func (s *Session) poisonLocked() {
 // attribute it to the wrong request.
 func (s *Session) roundTripLocked(typ byte, payload []byte) (byte, []byte, error) {
 	s.conn.SetWriteDeadline(time.Now().Add(s.timeout))
-	if err := wire.WriteMessage(s.conn, typ, payload, s.maxPayload); err != nil {
+	if err := s.mw.WriteMessage(typ, payload, s.maxPayload); err != nil {
 		s.poisonLocked()
 		return 0, nil, fmt.Errorf("client: send: %w", err)
 	}
@@ -377,7 +382,7 @@ func (s *Session) Close() error {
 		return nil
 	}
 	s.conn.SetWriteDeadline(time.Now().Add(s.timeout))
-	wire.WriteMessage(s.conn, wire.MsgClose, nil, s.maxPayload)
+	s.mw.WriteMessage(wire.MsgClose, nil, s.maxPayload)
 	s.conn.SetReadDeadline(time.Now().Add(s.timeout))
 	wire.ReadMessage(s.br, s.maxPayload) // best-effort ACK
 	return s.conn.Close()

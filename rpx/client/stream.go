@@ -251,13 +251,14 @@ func (st *Stream) Grant(n int) error {
 		return fmt.Errorf("client: grant %d outside [1, %d]", n, wire.MaxCreditWindow)
 	}
 	s := st.s
-	s.wmu.Lock()
-	defer s.wmu.Unlock()
 	if st.done {
 		return st.err
 	}
+	// The MessageWriter serializes this against any concurrent write and
+	// emits the whole message in one vectored write, so a grant can never
+	// tear another in-flight message.
 	s.conn.SetWriteDeadline(time.Now().Add(s.timeout))
-	if err := wire.WriteMessage(s.conn, wire.MsgCredit, wire.MarshalCredit(wire.Credit{
+	if err := s.mw.WriteMessage(wire.MsgCredit, wire.MarshalCredit(wire.Credit{
 		SubID: st.id,
 		N:     uint32(n),
 	}), s.maxPayload); err != nil {
@@ -275,14 +276,10 @@ func (st *Stream) Close() error {
 		return nil
 	}
 	s := st.s
-	s.wmu.Lock()
-	err := func() error {
-		s.conn.SetWriteDeadline(time.Now().Add(s.timeout))
-		return wire.WriteMessage(s.conn, wire.MsgUnsubscribe, wire.MarshalUnsubscribe(wire.Unsubscribe{
-			SubID: st.id,
-		}), s.maxPayload)
-	}()
-	s.wmu.Unlock()
+	s.conn.SetWriteDeadline(time.Now().Add(s.timeout))
+	err := s.mw.WriteMessage(wire.MsgUnsubscribe, wire.MarshalUnsubscribe(wire.Unsubscribe{
+		SubID: st.id,
+	}), s.maxPayload)
 	if err != nil {
 		return st.failTransport(fmt.Errorf("client: unsubscribe: %w", err))
 	}

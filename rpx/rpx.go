@@ -130,6 +130,7 @@ type frameEncoder interface {
 	Labels() region.List
 	Stats() core.EncoderStats
 	EncodeFrame(fr *frame.Frame, frameIndex int) (*core.EncodedFrame, error)
+	SetFramePool(*core.FramePool)
 }
 
 type System struct {
@@ -143,6 +144,11 @@ type System struct {
 
 	frameIndex int
 	last       *core.EncodedFrame
+
+	// pool recycles encoded-frame storage: frames evicted from the
+	// decoder's history ring feed the encoder's next output. Owned by the
+	// operations goroutine, like the encoder it serves.
+	pool *core.FramePool
 
 	// tracer, when non-nil, receives frame-path spans (classify → pack →
 	// push → decode) tagged with tracerTag. Mutated only through SetTracer
@@ -220,12 +226,14 @@ func NewSystem(w, h int, format Format, opts ...Option) (*System, error) {
 	} else {
 		enc = core.NewEncoder(w, h, format)
 	}
+	pool := &core.FramePool{}
+	enc.SetFramePool(pool)
 	dec := core.NewDecoder(w, h, format,
 		core.WithHistoryDepth(o.historyDepth), core.WithParallelism(o.parallelism))
 	rt := driver.NewRuntime(w, h, driver.NewRegisterFile(o.registerCapacity), enc)
 	return &System{
 		w: w, h: h, format: format, parallelism: o.parallelism,
-		enc: enc, dec: dec, rt: rt,
+		enc: enc, dec: dec, rt: rt, pool: pool,
 		frameIndex: o.firstFrameIndex,
 	}, nil
 }
@@ -269,11 +277,16 @@ func (s *System) Capture(fr *Frame) (CaptureStats, error) {
 		return CaptureStats{}, err
 	}
 	t0 = s.span(obs.SpanPack, s.frameIndex, t0, ef.TotalBytes())
-	if err := s.dec.Push(ef); err != nil {
+	evicted, err := s.dec.PushEvict(ef)
+	if err != nil {
 		return CaptureStats{}, err
 	}
 	s.span(obs.SpanPush, s.frameIndex, t0, 0)
 	s.last = ef
+	// The frame the history ring just dropped is unreachable by any caller
+	// (Borrow contract: borrowed pointers expired at this Capture), so its
+	// storage feeds the next encode.
+	s.pool.Put(evicted)
 	cs := CaptureStats{
 		FrameIndex:    s.frameIndex,
 		EncodedPixels: ef.NumEncodedPixels(),
@@ -421,9 +434,29 @@ func (s *System) Observe(reg *obs.Registry, labels ...obs.Label) {
 		func() int64 { return int64(s.DecoderStats().MetadataBitsRead) })
 }
 
-// LastEncoded returns the most recent encoded frame (nil before any
-// Capture), for inspection and persistence.
-func (s *System) LastEncoded() *EncodedFrame { return s.last }
+// LastEncoded returns a deep copy of the most recent encoded frame (nil
+// before any Capture), for inspection and persistence. The caller owns the
+// copy: it stays valid and immutable-by-others forever, and mutating it
+// cannot corrupt the pipeline. Hot paths that can honour the borrow
+// contract should prefer BorrowLastEncoded, which returns the live frame
+// without copying.
+func (s *System) LastEncoded() *EncodedFrame {
+	if s.last == nil {
+		return nil
+	}
+	return s.last.Clone()
+}
+
+// BorrowLastEncoded returns the live most recent encoded frame (nil before
+// any Capture) without copying.
+//
+// Borrow contract: the frame belongs to the System. It is valid only until
+// the next Capture — which recycles its storage into the encoder's frame
+// pool — and the caller must not mutate it or retain the pointer across
+// captures. Callers needing either guarantee use LastEncoded (an owned
+// deep copy) or serialize the frame (EncodedFrame.AppendTo) before the
+// next Capture.
+func (s *System) BorrowLastEncoded() *EncodedFrame { return s.last }
 
 // Stats returns the lifetime traffic counters. Safe to call from a
 // monitoring goroutine concurrently with captures.

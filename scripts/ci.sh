@@ -14,6 +14,14 @@ go build ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+# Alloc gate: the steady-state zero-allocation contracts of the pooled hot
+# path (mask popcount, pooled encode, wire framing, capture). Deliberately
+# WITHOUT -race — the race runtime changes allocation counts, so these
+# testing.AllocsPerRun assertions are only meaningful in a plain build.
+echo "== alloc gate (AllocsPerRun, no -race)"
+go test -count=1 -run='^TestAllocs' \
+    ./internal/bitpack ./internal/core ./internal/wire ./rpx
+
 # Faultnet smoke: replay the client/server fault-injection matrix with a
 # pinned seed so any failure here reproduces bit-for-bit on a dev box with
 # the same FAULTNET_SEED.
