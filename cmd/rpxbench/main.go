@@ -7,7 +7,8 @@
 //	rpxbench -list
 //
 // Experiments: fig3, table4, fig8, fig9a, fig9b, fig9c, table5, energy,
-// appendix, clsweep, futurework, parallel, gateway, stream, hotpath.
+// appendix, clsweep, futurework, parallel, gateway, stream, hotpath,
+// maskcodec.
 package main
 
 import (
@@ -90,6 +91,7 @@ var registry = []experiment{
 	{"gateway", "rpxgw proxy overhead vs direct rpxd dial at 1/8/64 sessions", runGateway},
 	{"stream", "v3 push delivery vs request/reply pull at 1/8/64 sessions", runStream},
 	{"hotpath", "pooled zero-copy frame path vs copy-heavy baseline at 1/8/64 sessions", runHotpath},
+	{"maskcodec", "packed (RLE) container metadata vs raw, per workload", runMaskCodec},
 }
 
 func main() {
@@ -300,6 +302,20 @@ func runStream(s experiments.Scale) (string, error) {
 		return "", err
 	}
 	return experiments.StreamReport(rows), nil
+}
+
+func runMaskCodec(s experiments.Scale) (string, error) {
+	rows, err := experiments.MaskCodec(s)
+	if err != nil {
+		return "", err
+	}
+	if err := writeCSV("maskcodec", func(f *os.File) error { return experiments.MaskCodecCSV(f, rows) }); err != nil {
+		return "", err
+	}
+	if err := writeBenchJSON("maskcodec", func(f *os.File) error { return experiments.MaskCodecJSON(f, rows) }); err != nil {
+		return "", err
+	}
+	return experiments.MaskCodecReport(rows), nil
 }
 
 func runHotpath(s experiments.Scale) (string, error) {

@@ -89,9 +89,21 @@ func NewMask2(n int) *Mask2 {
 
 // FromBytes wraps an existing packed buffer holding n two-bit elements.
 // The buffer must be at least ceil(n/4) bytes; it is used without copying.
+//
+// The mask is canonicalized in place: the buffer is trimmed to exactly
+// ceil(n/4) bytes (so SizeBytes never over-reports) and the unused
+// high-order fields of the final byte are cleared (so a deserialized mask
+// re-serializes to the same bytes an encoder-built one produces, and Equal
+// compares codes rather than padding garbage). Callers keeping a reference
+// to data should expect that final byte to be rewritten.
 func FromBytes(data []byte, n int) (*Mask2, error) {
-	if need := (n + 3) / 4; len(data) < need {
+	need := (n + 3) / 4
+	if len(data) < need {
 		return nil, fmt.Errorf("bitpack: buffer holds %d bytes, need %d for %d elements", len(data), need, n)
+	}
+	data = data[:need]
+	if rem := n & 3; rem != 0 {
+		data[need-1] &= byte(1)<<(uint(rem)*2) - 1
 	}
 	return &Mask2{n: n, data: data}, nil
 }

@@ -1,0 +1,65 @@
+package bitpack
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzMaskCodec drives the packed-mask codec from both sides:
+//
+//  1. data as a hostile packed buffer: DecodePacked must never panic, and
+//     what it accepts must re-encode and re-decode to the same mask
+//     (decode -> encode -> decode is a fixpoint).
+//  2. data as raw mask elements: encode -> decode must be the identity,
+//     within the PackedMaxSize bound.
+//
+// Allocation is bounded by the declared element count (capped here), never
+// by the input bytes — DecodePacked's only allocation is NewMask2(n).
+func FuzzMaskCodec(f *testing.F) {
+	region := NewMask2(256)
+	region.Fill(64, 192, CodeR)
+	region.Fill(192, 224, CodeSk)
+	f.Add(AppendPacked(nil, region), uint16(256))
+	f.Add([]byte{MaskCodecRaw, 0xFF, 0xCF}, uint16(6))
+	f.Add([]byte{MaskCodecRLE, byte(11<<2 | 3)}, uint16(12))
+	f.Add([]byte{MaskCodecRLE, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}, uint16(12))
+	f.Add([]byte{MaskCodecRLE, 0x80}, uint16(4))
+	f.Add([]byte{0x07, 0x01}, uint16(8))
+
+	f.Fuzz(func(t *testing.T, data []byte, n uint16) {
+		nn := int(n) & 0xFFF
+
+		// Side 1: hostile packed input.
+		if m, err := DecodePacked(data, nn); err == nil {
+			enc := AppendPacked(nil, m)
+			if len(enc) > PackedMaxSize(nn) {
+				t.Fatalf("re-encode of accepted input: %d bytes > PackedMaxSize %d", len(enc), PackedMaxSize(nn))
+			}
+			m2, err := DecodePacked(enc, nn)
+			if err != nil {
+				t.Fatalf("re-decode of re-encoded mask failed: %v", err)
+			}
+			if !m2.Equal(m) || !bytes.Equal(m2.Bytes(), m.Bytes()) {
+				t.Fatal("decode -> encode -> decode is not a fixpoint")
+			}
+		}
+
+		// Side 2: data as mask elements; round trip must be the identity.
+		mask := NewMask2(nn)
+		for i := 0; i < nn && i/4 < len(data); i++ {
+			mask.Set(i, Code((data[i/4]>>uint((i&3)*2))&0x3))
+		}
+		want := mask.Clone()
+		enc := AppendPacked(nil, mask)
+		if len(enc) > PackedMaxSize(nn) {
+			t.Fatalf("packed %d bytes > PackedMaxSize %d", len(enc), PackedMaxSize(nn))
+		}
+		got, err := DecodePacked(enc, nn)
+		if err != nil {
+			t.Fatalf("round trip decode failed: %v", err)
+		}
+		if !got.Equal(want) || !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatal("encode -> decode is not the identity")
+		}
+	})
+}

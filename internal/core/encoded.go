@@ -149,6 +149,12 @@ const encodedMagic = 0x52505845 // "RPXE"
 // encodedHeaderSize is the fixed RPXE container header length.
 const encodedHeaderSize = 28
 
+// EncodedHeaderSize is the fixed RPXE container header length, shared by
+// the v1 (raw) and v2 (packed-metadata) container forms. Exported so
+// measurement code can split a serialized container into header, payload,
+// and metadata-tail bytes without re-parsing it.
+const EncodedHeaderSize = encodedHeaderSize
+
 // EncodedSize returns the exact serialized length of the RPXE container
 // WriteTo/AppendTo produce, so callers can size a destination buffer and
 // serialize with a single allocation (or none).
@@ -161,7 +167,7 @@ func (ef *EncodedFrame) EncodedSize() int {
 // EncodedSize() spare capacity.
 func (ef *EncodedFrame) AppendTo(dst []byte) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, encodedMagic)
-	dst = binary.LittleEndian.AppendUint32(dst, 1) // version
+	dst = binary.LittleEndian.AppendUint32(dst, encodedVersionRaw)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(ef.W))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(ef.H))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(ef.BytesPerPixel))
@@ -181,7 +187,7 @@ func (ef *EncodedFrame) WriteTo(w io.Writer) (int64, error) {
 	var n int64
 	hdr := make([]byte, 0, 32)
 	hdr = binary.LittleEndian.AppendUint32(hdr, encodedMagic)
-	hdr = binary.LittleEndian.AppendUint32(hdr, 1) // version
+	hdr = binary.LittleEndian.AppendUint32(hdr, encodedVersionRaw)
 	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(ef.W))
 	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(ef.H))
 	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(ef.BytesPerPixel))
@@ -256,7 +262,8 @@ func ReadEncodedFrame(r io.Reader) (*EncodedFrame, error) {
 	if binary.LittleEndian.Uint32(hdr) != encodedMagic {
 		return nil, fmt.Errorf("core: bad magic %#x", binary.LittleEndian.Uint32(hdr))
 	}
-	if v := binary.LittleEndian.Uint32(hdr[4:]); v != 1 {
+	v := binary.LittleEndian.Uint32(hdr[4:])
+	if v != encodedVersionRaw && v != encodedVersionPacked {
 		return nil, fmt.Errorf("core: unsupported version %d", v)
 	}
 	w := int(binary.LittleEndian.Uint32(hdr[8:]))
@@ -267,7 +274,7 @@ func ReadEncodedFrame(r io.Reader) (*EncodedFrame, error) {
 	if w <= 0 || h <= 0 || w > MaxFrameDim || h > MaxFrameDim || bpp <= 0 || bpp > 4 {
 		return nil, fmt.Errorf("core: unreasonable header %dx%d bpp=%d", w, h, bpp)
 	}
-	if payloadLen > w*h*bpp {
+	if !payloadLenOK(payloadLen, w, h, bpp) {
 		return nil, fmt.Errorf("core: payload %d exceeds frame size", payloadLen)
 	}
 	ef := &EncodedFrame{W: w, H: h, BytesPerPixel: bpp, FrameIndex: idx}
@@ -275,27 +282,50 @@ func ReadEncodedFrame(r io.Reader) (*EncodedFrame, error) {
 	if ef.Pix, err = readExact(r, payloadLen); err != nil {
 		return nil, fmt.Errorf("core: short payload: %w", err)
 	}
-	offs := make([]byte, 4*(h+1))
-	if _, err := io.ReadFull(r, offs); err != nil {
-		return nil, fmt.Errorf("core: short offsets: %w", err)
+	if v == encodedVersionPacked {
+		if err := readPackedMeta(r, ef); err != nil {
+			return nil, err
+		}
+	} else {
+		offs := make([]byte, 4*(h+1))
+		if _, err := io.ReadFull(r, offs); err != nil {
+			return nil, fmt.Errorf("core: short offsets: %w", err)
+		}
+		ef.RowOffsets = make([]uint32, h+1)
+		for i := range ef.RowOffsets {
+			ef.RowOffsets[i] = binary.LittleEndian.Uint32(offs[4*i:])
+		}
+		maskBytes, err := readExact(r, (w*h+3)/4)
+		if err != nil {
+			return nil, fmt.Errorf("core: short mask: %w", err)
+		}
+		mask, err := bitpack.FromBytes(maskBytes, w*h)
+		if err != nil {
+			return nil, err
+		}
+		ef.Mask = mask
 	}
-	ef.RowOffsets = make([]uint32, h+1)
-	for i := range ef.RowOffsets {
-		ef.RowOffsets[i] = binary.LittleEndian.Uint32(offs[4*i:])
-	}
-	maskBytes, err := readExact(r, (w*h+3)/4)
-	if err != nil {
-		return nil, fmt.Errorf("core: short mask: %w", err)
-	}
-	mask, err := bitpack.FromBytes(maskBytes, w*h)
-	if err != nil {
-		return nil, err
-	}
-	ef.Mask = mask
 	if err := ef.Validate(); err != nil {
 		return nil, fmt.Errorf("core: corrupt encoded frame: %w", err)
 	}
 	return ef, nil
+}
+
+// payloadLenOK reports whether a wire-declared payload length fits within
+// the w x h x bpp frame it claims to come from. The comparison is in
+// divide form because the product w*h*bpp can overflow the platform int on
+// 32-bit targets (2^15 * 2^15 * 4 == 2^32), which would let a hostile
+// length — itself negative after the uint32 -> int conversion — slip past
+// a `payloadLen > w*h*bpp` check and reach allocation. Generic over the
+// integer width so the regression test can pin the 32-bit behavior on any
+// host; w and h must each be at most MaxFrameDim so w*h itself cannot
+// overflow T.
+func payloadLenOK[T int | int32 | int64](payloadLen, w, h, bpp T) bool {
+	if payloadLen < 0 {
+		return false
+	}
+	q := payloadLen / bpp
+	return q < w*h || (q == w*h && payloadLen%bpp == 0)
 }
 
 // formatBPP maps a frame format to the encoder's pixel depth.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"io"
 	"testing"
 
@@ -42,9 +43,59 @@ func fuzzEncodedSeed(tb testing.TB, format frame.Format) []byte {
 	return buf.Bytes()
 }
 
+// fuzzPackedSeed is fuzzEncodedSeed's frame in the RPXE v2 (packed
+// metadata) container.
+func fuzzPackedSeed(tb testing.TB, format frame.Format) []byte {
+	tb.Helper()
+	ef, err := ReadEncodedFrame(bytes.NewReader(fuzzEncodedSeed(tb, format)))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return ef.AppendPacked(nil)
+}
+
+// fuzzHostilePayloadLenSeed is the ISSUE 9 overflow regression as a corpus
+// entry: maximum geometry with payloadLen 0x80000000, which wraps negative
+// through the uint32->int conversion on 32-bit platforms while w*h*bpp
+// wraps to 0 — the old multiply-form bound check accepted it.
+func fuzzHostilePayloadLenSeed() []byte {
+	hdr := make([]byte, 0, 28)
+	hdr = binary.LittleEndian.AppendUint32(hdr, encodedMagic)
+	hdr = binary.LittleEndian.AppendUint32(hdr, encodedVersionRaw)
+	hdr = binary.LittleEndian.AppendUint32(hdr, MaxFrameDim)
+	hdr = binary.LittleEndian.AppendUint32(hdr, MaxFrameDim)
+	hdr = binary.LittleEndian.AppendUint32(hdr, 4)          // bpp
+	hdr = binary.LittleEndian.AppendUint32(hdr, 0)          // frame index
+	hdr = binary.LittleEndian.AppendUint32(hdr, 0x80000000) // payloadLen
+	return hdr
+}
+
+// fuzzDirtyPaddingSeed is a valid 3x3 Gray8 v1 container except the mask's
+// final-byte padding fields are nonzero — the FromBytes canonicalization
+// regression (ISSUE 9) as a corpus entry.
+func fuzzDirtyPaddingSeed() []byte {
+	b := make([]byte, 0, 48)
+	b = binary.LittleEndian.AppendUint32(b, encodedMagic)
+	b = binary.LittleEndian.AppendUint32(b, encodedVersionRaw)
+	b = binary.LittleEndian.AppendUint32(b, 3) // w
+	b = binary.LittleEndian.AppendUint32(b, 3) // h
+	b = binary.LittleEndian.AppendUint32(b, 1) // bpp
+	b = binary.LittleEndian.AppendUint32(b, 0) // frame index
+	b = binary.LittleEndian.AppendUint32(b, 0) // payloadLen: all-N frame
+	for i := 0; i < 4; i++ {
+		b = binary.LittleEndian.AppendUint32(b, 0) // row offsets
+	}
+	// 9 mask elements -> 3 bytes; codes all N but padding fields dirty.
+	return append(b, 0x00, 0x00, 0xC0)
+}
+
 func FuzzReadEncodedFrame(f *testing.F) {
 	f.Add(fuzzEncodedSeed(f, frame.Gray8))
 	f.Add(fuzzEncodedSeed(f, frame.RGB24))
+	f.Add(fuzzPackedSeed(f, frame.Gray8))
+	f.Add(fuzzPackedSeed(f, frame.RGB24))
+	f.Add(fuzzHostilePayloadLenSeed())
+	f.Add(fuzzDirtyPaddingSeed())
 	f.Add([]byte{0x45, 0x58, 0x50, 0x52}) // magic only, truncated header
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -67,6 +118,20 @@ func FuzzReadEncodedFrame(f *testing.F) {
 		}
 		if ef2.W != ef.W || ef2.H != ef.H || !bytes.Equal(ef2.Pix, ef.Pix) || !ef2.Mask.Equal(ef.Mask) {
 			t.Fatalf("round trip not identical")
+		}
+		// The packed container must round trip the same frame exactly:
+		// pixels, row offsets, and mask codes.
+		ef3, perr := ReadEncodedFrame(bytes.NewReader(ef.AppendPacked(nil)))
+		if perr != nil {
+			t.Fatalf("packed round trip rejected: %v", perr)
+		}
+		if ef3.W != ef.W || ef3.H != ef.H || !bytes.Equal(ef3.Pix, ef.Pix) || !ef3.Mask.Equal(ef.Mask) {
+			t.Fatalf("packed round trip not identical")
+		}
+		for y := range ef.RowOffsets {
+			if ef3.RowOffsets[y] != ef.RowOffsets[y] {
+				t.Fatalf("packed round trip RowOffsets[%d] = %d, want %d", y, ef3.RowOffsets[y], ef.RowOffsets[y])
+			}
 		}
 	})
 }

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/bitpack"
+)
+
+// RPXE v2: the packed-metadata container.
+//
+// Version 1 serializes the decoder metadata raw — 4 bytes per row offset
+// plus the 2 bpp EncMask, the paper's ~8% overhead (§3). Version 2 keeps
+// the 28-byte header and pixel payload byte-identical but replaces the
+// metadata tail with two length-prefixed blocks:
+//
+//	u32 offLen  | uvarint row-offset deltas (H values; RowOffsets[0] is 0)
+//	u32 maskLen | packed mask (codec id + body, see bitpack.AppendPacked)
+//
+// Offsets are monotone with per-row deltas bounded by W, so deltas are
+// small uvarints; the mask is RLE with a raw fallback. Both decode under
+// hard caps derived from the header geometry, so a hostile length prefix
+// cannot force an over-allocation. ReadEncodedFrame accepts both versions;
+// which one a transport emits is negotiated at HELLO (wire.CodecPackedMask).
+
+// RPXE container versions.
+const (
+	encodedVersionRaw    = 1 // raw row offsets + raw mask
+	encodedVersionPacked = 2 // varint offset deltas + packed mask
+)
+
+// PackedMaxSize bounds the serialized length AppendPacked can produce, so
+// pooled callers can size a scratch buffer once and reuse it without
+// reallocating.
+func (ef *EncodedFrame) PackedMaxSize() int {
+	return encodedHeaderSize + len(ef.Pix) +
+		4 + binary.MaxVarintLen32*ef.H +
+		4 + bitpack.PackedMaxSize(ef.Mask.Len())
+}
+
+// AppendPacked appends the RPXE v2 container to dst and returns the
+// extended slice. It performs no allocation when dst has PackedMaxSize()
+// spare capacity. The raw container (AppendTo/WriteTo) remains the
+// byte-identity reference form; this one trades encode work for wire bytes.
+func (ef *EncodedFrame) AppendPacked(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, encodedMagic)
+	dst = binary.LittleEndian.AppendUint32(dst, encodedVersionPacked)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(ef.W))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(ef.H))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(ef.BytesPerPixel))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(ef.FrameIndex))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(ef.Pix)))
+	dst = append(dst, ef.Pix...)
+
+	offPos := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	var tmp [binary.MaxVarintLen32]byte
+	for y := 0; y < ef.H; y++ {
+		k := binary.PutUvarint(tmp[:], uint64(ef.RowOffsets[y+1]-ef.RowOffsets[y]))
+		dst = append(dst, tmp[:k]...)
+	}
+	binary.LittleEndian.PutUint32(dst[offPos:], uint32(len(dst)-offPos-4))
+
+	maskPos := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = bitpack.AppendPacked(dst, ef.Mask)
+	binary.LittleEndian.PutUint32(dst[maskPos:], uint32(len(dst)-maskPos-4))
+	return dst
+}
+
+// readU32 reads one little-endian length prefix.
+func readU32(r io.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+// readPackedMeta reads the v2 metadata tail (offset-delta block then packed
+// mask block) into ef, whose geometry the caller has already validated
+// against MaxFrameDim. Both block lengths are capped by what the geometry
+// can legitimately produce before any allocation happens.
+func readPackedMeta(r io.Reader, ef *EncodedFrame) error {
+	w, h := ef.W, ef.H
+
+	offLen, err := readU32(r)
+	if err != nil {
+		return fmt.Errorf("core: short offset block length: %w", err)
+	}
+	if int64(offLen) > int64(binary.MaxVarintLen32)*int64(h) {
+		return fmt.Errorf("core: offset block of %d bytes exceeds cap for %d rows", offLen, h)
+	}
+	offs, err := readExact(r, int(offLen))
+	if err != nil {
+		return fmt.Errorf("core: short offset block: %w", err)
+	}
+	ef.RowOffsets = make([]uint32, h+1)
+	total := uint64(0)
+	for y := 0; y < h; y++ {
+		delta, k := binary.Uvarint(offs)
+		if k <= 0 {
+			return fmt.Errorf("core: malformed offset delta at row %d", y)
+		}
+		offs = offs[k:]
+		if delta > uint64(w) {
+			return fmt.Errorf("core: row %d offset delta %d exceeds width %d", y, delta, w)
+		}
+		total += delta
+		ef.RowOffsets[y+1] = uint32(total)
+	}
+	if len(offs) != 0 {
+		return fmt.Errorf("core: %d trailing bytes after offset deltas", len(offs))
+	}
+
+	maskLen, err := readU32(r)
+	if err != nil {
+		return fmt.Errorf("core: short mask block length: %w", err)
+	}
+	if int64(maskLen) > int64(bitpack.PackedMaxSize(w*h)) {
+		return fmt.Errorf("core: mask block of %d bytes exceeds cap for %dx%d", maskLen, w, h)
+	}
+	maskBytes, err := readExact(r, int(maskLen))
+	if err != nil {
+		return fmt.Errorf("core: short mask block: %w", err)
+	}
+	mask, err := bitpack.DecodePacked(maskBytes, w*h)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	ef.Mask = mask
+	return nil
+}

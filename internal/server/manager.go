@@ -344,9 +344,11 @@ type request struct {
 	window wire4
 	// encInto is the caller-supplied scratch OpLastEncoded serializes the
 	// RPXE container into (worker-side, while the frame is stable); wantFrame
-	// asks for a deep-copied *EncodedFrame instead.
+	// asks for a deep-copied *EncodedFrame instead. packed selects the RPXE
+	// v2 packed-metadata container for the serialized form.
 	encInto   []byte
 	wantFrame bool
+	packed    bool
 	start     time.Time
 	reply     chan result
 }
@@ -484,6 +486,9 @@ func (s *Session) execute(req *request) result {
 		if req.wantFrame {
 			return result{ef: ef.Clone()}
 		}
+		if req.packed {
+			return result{enc: ef.AppendPacked(req.encInto[:0])}
+		}
 		return result{enc: ef.AppendTo(req.encInto[:0])}
 	}
 	return result{err: fmt.Errorf("server: unknown op %d", req.op)}
@@ -565,11 +570,12 @@ func (s *Session) LastEncoded() (*core.EncodedFrame, error) {
 
 // LastEncodedTo serializes the newest encoded frame as an RPXE container
 // into dst (reusing its capacity, like append) and returns the result. The
-// serialization happens on the session worker while the frame is stable, so
-// no intermediate *EncodedFrame copy is made — this is the transport's
-// zero-copy GET_ENCODED path.
-func (s *Session) LastEncodedTo(dst []byte) ([]byte, error) {
-	res := s.submit(&request{op: OpLastEncoded, encInto: dst})
+// packed flag selects the v2 packed-metadata container; false emits the
+// raw v1 reference form. The serialization happens on the session worker
+// while the frame is stable, so no intermediate *EncodedFrame copy is made
+// — this is the transport's zero-copy GET_ENCODED path.
+func (s *Session) LastEncodedTo(dst []byte, packed bool) ([]byte, error) {
+	res := s.submit(&request{op: OpLastEncoded, encInto: dst, packed: packed})
 	return res.enc, res.err
 }
 

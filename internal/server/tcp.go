@@ -234,11 +234,19 @@ func (s *TCPServer) handle(conn net.Conn) {
 	sess.OnEvict(func() { conn.Close() })
 	// The ack echoes the negotiated version: a v2 HELLO gets the legacy
 	// 12-byte form (all an old client can parse), a v3 HELLO the extended
-	// form that confirms streaming is available.
+	// form that confirms streaming is available, and a v4 HELLO additionally
+	// carries the granted codec bits. The server grants exactly the
+	// capabilities it implements, intersected with what the client asked for.
+	var codec uint8
+	if hello.Version >= 4 {
+		codec = hello.Codec & wire.CodecPackedMask
+	}
+	packed := codec&wire.CodecPackedMask != 0
 	cw.scratch = wire.AppendHelloAck(cw.scratch[:0], wire.HelloAck{
 		SessionID:  sess.ID(),
 		MaxPayload: s.cfg.MaxPayload,
 		Version:    hello.Version,
+		Codec:      codec,
 	})
 	if err := cw.write(wire.MsgHelloAck, cw.scratch); err != nil {
 		return
@@ -259,12 +267,12 @@ func (s *TCPServer) handle(conn net.Conn) {
 		if typ == wire.MsgSubscribe {
 			// Streaming mode runs its own read loop and hands the write
 			// side to a dedicated writer until the subscription ends.
-			if done := s.serveStream(sess, conn, br, &rbuf, cw, hello, payload); done {
+			if done := s.serveStream(sess, conn, br, &rbuf, cw, hello, payload, packed); done {
 				return
 			}
 			continue
 		}
-		if done := s.serveMsg(sess, cw, typ, payload, hello, frameBytes); done {
+		if done := s.serveMsg(sess, cw, typ, payload, hello, frameBytes, packed); done {
 			return
 		}
 	}
@@ -275,7 +283,7 @@ func (s *TCPServer) handle(conn net.Conn) {
 // (FRAME_PUSH batches, the final ACK or error), while this loop keeps
 // reading CREDIT grants until UNSUBSCRIBE or teardown. It reports true when
 // the connection should end; false resumes the request/reply loop.
-func (s *TCPServer) serveStream(sess *Session, conn net.Conn, br *bufio.Reader, rbuf *[]byte, cw *connWriter, hello wire.Hello, payload []byte) bool {
+func (s *TCPServer) serveStream(sess *Session, conn net.Conn, br *bufio.Reader, rbuf *[]byte, cw *connWriter, hello wire.Hello, payload []byte, packed bool) bool {
 	if hello.Version < 3 {
 		return cw.writeErr(wire.CodeProto, fmt.Sprintf(
 			"SUBSCRIBE requires protocol v3, session negotiated v%d", hello.Version)) != nil
@@ -293,7 +301,7 @@ func (s *TCPServer) serveStream(sess *Session, conn net.Conn, br *bufio.Reader, 
 		}
 		target = t
 	}
-	sub, err := target.Subscribe(int(req.Credit), int(req.Batch))
+	sub, err := target.Subscribe(int(req.Credit), int(req.Batch), packed)
 	if err != nil {
 		return cw.writeErr(wire.CodeSessionLimit, err.Error()) != nil
 	}
@@ -429,7 +437,7 @@ func (s *TCPServer) streamWriter(sub *Subscription, conn net.Conn, cw *connWrite
 
 // serveMsg dispatches one request message; it reports true when the
 // connection should end.
-func (s *TCPServer) serveMsg(sess *Session, cw *connWriter, typ byte, payload []byte, hello wire.Hello, frameBytes int) bool {
+func (s *TCPServer) serveMsg(sess *Session, cw *connWriter, typ byte, payload []byte, hello wire.Hello, frameBytes int, packed bool) bool {
 	fail := func(err error) bool {
 		code := wire.CodeInternal
 		switch {
@@ -502,8 +510,9 @@ func (s *TCPServer) serveMsg(sess *Session, cw *connWriter, typ byte, payload []
 	case wire.MsgGetEncoded:
 		// The RPXE container is serialized on the session worker directly
 		// into this connection's scratch — no intermediate EncodedFrame copy
-		// and no per-request buffer.
-		enc, err := sess.LastEncodedTo(cw.scratch[:0])
+		// and no per-request buffer. Sessions that negotiated the packed
+		// codec at HELLO get the v2 container; everyone else the raw v1.
+		enc, err := sess.LastEncodedTo(cw.scratch[:0], packed)
 		if err != nil {
 			return fail(err)
 		}

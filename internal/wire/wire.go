@@ -40,8 +40,11 @@ const ProtoMagic = 0x52505844 // "RPXD"
 // changes fail loudly. Version 2 added the Parallelism field to HELLO.
 // Version 3 added the streaming push mode: SUBSCRIBE / SUBSCRIBE_ACK /
 // CREDIT / FRAME_PUSH / UNSUBSCRIBE and the extended HELLO_ACK that echoes
-// the negotiated version.
-const ProtoVersion = 3
+// the negotiated version. Version 4 added the codec capability byte to
+// HELLO and HELLO_ACK: a v4 client may request CodecPackedMask and, when
+// the server echoes it, FRAME/FRAME_PUSH payloads carry the RPXE v2
+// packed-metadata container instead of raw offsets + mask.
+const ProtoVersion = 4
 
 // MinProtoVersion is the oldest protocol revision servers still accept. A
 // v2 client negotiates a v2 session against a v3 server and sees identical
@@ -340,16 +343,35 @@ type Hello struct {
 	// session's pipeline fans out to (0 = server default, i.e. 1: the
 	// sequential reference path).
 	Parallelism int
+	// Codec is the v4 capability bitmap of frame codecs the client can
+	// decode (zero = raw only). Servers grant the intersection of what the
+	// client offers and what they implement, echoed in the HELLO_ACK. The
+	// byte exists on the wire only from v4 on; v2/v3 HELLOs imply zero.
+	Codec uint8
 }
+
+// CodecPackedMask is the Hello.Codec capability bit for the RPXE v2
+// packed-metadata container (varint row-offset deltas + RLE mask, see
+// core/bitpack). Raw remains the byte-identity reference path when unset.
+const CodecPackedMask uint8 = 1 << 0
+
+// codecKnownMask is every capability bit this revision defines. Unknown
+// bits are rejected rather than ignored: a future revision that defines
+// more bits will also bump ProtoVersion, so nothing legitimate sends them.
+const codecKnownMask = CodecPackedMask
 
 // MaxParallelism caps the HELLO Parallelism field so a hostile handshake
 // cannot request an absurd per-session worker count. Matches rpx's cap.
 const MaxParallelism = 256
 
+// helloSize is the v2/v3 HELLO length; v4 appends the codec byte.
 const helloSize = 4 + 4 + 4 + 4 + 1 + 4 + 4 + 1 + 4
+const helloSizeV4 = helloSize + 1
 
 // AppendHello appends a HELLO payload to dst, prefixed with magic and
-// version (h.Version, defaulting to ProtoVersion when zero).
+// version (h.Version, defaulting to ProtoVersion when zero). The codec
+// capability byte rides only on v4 payloads, so a client pinning Version 3
+// or 2 emits bytes identical to the previous protocol revisions.
 func AppendHello(dst []byte, h Hello) []byte {
 	v := uint32(h.Version)
 	if v == 0 {
@@ -367,7 +389,11 @@ func AppendHello(dst []byte, h Hello) []byte {
 	} else {
 		dst = append(dst, 0)
 	}
-	return binary.LittleEndian.AppendUint32(dst, uint32(h.Parallelism))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(h.Parallelism))
+	if v >= 4 {
+		dst = append(dst, h.Codec)
+	}
+	return dst
 }
 
 // MarshalHello encodes a HELLO payload into a fresh buffer.
@@ -375,8 +401,8 @@ func MarshalHello(h Hello) []byte { return AppendHello(nil, h) }
 
 // UnmarshalHello validates magic and version and decodes the handshake.
 func UnmarshalHello(b []byte) (Hello, error) {
-	if len(b) != helloSize {
-		return Hello{}, fmt.Errorf("wire: HELLO payload is %d bytes, want %d", len(b), helloSize)
+	if len(b) < 8 {
+		return Hello{}, fmt.Errorf("wire: HELLO payload is %d bytes, want at least 8", len(b))
 	}
 	if m := binary.LittleEndian.Uint32(b); m != ProtoMagic {
 		return Hello{}, fmt.Errorf("wire: bad protocol magic %#x", m)
@@ -384,6 +410,13 @@ func UnmarshalHello(b []byte) (Hello, error) {
 	v := binary.LittleEndian.Uint32(b[4:])
 	if v < MinProtoVersion || v > ProtoVersion {
 		return Hello{}, &VersionError{Got: v, Min: MinProtoVersion, Max: ProtoVersion}
+	}
+	want := helloSize
+	if v >= 4 {
+		want = helloSizeV4
+	}
+	if len(b) != want {
+		return Hello{}, fmt.Errorf("wire: v%d HELLO payload is %d bytes, want %d", v, len(b), want)
 	}
 	h := Hello{
 		Version:      int(v),
@@ -406,6 +439,12 @@ func UnmarshalHello(b []byte) (Hello, error) {
 	if h.Parallelism < 0 || h.Parallelism > MaxParallelism {
 		return Hello{}, fmt.Errorf("wire: parallelism %d outside [0,%d]", h.Parallelism, MaxParallelism)
 	}
+	if v >= 4 {
+		h.Codec = b[26+4]
+		if h.Codec&^codecKnownMask != 0 {
+			return Hello{}, fmt.Errorf("wire: unknown codec capability bits %#x", h.Codec&^codecKnownMask)
+		}
+	}
 	return h, nil
 }
 
@@ -418,39 +457,60 @@ type HelloAck struct {
 	// Version is the negotiated protocol revision. Sessions negotiated at
 	// v2 receive the legacy 12-byte acknowledgment (which cannot carry a
 	// version and implies 2), so old clients parse replies from new servers
-	// unchanged; v3 sessions receive the 16-byte form.
+	// unchanged; v3 sessions receive the 16-byte form, v4 sessions the
+	// 17-byte form with the granted codec byte.
 	Version int
+	// Codec is the granted codec capability bitmap: the intersection of
+	// what the client offered in HELLO and what the server implements.
+	// Zero (and any pre-v4 acknowledgment) means raw frames.
+	Codec uint8
 }
 
 // AppendHelloAck appends a HELLO acknowledgment to dst: the legacy 12-byte
-// form for v2 (or unset) sessions, the extended 16-byte form from v3 on.
+// form for v2 (or unset) sessions, the extended 16-byte form for v3, and
+// the 17-byte form carrying the granted codec byte from v4 on.
 func AppendHelloAck(dst []byte, a HelloAck) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, a.SessionID)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(a.MaxPayload))
 	if a.Version <= MinProtoVersion {
 		return dst
 	}
-	return binary.LittleEndian.AppendUint32(dst, uint32(a.Version))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(a.Version))
+	if a.Version >= 4 {
+		dst = append(dst, a.Codec)
+	}
+	return dst
 }
 
 // MarshalHelloAck encodes a HELLO acknowledgment into a fresh buffer.
 func MarshalHelloAck(a HelloAck) []byte { return AppendHelloAck(nil, a) }
 
-// UnmarshalHelloAck decodes a HELLO acknowledgment in either form.
+// UnmarshalHelloAck decodes a HELLO acknowledgment in any of its forms.
 func UnmarshalHelloAck(b []byte) (HelloAck, error) {
-	if len(b) != 12 && len(b) != 16 {
-		return HelloAck{}, fmt.Errorf("wire: HELLO_ACK payload is %d bytes, want 12 or 16", len(b))
+	if len(b) != 12 && len(b) != 16 && len(b) != 17 {
+		return HelloAck{}, fmt.Errorf("wire: HELLO_ACK payload is %d bytes, want 12, 16 or 17", len(b))
 	}
 	a := HelloAck{
 		SessionID:  binary.LittleEndian.Uint64(b),
 		MaxPayload: int(binary.LittleEndian.Uint32(b[8:])),
 		Version:    MinProtoVersion,
 	}
-	if len(b) == 16 {
+	if len(b) >= 16 {
 		a.Version = int(binary.LittleEndian.Uint32(b[12:]))
 		if a.Version < MinProtoVersion || a.Version > ProtoVersion {
 			return HelloAck{}, &VersionError{Got: uint32(a.Version), Min: MinProtoVersion, Max: ProtoVersion}
 		}
+	}
+	if len(b) == 17 {
+		if a.Version < 4 {
+			return HelloAck{}, fmt.Errorf("wire: codec byte on a v%d HELLO_ACK", a.Version)
+		}
+		a.Codec = b[16]
+		if a.Codec&^codecKnownMask != 0 {
+			return HelloAck{}, fmt.Errorf("wire: unknown codec capability bits %#x", a.Codec&^codecKnownMask)
+		}
+	} else if a.Version >= 4 {
+		return HelloAck{}, fmt.Errorf("wire: v%d HELLO_ACK missing codec byte", a.Version)
 	}
 	if a.MaxPayload <= 0 {
 		return HelloAck{}, fmt.Errorf("wire: non-positive payload cap %d", a.MaxPayload)

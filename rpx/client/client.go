@@ -77,6 +77,14 @@ type Config struct {
 	// server gives this session's pipeline (0 = server default: 1, the
 	// sequential reference path). Any value yields byte-identical results.
 	Parallelism int
+	// PackedMask requests the packed-metadata codec (wire.CodecPackedMask)
+	// at the handshake: GET_ENCODED replies and FRAME_PUSH records then
+	// carry the RPXE v2 container, whose mask is run-length encoded and
+	// whose row offsets are varint deltas. Decoding is transparent —
+	// LastEncoded and StreamFrame.Decode handle both containers — but the
+	// raw bytes differ, so leave this unset for byte-identity with v1
+	// captures. Requires a v4 server; older servers fail the handshake.
+	PackedMask bool
 	// DialTimeout bounds connection establishment (default 10s).
 	DialTimeout time.Duration
 	// RequestTimeout bounds each request round trip (default 30s).
@@ -108,12 +116,13 @@ type Session struct {
 	id           uint64
 	maxPayload   int
 	protoVersion int     // negotiated protocol revision (from HELLO_ACK)
+	codec        uint8   // granted codec bits (from a v4 HELLO_ACK)
 	stream       *Stream // open push subscription, nil in request/reply mode
 	dialTimeout  time.Duration
 	timeout      time.Duration
-	lastLabels  []rpx.RegionLabel // replayed after reconnect; nil = never set
-	reconnects  int
-	rng         *rand.Rand // backoff jitter; guarded by mu
+	lastLabels   []rpx.RegionLabel // replayed after reconnect; nil = never set
+	reconnects   int
+	rng          *rand.Rand // backoff jitter; guarded by mu
 }
 
 // Dial connects to an rpxd server and negotiates a session.
@@ -157,6 +166,14 @@ func (s *Session) connectLocked() error {
 		Block:        s.cfg.Block,
 		Parallelism:  s.cfg.Parallelism,
 	}
+	if s.cfg.PackedMask {
+		hello.Version = wire.ProtoVersion
+		hello.Codec = wire.CodecPackedMask
+	} else {
+		// Pin v3 so the default handshake and everything after it stay
+		// byte-identical to pre-codec clients — raw is the reference path.
+		hello.Version = 3
+	}
 	ack, _, err := replay.Handshake(conn, br, wire.MarshalHello(hello), s.maxPayload, s.timeout)
 	if err != nil {
 		conn.Close()
@@ -172,8 +189,23 @@ func (s *Session) connectLocked() error {
 	s.id = ack.SessionID
 	s.maxPayload = ack.MaxPayload
 	s.protoVersion = ack.Version
+	s.codec = ack.Codec
 	s.broken = false
+	if s.cfg.PackedMask && s.codec&wire.CodecPackedMask == 0 {
+		// A v4 server always grants the packed bit; anything else means the
+		// peer cannot honor what Config asked for.
+		conn.Close()
+		return fmt.Errorf("client: server did not grant the packed-mask codec")
+	}
 	return nil
+}
+
+// PackedMask reports whether the server granted the packed-metadata codec
+// at the handshake (Config.PackedMask was set and the peer speaks v4).
+func (s *Session) PackedMask() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.codec&wire.CodecPackedMask != 0
 }
 
 // ProtoVersion returns the protocol revision the server negotiated in the

@@ -149,7 +149,8 @@ func TestReconnectReplayByteIdentical(t *testing.T) {
 		t.Errorf("replayed HELLO differs from original:\n  dial:   %x\n  replay: %x", first[0].payload, second[0].payload)
 	}
 	if want := wire.MarshalHello(wire.Hello{
-		W: cfg.W, H: cfg.H, Format: cfg.Format,
+		Version: 3, // default clients pin v3 (no codec negotiation)
+		W:       cfg.W, H: cfg.H, Format: cfg.Format,
 		HistoryDepth: cfg.HistoryDepth, QueueDepth: cfg.QueueDepth,
 		Block: cfg.Block, Parallelism: cfg.Parallelism,
 	}); !bytes.Equal(second[0].payload, want) {

@@ -24,8 +24,10 @@ func TestStreamPushBasic(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer producer.Close()
-	if v := producer.ProtoVersion(); v != wire.ProtoVersion {
-		t.Fatalf("negotiated version %d, want %d", v, wire.ProtoVersion)
+	// Default clients pin v3 — the byte-identity reference path; only
+	// Config.PackedMask opts into the v4 codec handshake.
+	if v := producer.ProtoVersion(); v != 3 {
+		t.Fatalf("negotiated version %d, want 3", v)
 	}
 	sub, err := client.Dial(addr, client.Config{W: 8, H: 8, Format: rpx.Gray8})
 	if err != nil {
