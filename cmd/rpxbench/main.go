@@ -92,6 +92,7 @@ var registry = []experiment{
 	{"stream", "v3 push delivery vs request/reply pull at 1/8/64 sessions", runStream},
 	{"hotpath", "pooled zero-copy frame path vs copy-heavy baseline at 1/8/64 sessions", runHotpath},
 	{"maskcodec", "packed (RLE) container metadata vs raw, per workload", runMaskCodec},
+	{"policyloop", "closed-loop scenario policies: accuracy vs traffic over a CL sweep", runPolicyLoop},
 }
 
 func main() {
@@ -330,4 +331,18 @@ func runHotpath(s experiments.Scale) (string, error) {
 		return "", err
 	}
 	return experiments.HotpathReport(rows), nil
+}
+
+func runPolicyLoop(s experiments.Scale) (string, error) {
+	rows, err := experiments.PolicyLoop(s)
+	if err != nil {
+		return "", err
+	}
+	if err := writeCSV("policyloop", func(f *os.File) error { return experiments.PolicyLoopCSV(f, rows) }); err != nil {
+		return "", err
+	}
+	if err := writeBenchJSON("policyloop", func(f *os.File) error { return experiments.PolicyLoopJSON(f, rows) }); err != nil {
+		return "", err
+	}
+	return experiments.PolicyLoopReport(rows), nil
 }

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"net/http"
+	"net/http/pprof"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// newAdminMux assembles the worker's admin endpoint: Prometheus metrics
+// (the rpxpolicy_* series), JSON metrics, health, and pprof — the same
+// surface rpxd and rpxgw expose, so one scrape config covers the fleet.
+func newAdminMux(reg *obs.Registry, h *server.Health) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.Handle("/healthz", h)
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		reg.WriteJSON(w)
+	})
+	// pprof is routed explicitly onto this mux (the blank import of
+	// net/http/pprof only registers on http.DefaultServeMux, which the
+	// admin server deliberately does not use).
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

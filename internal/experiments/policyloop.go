@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/frame"
+	"repro/internal/policy"
+	"repro/internal/synth"
+	"repro/rpx"
+)
+
+// Closed-loop policy pricing: the rpxpolicy worker's observe→label cycle
+// run in-process against synthetic scenes, sweeping the cycle length to
+// trace each policy's accuracy-vs-traffic curve. The loop here is the same
+// control flow internal/policyloop drives over the wire — capture, decode,
+// difference the two most recent decoded frames into a motion grid, let the
+// policy classify, install the resulting workload for the next CL frames —
+// with the transport removed so the numbers isolate the policy's effect on
+// the pixel stream from network costs. Accuracy is measured against the
+// pristine input (what an always-full-frame capture would store), so a
+// policy's curve shows exactly what precision it trades for the traffic it
+// saves.
+
+// PolicyLoopRow is one (workload, policy, cycle length) measurement.
+type PolicyLoopRow struct {
+	// Workload names the synthetic scene.
+	Workload string `json:"workload"`
+	// Policy is the registry name driving the loop.
+	Policy string `json:"policy"`
+	// CycleLength is the loop cadence in frames.
+	CycleLength int `json:"cycle_length"`
+	// MAE is the mean absolute per-pixel error of the decoded stream
+	// against the pristine input, over all frames.
+	MAE float64 `json:"mae"`
+	// PSNRdB is the mean per-frame PSNR in dB (lossless frames counted at
+	// the 99 dB cap so the mean stays finite).
+	PSNRdB float64 `json:"psnr_db"`
+	// PixelFraction is stored pixels / sensor pixels — the paper's traffic
+	// proxy.
+	PixelFraction float64 `json:"pixel_fraction"`
+	// BytesPerFrame is mean encoded bytes (payload + metadata) per frame.
+	BytesPerFrame float64 `json:"bytes_per_frame"`
+}
+
+// psnrCap keeps lossless frames from dragging the mean to +Inf.
+const psnrCap = 99.0
+
+// policyLoopScene produces the t-th input frame of a workload.
+type policyLoopScene struct {
+	name   string
+	render func(t int) *frame.Frame
+}
+
+// policyLoopScenes builds the two synthetic workloads at the given
+// geometry: a bouncing bright box over a fixed textured background (compact
+// motion, most of the scene static — the regime the scenario policies are
+// built for), and a slow camera pan over a textured world (global motion,
+// every tile changing a little).
+func policyLoopScenes(w, h, frames int) []policyLoopScene {
+	boxBG := frame.New(w, h, frame.Gray8)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			boxBG.Pix[y*w+x] = byte(24 + 13*((x/8+y/8)%2) + (x*7+y*3)%9)
+		}
+	}
+	world := synth.NewWorld(4*w, 4*h, 11)
+	gt := world.Trajectory(frames, w, h, synth.ProfileSlow, 17)
+	return []policyLoopScene{
+		{name: "moving-box", render: func(t int) *frame.Frame {
+			fr := boxBG.Clone()
+			bx := (t * 5) % (w - 16)
+			by := (t * 3) % (h - 16)
+			for y := by; y < by+16; y++ {
+				for x := bx; x < bx+16; x++ {
+					fr.Pix[y*w+x] = 230
+				}
+			}
+			return fr
+		}},
+		{name: "pan-world", render: func(t int) *frame.Frame {
+			return world.Render(gt[t], w, h)
+		}},
+	}
+}
+
+// PolicyLoop sweeps the three scenario policies over cycle lengths on both
+// workloads.
+func PolicyLoop(s Scale) ([]PolicyLoopRow, error) {
+	w, h, frames := 96, 72, 64
+	cls := []int{2, 8}
+	if s == Full {
+		w, h, frames = 160, 120, 240
+		cls = []int{2, 4, 8, 16}
+	}
+	policies := []string{"motion-skip", "saliency-stride", "event-change"}
+	var rows []PolicyLoopRow
+	for _, scene := range policyLoopScenes(w, h, frames) {
+		for _, pol := range policies {
+			for _, cl := range cls {
+				row, err := policyLoopRun(scene, pol, w, h, cl, frames)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: policyloop %s/%s CL %d: %w", scene.name, pol, cl, err)
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// policyLoopRun drives one closed loop to completion.
+func policyLoopRun(scene policyLoopScene, polName string, w, h, cl, frames int) (PolicyLoopRow, error) {
+	pol, err := policy.Build(polName, w, h, cl)
+	if err != nil {
+		return PolicyLoopRow{}, err
+	}
+	sys, err := rpx.NewSystem(w, h, rpx.Gray8)
+	if err != nil {
+		return PolicyLoopRow{}, err
+	}
+	if err := sys.SetRegionLabels([]rpx.RegionLabel{rpx.FullFrame(w, h)}); err != nil {
+		return PolicyLoopRow{}, err
+	}
+	motion := policy.NewMotionMap(w, h, 0)
+	var prev, cur *frame.Frame
+	var maeSum, psnrSum float64
+	var bytesSum int64
+	sinceCycle, pushes := 0, 0
+	for t := 0; t < frames; t++ {
+		in := scene.render(t)
+		cs, err := sys.Capture(in)
+		if err != nil {
+			return PolicyLoopRow{}, err
+		}
+		bytesSum += int64(cs.EncodedBytes)
+		out, err := sys.Decoded()
+		if err != nil {
+			return PolicyLoopRow{}, err
+		}
+		mae, err := frame.MAE(in, out)
+		if err != nil {
+			return PolicyLoopRow{}, err
+		}
+		maeSum += mae
+		psnr, err := frame.PSNR(in, out)
+		if err != nil {
+			return PolicyLoopRow{}, err
+		}
+		psnrSum += math.Min(psnr, psnrCap)
+		prev, cur = cur, out.Clone()
+
+		// The worker's cadence: once per CL frames, difference the two most
+		// recent decoded frames and install the policy's next workload.
+		if sinceCycle++; sinceCycle < cl || prev == nil {
+			continue
+		}
+		sinceCycle = 0
+		if err := motion.Update(prev, cur); err != nil {
+			return PolicyLoopRow{}, err
+		}
+		pol.Observe(policy.Feedback{Motion: motion})
+		if err := sys.SetRegionLabels(pol.Labels(pushes)); err != nil {
+			return PolicyLoopRow{}, err
+		}
+		pushes++
+	}
+	st := sys.Stats()
+	frac := 0.0
+	if st.PixelsIn > 0 {
+		frac = float64(st.PixelsStored) / float64(st.PixelsIn)
+	}
+	return PolicyLoopRow{
+		Workload:      scene.name,
+		Policy:        polName,
+		CycleLength:   cl,
+		MAE:           maeSum / float64(frames),
+		PSNRdB:        psnrSum / float64(frames),
+		PixelFraction: frac,
+		BytesPerFrame: float64(bytesSum) / float64(frames),
+	}, nil
+}
+
+// PolicyLoopReport renders the curves, one block per workload.
+func PolicyLoopReport(rows []PolicyLoopRow) string {
+	var tbl [][]string
+	for _, r := range rows {
+		tbl = append(tbl, []string{
+			r.Workload,
+			r.Policy,
+			fmt.Sprint(r.CycleLength),
+			fmt.Sprintf("%.3f", r.MAE),
+			fmt.Sprintf("%.1f", r.PSNRdB),
+			fmt.Sprintf("%.1f%%", r.PixelFraction*100),
+			fmt.Sprintf("%.0f", r.BytesPerFrame),
+		})
+	}
+	return table([]string{"Workload", "Policy", "CL", "MAE", "PSNR dB", "Pixels stored", "Bytes/frame"}, tbl)
+}
+
+// PolicyLoopCSV writes one row per measurement for plotting.
+func PolicyLoopCSV(w io.Writer, rows []PolicyLoopRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"workload", "policy", "cycle_length", "mae", "psnr_db", "pixel_fraction", "bytes_per_frame"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Workload,
+			r.Policy,
+			fmt.Sprintf("%d", r.CycleLength),
+			fmt.Sprintf("%.4f", r.MAE),
+			fmt.Sprintf("%.2f", r.PSNRdB),
+			fmt.Sprintf("%.4f", r.PixelFraction),
+			fmt.Sprintf("%.1f", r.BytesPerFrame),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// PolicyLoopJSON writes the rows as the BENCH_policyloop.json document.
+func PolicyLoopJSON(w io.Writer, rows []PolicyLoopRow) error {
+	doc := struct {
+		Experiment string          `json:"experiment"`
+		Workload   string          `json:"workload"`
+		Rows       []PolicyLoopRow `json:"rows"`
+	}{
+		Experiment: "policyloop_accuracy_vs_traffic",
+		Workload:   "closed-loop scenario policies over moving-box and pan-world gray8 scenes, CL sweep",
+		Rows:       rows,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestPolicyLoopShape: the quick sweep covers 3 policies x 2 workloads x 2
+// cycle lengths, every value is finite, and the closed loop actually trades
+// — for each (workload, policy), longer cycles store fewer pixels and lose
+// fidelity.
+func TestPolicyLoopShape(t *testing.T) {
+	rows, err := PolicyLoop(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("quick sweep has %d rows, want 12 (3 policies x 2 workloads x 2 CLs)", len(rows))
+	}
+	type key struct{ workload, policy string }
+	byKey := map[key][]PolicyLoopRow{}
+	for _, r := range rows {
+		if math.IsNaN(r.MAE) || math.IsInf(r.MAE, 0) || math.IsNaN(r.PSNRdB) || math.IsInf(r.PSNRdB, 0) {
+			t.Fatalf("non-finite accuracy in %+v", r)
+		}
+		if r.PixelFraction <= 0 || r.PixelFraction > 1 {
+			t.Fatalf("pixel fraction %v out of (0,1] in %+v", r.PixelFraction, r)
+		}
+		if r.BytesPerFrame <= 0 {
+			t.Fatalf("no traffic measured in %+v", r)
+		}
+		k := key{r.Workload, r.Policy}
+		byKey[k] = append(byKey[k], r)
+	}
+	if len(byKey) != 6 {
+		t.Fatalf("saw %d (workload, policy) curves, want 6", len(byKey))
+	}
+	for k, curve := range byKey {
+		if len(curve) != 2 {
+			t.Fatalf("%v has %d points, want 2", k, len(curve))
+		}
+		lo, hi := curve[0], curve[1]
+		if lo.CycleLength >= hi.CycleLength {
+			t.Fatalf("%v rows out of CL order", k)
+		}
+		if hi.PixelFraction >= lo.PixelFraction {
+			t.Errorf("%v: CL %d stores %.3f of pixels, CL %d stores %.3f — longer cycle should cost less traffic",
+				k, hi.CycleLength, hi.PixelFraction, lo.CycleLength, lo.PixelFraction)
+		}
+		if hi.PSNRdB >= lo.PSNRdB {
+			t.Errorf("%v: fidelity improved with a longer cycle (%.1f dB -> %.1f dB)", k, lo.PSNRdB, hi.PSNRdB)
+		}
+	}
+
+	// The emitters agree with the rows.
+	var jsonBuf bytes.Buffer
+	if err := PolicyLoopJSON(&jsonBuf, rows); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Experiment string          `json:"experiment"`
+		Rows       []PolicyLoopRow `json:"rows"`
+	}
+	if err := json.Unmarshal(jsonBuf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Experiment != "policyloop_accuracy_vs_traffic" || len(doc.Rows) != len(rows) {
+		t.Fatalf("JSON document %q with %d rows", doc.Experiment, len(doc.Rows))
+	}
+	var csvBuf bytes.Buffer
+	if err := PolicyLoopCSV(&csvBuf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(csvBuf.String(), "\n"); lines != len(rows)+1 {
+		t.Fatalf("CSV has %d lines, want %d", lines, len(rows)+1)
+	}
+	if rep := PolicyLoopReport(rows); !strings.Contains(rep, "motion-skip") || !strings.Contains(rep, "pan-world") {
+		t.Fatalf("report lacks expected cells:\n%s", rep)
+	}
+}

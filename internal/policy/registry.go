@@ -3,6 +3,7 @@ package policy
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/features"
@@ -27,6 +28,10 @@ type Feedback struct {
 	// Boxes and BoxVelocities from a tracker-based frontend.
 	Boxes         []synth.Box
 	BoxVelocities []float64
+	// Motion, when non-nil, is the per-tile change-energy grid between the
+	// two most recent decoded frames — what the scenario policies
+	// (motion-skip, saliency-stride, event-change) gate on.
+	Motion *MotionMap
 }
 
 // Policy is the full region-selection loop: observe task results, emit the
@@ -74,7 +79,8 @@ func Build(name string, w, h, cycleLength int) (Policy, error) {
 	m, ok := registry[name]
 	registryMu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("policy: unknown policy %q (have %v)", name, Names())
+		return nil, fmt.Errorf("policy: unknown policy %q; registered policies: %s",
+			name, strings.Join(Names(), ", "))
 	}
 	return m.New(w, h, cycleLength), nil
 }

@@ -1,0 +1,208 @@
+package policy
+
+import "repro/internal/region"
+
+// Scenario policies beyond the paper's feature/box families, registered in
+// init below. All three consume the Feedback.Motion change-energy grid and
+// stress different axes of the rhythmic-pixel design:
+//
+//   - motion-skip: full spatial coverage, temporal gating per tile — the
+//     intelligent-skipping CMOS model (arXiv:2409.17341). Hot tiles sample
+//     every frame, cold tiles coast on their skip rhythm.
+//   - saliency-stride: full temporal coverage, spatial subsampling per tile
+//     — salient tiles (keypoints or high change energy) keep stride 1,
+//     boring ones decimate; fast global motion caps the coarseness.
+//   - event-change: only changed tiles are captured at all between full
+//     frames — the event-camera regime (arXiv:2206.04341). A static scene
+//     costs near zero traffic.
+//
+// Each falls back to full-frame capture until its first motion observation,
+// and renews scene coverage with a full capture every CL frames (Cycle).
+
+// MotionThresholds gates the scenario policies' tile classification, in
+// mean-absolute-byte-delta units (the MotionMap scale, [0, 255]).
+type MotionThresholds struct {
+	// Hot marks a tile as actively changing (sampled every frame).
+	Hot float64
+	// Warm marks a tile as drifting (sampled at an intermediate rhythm).
+	Warm float64
+}
+
+// DefaultMotionThresholds suits 8-bit content with sensor-noise-free synth
+// scenes; real captures would sit Warm above the noise floor.
+func DefaultMotionThresholds() MotionThresholds {
+	return MotionThresholds{Hot: 6, Warm: 1.5}
+}
+
+func init() {
+	Register(Maker{
+		Name:        "motion-skip",
+		Description: "full frame every CL frames; between, every tile is captured but its skip rhythm follows tile change energy (hot: every frame, cold: MaxSkip)",
+		New: func(w, h, cl int) Policy {
+			p := &motionSkipPolicy{
+				thresh:  DefaultMotionThresholds(),
+				maxSkip: DefaultFeatureParams().MaxSkip,
+			}
+			p.cycle = NewCycle(cl, w, h, SourceFunc(func(int) region.List { return p.last }))
+			return p
+		},
+	})
+	Register(Maker{
+		Name:        "saliency-stride",
+		Description: "full frame every CL frames; between, tile stride follows saliency (keypoints + change energy), fast global motion caps the coarseness",
+		New: func(w, h, cl int) Policy {
+			p := &saliencyStridePolicy{
+				thresh:    DefaultMotionThresholds(),
+				maxStride: 4,
+				fastDisp:  DefaultFeatureParams().FastDisplacement,
+			}
+			p.cycle = NewCycle(cl, w, h, SourceFunc(func(int) region.List { return p.last }))
+			return p
+		},
+	})
+	Register(Maker{
+		Name:        "event-change",
+		Description: "full frame every CL frames; between, only tiles whose change energy clears the threshold are captured at all (event-camera regime)",
+		New: func(w, h, cl int) Policy {
+			p := &eventChangePolicy{thresh: DefaultMotionThresholds()}
+			p.cycle = NewCycle(cl, w, h, SourceFunc(func(int) region.List { return p.last }))
+			return p
+		},
+	})
+}
+
+// mergeTileRuns walks the motion grid and emits one label per horizontal
+// run of tiles that classify identically, keeping the label count far
+// below the per-tile worst case. classify returns (stride, skip, capture);
+// capture=false omits the run entirely (the decoder replays history there).
+func mergeTileRuns(m *MotionMap, classify func(col, row int) (stride, skip int, capture bool)) region.List {
+	var out region.List
+	for r := 0; r < m.Rows; r++ {
+		c := 0
+		for c < m.Cols {
+			stride, skip, capture := classify(c, r)
+			run := c
+			for run+1 < m.Cols {
+				s2, k2, cap2 := classify(run+1, r)
+				if s2 != stride || k2 != skip || cap2 != capture {
+					break
+				}
+				run++
+			}
+			if capture {
+				if l, ok := m.tileLabel(c, run, r, stride, skip); ok {
+					out = append(out, l)
+				}
+			}
+			c = run + 1
+		}
+	}
+	return out.SortByY()
+}
+
+// motionSkipPolicy: temporal gating per tile, full spatial coverage.
+type motionSkipPolicy struct {
+	thresh  MotionThresholds
+	maxSkip int
+	cycle   *Cycle
+	last    region.List
+}
+
+func (p *motionSkipPolicy) Observe(fb Feedback) {
+	if fb.Motion == nil {
+		return
+	}
+	p.last = mergeTileRuns(fb.Motion, func(c, r int) (int, int, bool) {
+		switch e := fb.Motion.At(c, r); {
+		case e >= p.thresh.Hot:
+			return 1, 1, true
+		case e >= p.thresh.Warm:
+			return 1, 2, true
+		default:
+			return 1, p.maxSkip, true
+		}
+	})
+}
+
+func (p *motionSkipPolicy) Labels(frameIndex int) region.List {
+	if p.last == nil {
+		return region.List{region.FullFrame(p.cycle.W, p.cycle.H)}
+	}
+	return p.cycle.Labels(frameIndex)
+}
+
+// saliencyStridePolicy: spatial decimation per tile, full temporal coverage.
+type saliencyStridePolicy struct {
+	thresh    MotionThresholds
+	maxStride int
+	fastDisp  float64
+	cycle     *Cycle
+	last      region.List
+}
+
+func (p *saliencyStridePolicy) Observe(fb Feedback) {
+	if fb.Motion == nil {
+		return
+	}
+	m := fb.Motion
+	// Tiles holding keypoints are salient regardless of change energy: the
+	// task is anchored there and decimation would cost it accuracy.
+	kpTiles := make([]bool, len(m.Energy))
+	for _, kp := range fb.KeyPoints {
+		c, r := int(kp.X)/m.Tile, int(kp.Y)/m.Tile
+		if c >= 0 && c < m.Cols && r >= 0 && r < m.Rows {
+			kpTiles[r*m.Cols+c] = true
+		}
+	}
+	// Fast global motion needs finer spatial sampling everywhere to keep
+	// the task trackable — halve the allowed coarseness.
+	coarse := p.maxStride
+	if fb.MeanDisplacement >= p.fastDisp && coarse > 2 {
+		coarse = 2
+	}
+	p.last = mergeTileRuns(m, func(c, r int) (int, int, bool) {
+		switch e := m.At(c, r); {
+		case kpTiles[r*m.Cols+c] || e >= p.thresh.Hot:
+			return 1, 1, true
+		case e >= p.thresh.Warm:
+			return min(2, coarse), 1, true
+		default:
+			return coarse, 1, true
+		}
+	})
+}
+
+func (p *saliencyStridePolicy) Labels(frameIndex int) region.List {
+	if p.last == nil {
+		return region.List{region.FullFrame(p.cycle.W, p.cycle.H)}
+	}
+	return p.cycle.Labels(frameIndex)
+}
+
+// eventChangePolicy: only changed tiles exist between full captures.
+type eventChangePolicy struct {
+	thresh MotionThresholds
+	cycle  *Cycle
+	seen   bool
+	last   region.List
+}
+
+func (p *eventChangePolicy) Observe(fb Feedback) {
+	if fb.Motion == nil {
+		return
+	}
+	p.seen = true
+	p.last = mergeTileRuns(fb.Motion, func(c, r int) (int, int, bool) {
+		// Warm, not Hot: an event sensor fires on any detectable change.
+		return 1, 1, fb.Motion.At(c, r) >= p.thresh.Warm
+	})
+}
+
+func (p *eventChangePolicy) Labels(frameIndex int) region.List {
+	if !p.seen {
+		return region.List{region.FullFrame(p.cycle.W, p.cycle.H)}
+	}
+	// p.last may legitimately be empty (static scene): capture nothing and
+	// let the decoder replay history until the next full frame.
+	return p.cycle.Labels(frameIndex)
+}

@@ -1,0 +1,216 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/features"
+	"repro/internal/frame"
+	"repro/internal/region"
+)
+
+// motionFrames builds two frames where only the rectangle (bx, by, bw, bh)
+// differs — a synthetic moving box for the change-energy grid.
+func motionFrames(w, h, bx, by, bw, bh int) (prev, cur *frame.Frame) {
+	prev = frame.New(w, h, frame.Gray8)
+	cur = frame.New(w, h, frame.Gray8)
+	for y := by; y < by+bh && y < h; y++ {
+		for x := bx; x < bx+bw && x < w; x++ {
+			cur.Pix[y*w+x] = 200
+		}
+	}
+	return prev, cur
+}
+
+func TestMotionMapUpdate(t *testing.T) {
+	const w, h, tile = 64, 48, 16
+	m := NewMotionMap(w, h, tile)
+	if m.Cols != 4 || m.Rows != 3 {
+		t.Fatalf("grid is %dx%d, want 4x3", m.Cols, m.Rows)
+	}
+	prev, cur := motionFrames(w, h, 0, 0, tile, tile)
+	if err := m.Update(prev, cur); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.At(0, 0); got != 200 {
+		t.Fatalf("changed tile energy = %v, want 200", got)
+	}
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			if (c != 0 || r != 0) && m.At(c, r) != 0 {
+				t.Fatalf("static tile (%d,%d) has energy %v", c, r, m.At(c, r))
+			}
+		}
+	}
+	// Geometry mismatches are rejected.
+	if err := m.Update(frame.New(8, 8, frame.Gray8), cur); err == nil {
+		t.Fatal("accepted mismatched frame")
+	}
+}
+
+func TestMotionMapRaggedEdge(t *testing.T) {
+	// 50x30 with 16px tiles: edge cells are 2 and 14 px — energies must
+	// still normalize per cell, and tileLabel must clip to the frame.
+	m := NewMotionMap(50, 30, 16)
+	prev, cur := motionFrames(50, 30, 48, 16, 2, 14)
+	if err := m.Update(prev, cur); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.At(3, 1); got != 200 {
+		t.Fatalf("ragged tile energy = %v, want 200 (per-cell normalization broken)", got)
+	}
+	l, ok := m.tileLabel(3, 3, 1, 1, 1)
+	if !ok || l.X+l.W > 50 || l.Y+l.H > 30 {
+		t.Fatalf("ragged tile label %+v escapes the 50x30 frame", l)
+	}
+}
+
+// scenarioLabels drives one scenario policy through a moving-box
+// observation and returns its intermediate-frame (non-full-capture) labels.
+func scenarioLabels(t *testing.T, name string, w, h, cl int) region.List {
+	t.Helper()
+	p, err := Build(name, w, h, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before any observation: full frame, the discovery default.
+	if ls := p.Labels(1); len(ls) != 1 || ls[0].W != w || ls[0].H != h {
+		t.Fatalf("%s pre-observation labels = %v, want full frame", name, ls)
+	}
+	m := NewMotionMap(w, h, 16)
+	prev, cur := motionFrames(w, h, 16, 16, 16, 16)
+	if err := m.Update(prev, cur); err != nil {
+		t.Fatal(err)
+	}
+	p.Observe(Feedback{Motion: m})
+	ls := p.Labels(1) // frame 1: intermediate (cl > 1)
+	if err := ls.Validate(w, h); err != nil {
+		t.Fatalf("%s emitted invalid labels: %v", name, err)
+	}
+	// Full captures still happen on the cycle boundary.
+	if full := p.Labels(0); len(full) != 1 || full[0].W != w {
+		t.Fatalf("%s frame 0 = %v, want full capture", name, full)
+	}
+	return ls
+}
+
+func TestMotionSkipPolicy(t *testing.T) {
+	const w, h = 64, 48
+	ls := scenarioLabels(t, "motion-skip", w, h, 8)
+	// Full spatial coverage: every pixel is inside some label.
+	area := 0
+	hotCovered := false
+	for _, l := range ls {
+		area += l.W * l.H
+		if l.X <= 16 && 16 < l.X+l.W && l.Y <= 16 && 16 < l.Y+l.H {
+			if l.Skip != 1 {
+				t.Fatalf("hot tile landed in label %+v, want skip 1", l)
+			}
+			hotCovered = true
+		}
+	}
+	if area != w*h {
+		t.Fatalf("labels cover %d px, want full coverage %d", area, w*h)
+	}
+	if !hotCovered {
+		t.Fatal("no label covers the moving box")
+	}
+	// Cold tiles coast at MaxSkip.
+	sawCold := false
+	for _, l := range ls {
+		if l.Skip == DefaultFeatureParams().MaxSkip {
+			sawCold = true
+		}
+	}
+	if !sawCold {
+		t.Fatalf("no cold-tile label with skip %d in %v", DefaultFeatureParams().MaxSkip, ls)
+	}
+}
+
+func TestSaliencyStridePolicy(t *testing.T) {
+	const w, h = 64, 48
+	ls := scenarioLabels(t, "saliency-stride", w, h, 8)
+	strides := map[int]bool{}
+	for _, l := range ls {
+		if l.Skip != 1 {
+			t.Fatalf("saliency-stride emitted skip %d, want pure spatial decimation", l.Skip)
+		}
+		strides[l.Stride] = true
+	}
+	if !strides[1] || !strides[4] {
+		t.Fatalf("want stride-1 (salient) and stride-4 (boring) labels, got strides %v", strides)
+	}
+
+	// A keypoint pins its tile to stride 1 even with zero change energy,
+	// and fast global motion caps the coarsest stride at 2.
+	p, _ := Build("saliency-stride", w, h, 8)
+	m := NewMotionMap(w, h, 16)
+	m.Update(frame.New(w, h, frame.Gray8), frame.New(w, h, frame.Gray8))
+	p.Observe(Feedback{Motion: m, KeyPoints: []features.KeyPoint{{X: 40, Y: 40}}, MeanDisplacement: 10})
+	for _, l := range p.Labels(1) {
+		if l.X <= 40 && 40 < l.X+l.W && l.Y <= 40 && 40 < l.Y+l.H {
+			if l.Stride != 1 {
+				t.Fatalf("keypoint tile has stride %d, want 1", l.Stride)
+			}
+		} else if l.Stride > 2 {
+			t.Fatalf("stride %d under fast motion, want capped at 2", l.Stride)
+		}
+	}
+}
+
+func TestEventChangePolicy(t *testing.T) {
+	const w, h = 64, 48
+	ls := scenarioLabels(t, "event-change", w, h, 8)
+	// Only the changed tile is captured; everything else does not exist.
+	if len(ls) != 1 {
+		t.Fatalf("event-change emitted %d labels for one changed tile: %v", len(ls), ls)
+	}
+	if l := ls[0]; l.X != 16 || l.Y != 16 || l.Stride != 1 || l.Skip != 1 {
+		t.Fatalf("changed-tile label = %+v", l)
+	}
+
+	// A static scene captures nothing at all between full frames.
+	p, _ := Build("event-change", w, h, 8)
+	m := NewMotionMap(w, h, 16)
+	m.Update(frame.New(w, h, frame.Gray8), frame.New(w, h, frame.Gray8))
+	p.Observe(Feedback{Motion: m})
+	if ls := p.Labels(1); len(ls) != 0 {
+		t.Fatalf("static scene emitted %v, want no labels", ls)
+	}
+	// But the cycle's full capture still renews coverage.
+	if full := p.Labels(8); len(full) != 1 || full[0].W != w {
+		t.Fatalf("frame 8 = %v, want full capture", full)
+	}
+}
+
+func TestMergeTileRunsMergesUniformRows(t *testing.T) {
+	m := NewMotionMap(64, 48, 16) // 4x3 grid, all energy zero
+	ls := mergeTileRuns(m, func(c, r int) (int, int, bool) { return 1, 1, true })
+	// One label per row, not one per tile.
+	if len(ls) != m.Rows {
+		t.Fatalf("uniform grid produced %d labels, want %d merged rows", len(ls), m.Rows)
+	}
+	for _, l := range ls {
+		if l.W != 64 {
+			t.Fatalf("merged row label %+v does not span the frame", l)
+		}
+	}
+}
+
+// TestBuildUnknownListsRegistered: the unknown-policy error names every
+// registered policy so -policy typos are self-diagnosing (regression: the
+// old message printed an opaque %v slice).
+func TestBuildUnknownListsRegistered(t *testing.T) {
+	_, err := Build("no-such-policy", 64, 48, 4)
+	if err == nil {
+		t.Fatal("unknown policy built")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not mention registered policy %q", err, name)
+		}
+	}
+	if !strings.Contains(err.Error(), "no-such-policy") {
+		t.Errorf("error %q does not echo the requested name", err)
+	}
+}

@@ -128,6 +128,7 @@ type Manager struct {
 	streamPublished  atomic.Int64
 	streamPushed     atomic.Int64
 	streamDropped    atomic.Int64
+	streamLabels     atomic.Int64
 
 	opHist [numOps]Histogram
 
@@ -360,6 +361,10 @@ type result struct {
 	fr  *frame.Frame
 	ef  *core.EncodedFrame
 	enc []byte
+	// seq is the first frame index that observes a label update
+	// (OpSetLabels only): read from the pipeline on the worker right after
+	// the labels are applied, before any later capture can run.
+	seq uint64
 	err error
 }
 
@@ -455,7 +460,15 @@ func (s *Session) worker() {
 func (s *Session) execute(req *request) result {
 	switch req.op {
 	case OpSetLabels:
-		return result{err: s.sys.SetRegionLabels(req.labels)}
+		if err := s.sys.SetRegionLabels(req.labels); err != nil {
+			return result{err: err}
+		}
+		// FrameIndex is the index the next Capture will use, and pending
+		// labels commit at that capture's frame boundary — so this is the
+		// deterministic first sequence number the new workload governs,
+		// regardless of pipeline parallelism or codec. Reading it here on
+		// the worker is race-free: no capture can interleave.
+		return result{seq: uint64(s.sys.FrameIndex())}
 	case OpCapture:
 		cs, err := s.sys.Capture(req.frame)
 		if err == nil {
@@ -540,6 +553,16 @@ func (s *Session) QueueDepth() int { return len(s.reqs) }
 // SetRegionLabels installs the capture workload for the next frame.
 func (s *Session) SetRegionLabels(labels region.List) error {
 	return s.submit(&request{op: OpSetLabels, labels: labels}).err
+}
+
+// SetRegionLabelsAt installs the capture workload and returns the first
+// frame index that will be captured under it. Every frame with index >=
+// the returned boundary observes the new labels; every earlier frame was
+// captured under the previous workload — the update is serialized with
+// in-flight captures by the session worker, so the boundary is exact.
+func (s *Session) SetRegionLabelsAt(labels region.List) (uint64, error) {
+	res := s.submit(&request{op: OpSetLabels, labels: labels})
+	return res.seq, res.err
 }
 
 // Capture encodes one frame into the session's framebuffer.

@@ -383,6 +383,8 @@ func (m *Manager) registerStreamMetrics(reg *obs.Registry) {
 		func() uint64 { return uint64(m.streamPushed.Load()) })
 	reg.CounterFunc("rpxd_stream_frames_dropped_total", "Frames dropped because a subscription was out of credit.",
 		func() uint64 { return uint64(m.streamDropped.Load()) })
+	reg.CounterFunc("rpxd_stream_labels_total", "Label workloads applied through in-stream feedback (STREAM_LABELS).",
+		func() uint64 { return uint64(m.streamLabels.Load()) })
 	reg.GaugeFunc("rpxd_stream_subscriptions_open", "Currently open push subscriptions.",
 		func() float64 { return float64(m.SubscriptionsOpen()) })
 	reg.GaugeFunc("rpxd_stream_inflight", "Accepted-but-undelivered frames buffered across all subscriptions; bounded by granted credit.",

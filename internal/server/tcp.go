@@ -316,10 +316,15 @@ func (s *TCPServer) serveStream(sess *Session, conn net.Conn, br *bufio.Reader, 
 
 	// From here the writer goroutine owns cw for writing (its MessageWriter
 	// serializes the actual sends); this loop only writes again after
-	// joining writerDone, so cw.scratch is never shared.
+	// joining writerDone, so cw.scratch is never shared. The one exception
+	// is the v5 LABELS_APPLIED reply, which must interleave with live
+	// FRAME_PUSH traffic: it marshals into its own buffer (never
+	// cw.scratch) and relies on the MessageWriter's internal lock to keep
+	// whole messages atomic against the stream writer.
 	writerDone := make(chan error, 1)
 	go func() { writerDone <- s.streamWriter(sub, conn, cw) }()
 
+	var fbScratch []byte
 	for {
 		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
 		typ, payload, err := wire.ReadMessageInto(br, rbuf, s.cfg.MaxPayload)
@@ -350,6 +355,43 @@ func (s *TCPServer) serveStream(sess *Session, conn net.Conn, br *bufio.Reader, 
 			// The writer drains the already-accepted frames and emits the
 			// final ACK; then the write side is ours again.
 			return <-writerDone != nil
+		case wire.MsgStreamLabels:
+			if hello.Version < 5 {
+				sub.Abort()
+				<-writerDone
+				return cw.writeErr(wire.CodeProto, fmt.Sprintf(
+					"STREAM_LABELS requires protocol v5, session negotiated v%d", hello.Version)) != nil
+			}
+			sl, err := wire.UnmarshalStreamLabels(payload)
+			if err != nil || sl.SubID != sub.ID() {
+				sub.Abort()
+				<-writerDone
+				return true
+			}
+			// Apply through the target session's worker queue: the update is
+			// serialized with in-flight captures, so the boundary is exact. A
+			// rejected workload (bad geometry, backlog) reports its code in
+			// the reply and leaves the stream — and the previous labels —
+			// intact; only transport failures end the subscription.
+			ack := wire.LabelsApplied{SubID: sub.ID()}
+			seq, err := target.SetRegionLabelsAt(sl.Labels)
+			switch {
+			case err == nil:
+				ack.AppliedSeq = seq
+				s.mgr.streamLabels.Add(1)
+			case errors.Is(err, ErrBacklog):
+				ack.Code, ack.Msg = wire.CodeBacklog, err.Error()
+			case errors.Is(err, ErrSessionClosed), errors.Is(err, ErrManagerClosed):
+				ack.Code, ack.Msg = wire.CodeUnavailable, err.Error()
+			default:
+				ack.Code, ack.Msg = wire.CodeBadRequest, err.Error()
+			}
+			fbScratch = wire.AppendLabelsApplied(fbScratch[:0], ack)
+			if cw.write(wire.MsgLabelsApplied, fbScratch) != nil {
+				sub.Abort()
+				<-writerDone
+				return true
+			}
 		default:
 			// Only CREDIT and UNSUBSCRIBE are legal while streaming.
 			sub.Abort()

@@ -3,6 +3,8 @@ package wire
 import (
 	"bytes"
 	"testing"
+
+	"repro/internal/region"
 )
 
 // FuzzReadMessage drives arbitrary bytes through the framing layer and every
@@ -26,6 +28,8 @@ func FuzzReadMessage(f *testing.F) {
 	f.Add(seed(MsgFramePush, MarshalFramePush(FramePush{SubID: 1, Frames: []PushFrame{{Seq: 2, Enc: []byte{1, 2, 3}}}})))
 	f.Add(seed(MsgCaptureAck, MarshalCaptureAck(CaptureAck{FrameIndex: 3, EncodedPixels: 10, EncodedBytes: 10, PixelFraction: 0.5})))
 	f.Add(seed(MsgDecodeWindow, MarshalWindow(Window{X: 1, Y: 2, W: 3, H: 4})))
+	f.Add(seed(MsgStreamLabels, MarshalStreamLabels(StreamLabels{SubID: 5, Labels: region.List{{X: 1, Y: 1, W: 8, H: 8, Stride: 1}}})))
+	f.Add(seed(MsgLabelsApplied, MarshalLabelsApplied(LabelsApplied{SubID: 5, AppliedSeq: 11})))
 	f.Add(seed(MsgError, MarshalError(CodeBadRequest, "nope")))
 	f.Add(seed(MsgAck, nil))
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1}) // hostile length prefix
@@ -70,6 +74,10 @@ func FuzzReadMessage(f *testing.F) {
 				UnmarshalFramePush(payload)
 			case MsgUnsubscribe:
 				UnmarshalUnsubscribe(payload)
+			case MsgStreamLabels:
+				UnmarshalStreamLabels(payload)
+			case MsgLabelsApplied:
+				UnmarshalLabelsApplied(payload)
 			}
 		}
 	})

@@ -43,8 +43,14 @@ const ProtoMagic = 0x52505844 // "RPXD"
 // the negotiated version. Version 4 added the codec capability byte to
 // HELLO and HELLO_ACK: a v4 client may request CodecPackedMask and, when
 // the server echoes it, FRAME/FRAME_PUSH payloads carry the RPXE v2
-// packed-metadata container instead of raw offsets + mask.
-const ProtoVersion = 4
+// packed-metadata container instead of raw offsets + mask. Version 5 added
+// in-stream label feedback: a subscribed v5 connection may send
+// STREAM_LABELS to install a region-label workload on the subscription's
+// target session and receives LABELS_APPLIED with the first frame sequence
+// number captured under the new labels. The v5 HELLO/HELLO_ACK byte layout
+// is identical to v4 — only the version number and the two new message
+// types differ.
+const ProtoVersion = 5
 
 // MinProtoVersion is the oldest protocol revision servers still accept. A
 // v2 client negotiates a v2 session against a v3 server and sees identical
@@ -112,6 +118,19 @@ const (
 	// MsgUnsubscribe ends the subscription; the server flushes frames
 	// already accepted against credit, then replies ACK.
 	MsgUnsubscribe byte = 20
+
+	// Closed-loop label feedback (protocol v5). While subscribed, a v5
+	// client may push a region-label workload back to the subscription's
+	// target session; the reply rides the push stream as its own message
+	// type (never ACK/ERROR, which gateways and clients treat as
+	// stream-terminal).
+
+	// MsgStreamLabels installs a region-label workload on the
+	// subscription's target session (client to server, while streaming).
+	MsgStreamLabels byte = 21
+	// MsgLabelsApplied acknowledges STREAM_LABELS with the first frame
+	// sequence number captured under the new labels, or a rejection code.
+	MsgLabelsApplied byte = 22
 )
 
 // Error codes carried by MsgError.

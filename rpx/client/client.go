@@ -85,6 +85,12 @@ type Config struct {
 	// raw bytes differ, so leave this unset for byte-identity with v1
 	// captures. Requires a v4 server; older servers fail the handshake.
 	PackedMask bool
+	// LabelFeedback negotiates protocol v5 so an open subscription may push
+	// region-label workloads back to its target session in-stream
+	// (Stream.SetLabels) — the closed-loop policy path. Leave unset for
+	// byte-identity with v3/v4 handshakes. Requires a v5 server; older
+	// servers fail the handshake.
+	LabelFeedback bool
 	// DialTimeout bounds connection establishment (default 10s).
 	DialTimeout time.Duration
 	// RequestTimeout bounds each request round trip (default 30s).
@@ -166,13 +172,22 @@ func (s *Session) connectLocked() error {
 		Block:        s.cfg.Block,
 		Parallelism:  s.cfg.Parallelism,
 	}
-	if s.cfg.PackedMask {
-		hello.Version = wire.ProtoVersion
-		hello.Codec = wire.CodecPackedMask
-	} else {
+	switch {
+	case s.cfg.LabelFeedback:
+		// v5 is the lowest revision with in-stream label feedback; the
+		// HELLO byte layout is the v4 one plus the version number.
+		hello.Version = 5
+	case s.cfg.PackedMask:
+		// Pin v4, the revision that introduced the codec byte, so the
+		// packed handshake bytes never drift as ProtoVersion advances.
+		hello.Version = 4
+	default:
 		// Pin v3 so the default handshake and everything after it stay
 		// byte-identical to pre-codec clients — raw is the reference path.
 		hello.Version = 3
+	}
+	if s.cfg.PackedMask {
+		hello.Codec = wire.CodecPackedMask
 	}
 	ack, _, err := replay.Handshake(conn, br, wire.MarshalHello(hello), s.maxPayload, s.timeout)
 	if err != nil {

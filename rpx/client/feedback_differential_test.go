@@ -1,0 +1,170 @@
+package client_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/rpx"
+	"repro/rpx/client"
+)
+
+// TestStreamLabelBoundaryDifferential: the differential acceptance test for
+// mid-stream label updates. A label workload pushed over an open
+// subscription takes effect on the deterministic boundary the server
+// reports, and the streamed output is byte-identical to an in-process
+// rpx.System (sequential reference path) that switches workloads at exactly
+// that boundary — for every combination of server-side parallelism (1, 2,
+// 8) and wire codec (raw, packed). Whatever the parallelism and container
+// format, the frames on each side of the boundary reconstruct to the same
+// bytes the reference produces.
+func TestStreamLabelBoundaryDifferential(t *testing.T) {
+	const w, h = 64, 48
+	labelsA := []rpx.RegionLabel{rpx.FullFrame(w, h)}
+	// The replacement workload mixes sampling parameters so both the spatial
+	// (stride) and temporal (skip/phase) decode paths cross the boundary.
+	labelsB := []rpx.RegionLabel{
+		{X: 0, Y: 0, W: 32, H: 24, Stride: 1, Skip: 1},
+		{X: 32, Y: 24, W: 32, H: 24, Stride: 2, Skip: 2, Phase: 1},
+	}
+	for _, parallelism := range []int{1, 2, 8} {
+		for _, packed := range []bool{false, true} {
+			codec := "raw"
+			if packed {
+				codec = "packed"
+			}
+			t.Run(fmt.Sprintf("p%d/%s", parallelism, codec), func(t *testing.T) {
+				runLabelBoundaryDifferential(t, w, h, parallelism, packed, labelsA, labelsB)
+			})
+		}
+	}
+}
+
+func runLabelBoundaryDifferential(t *testing.T, w, h, parallelism int, packed bool, labelsA, labelsB []rpx.RegionLabel) {
+	addr := startServer(t, server.Config{}, server.TCPConfig{})
+	producer, err := client.Dial(addr, client.Config{
+		W: w, H: h, Format: rpx.Gray8, Block: true,
+		Parallelism: parallelism, PackedMask: packed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer producer.Close()
+	if err := producer.SetRegionLabels(labelsA); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := client.Dial(addr, client.Config{
+		W: 8, H: 8, Format: rpx.Gray8,
+		LabelFeedback: true, PackedMask: packed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	st, err := sub.Subscribe(client.SubscribeOptions{Target: producer.ID(), Credit: 64, Batch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acks []client.LabelsApplied
+	st.OnLabelsApplied(func(la client.LabelsApplied) { acks = append(acks, la) })
+
+	// Inputs are a deterministic function of the frame index alone, so every
+	// matrix cell streams the same scene.
+	next := 0
+	capture := func(n int) {
+		t.Helper()
+		fr := rpx.NewFrame(w, h, rpx.Gray8)
+		for i := 0; i < n; i++ {
+			fillFrame(fr, 7, next)
+			next++
+			if _, err := producer.Capture(fr); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	const before, after = 4, 4
+	capture(before)
+	if err := st.SetLabels(labelsB); err != nil {
+		t.Fatal(err)
+	}
+	capture(after)
+
+	var frames []client.StreamFrame
+	for len(frames) < before+after {
+		f, err := st.Recv()
+		if err != nil {
+			t.Fatalf("Recv: %v", err)
+		}
+		frames = append(frames, f)
+	}
+	// The ack rides an independent writer; keep the stream moving until it
+	// lands (frames captured meanwhile stay part of the comparison).
+	for len(acks) == 0 {
+		capture(1)
+		f, err := st.Recv()
+		if err != nil {
+			t.Fatalf("Recv awaiting ack: %v", err)
+		}
+		frames = append(frames, f)
+	}
+	if acks[0].Err != nil {
+		t.Fatalf("labels rejected: %v", acks[0].Err)
+	}
+	boundary := acks[0].AppliedSeq
+	if boundary > uint64(next) {
+		t.Fatalf("boundary %d beyond the %d captured frames", boundary, next)
+	}
+
+	// Reference: always the sequential in-process pipeline (parallelism 1),
+	// fed the same inputs, switching workloads exactly at the reported
+	// boundary. Byte-identity against it proves both the boundary exactness
+	// and the parallelism/codec independence of everything after it.
+	ref, err := rpx.NewSystem(w, h, rpx.Gray8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.SetRegionLabels(labelsA); err != nil {
+		t.Fatal(err)
+	}
+	dec := core.NewDecoder(w, h, rpx.Gray8)
+	fr := rpx.NewFrame(w, h, rpx.Gray8)
+	for i, f := range frames {
+		if f.Seq != uint64(i) {
+			t.Fatalf("stream frame %d has seq %d (dropped frames would desynchronize the replay)", i, f.Seq)
+		}
+		if f.Seq == boundary {
+			if err := ref.SetRegionLabels(labelsB); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fillFrame(fr, 7, i)
+		refStats, err := ref.Capture(fr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Stats != refStats {
+			t.Fatalf("frame %d stats %+v, reference %+v (boundary %d)", i, f.Stats, refStats, boundary)
+		}
+		refDec, err := ref.Decoded()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ef, err := f.Decode()
+		if err != nil {
+			t.Fatalf("frame %d container: %v", i, err)
+		}
+		if err := dec.Push(ef); err != nil {
+			t.Fatal(err)
+		}
+		got, err := dec.DecodeFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(refDec) {
+			t.Fatalf("frame %d decodes differently from the sequential reference (boundary %d, parallelism %d, packed %v)",
+				i, boundary, parallelism, packed)
+		}
+	}
+}

@@ -75,6 +75,17 @@ func (f *StreamFrame) Decode() (*rpx.EncodedFrame, error) {
 	return core.ReadEncodedFrame(bytes.NewReader(f.Raw))
 }
 
+// LabelsApplied reports the outcome of one in-stream SetLabels: the first
+// frame sequence number captured under the new workload, or the server's
+// rejection. Every pushed frame with Seq >= AppliedSeq observed the new
+// labels; every earlier frame the previous ones.
+type LabelsApplied struct {
+	// AppliedSeq is the deterministic label boundary (valid when Err is nil).
+	AppliedSeq uint64
+	// Err is nil on success, else the server's *wire.RemoteError.
+	Err error
+}
+
 // Stream is an open push subscription.
 type Stream struct {
 	s       *Session
@@ -83,6 +94,11 @@ type Stream struct {
 	buf     []StreamFrame
 	done    bool
 	err     error
+
+	// onApplied, when set, receives each LABELS_APPLIED synchronously from
+	// the goroutine calling Recv; unset, outcomes queue in applied.
+	onApplied func(LabelsApplied)
+	applied   []LabelsApplied
 }
 
 // Subscribe opens a push stream. The session must have negotiated protocol
@@ -194,6 +210,10 @@ func (st *Stream) Recv() (StreamFrame, error) {
 			if err := st.buffer(payload); err != nil {
 				return StreamFrame{}, st.failTransport(err)
 			}
+		case wire.MsgLabelsApplied:
+			if err := st.noteApplied(payload); err != nil {
+				return StreamFrame{}, st.failTransport(err)
+			}
 		case wire.MsgError:
 			re, uerr := wire.UnmarshalError(payload)
 			if uerr != nil {
@@ -206,6 +226,67 @@ func (st *Stream) Recv() (StreamFrame, error) {
 				"%w: got message type %d while streaming", ErrBrokenSession, typ))
 		}
 	}
+}
+
+// noteApplied validates one LABELS_APPLIED payload and dispatches it to the
+// callback or the pending queue.
+func (st *Stream) noteApplied(payload []byte) error {
+	la, err := wire.UnmarshalLabelsApplied(payload)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	if la.SubID != st.id {
+		return fmt.Errorf("%w: LABELS_APPLIED for subscription %d, want %d", ErrBrokenSession, la.SubID, st.id)
+	}
+	out := LabelsApplied{AppliedSeq: la.AppliedSeq}
+	if la.Code != 0 {
+		out.Err = &wire.RemoteError{Code: la.Code, Message: la.Msg}
+	}
+	if st.onApplied != nil {
+		st.onApplied(out)
+		return nil
+	}
+	st.applied = append(st.applied, out)
+	return nil
+}
+
+// OnLabelsApplied installs the callback that receives each SetLabels
+// outcome, called synchronously from the goroutine inside Recv. Set it
+// before the first SetLabels; without a callback, outcomes queue for
+// TakeLabelsApplied instead.
+func (st *Stream) OnLabelsApplied(fn func(LabelsApplied)) { st.onApplied = fn }
+
+// TakeLabelsApplied drains the queued SetLabels outcomes accumulated by
+// Recv when no callback is installed. Single-consumer, like Recv.
+func (st *Stream) TakeLabelsApplied() []LabelsApplied {
+	out := st.applied
+	st.applied = nil
+	return out
+}
+
+// SetLabels pushes a region-label workload back to the subscription's
+// target session without leaving push mode — the closed-loop feedback path
+// (protocol v5, Config.LabelFeedback). The write returns immediately; the
+// server's acknowledgment (the first frame sequence number captured under
+// the new labels, or a rejection) is delivered through Recv to the
+// OnLabelsApplied callback or the TakeLabelsApplied queue. Like Grant, it
+// is safe to call while another goroutine blocks in Recv.
+func (st *Stream) SetLabels(labels []rpx.RegionLabel) error {
+	s := st.s
+	if st.done {
+		return st.err
+	}
+	if v := s.ProtoVersion(); v < 5 {
+		return fmt.Errorf("client: in-stream labels need protocol v5 (Config.LabelFeedback), session negotiated v%d", v)
+	}
+	s.conn.SetWriteDeadline(time.Now().Add(s.timeout))
+	if err := s.mw.WriteMessage(wire.MsgStreamLabels, wire.MarshalStreamLabels(wire.StreamLabels{
+		SubID:  st.id,
+		Labels: labels,
+	}), s.maxPayload); err != nil {
+		return st.failTransport(fmt.Errorf("client: stream labels: %w", err))
+	}
+	return nil
 }
 
 // readMsg reads one message off the stream's connection. The stream owns
@@ -292,6 +373,12 @@ func (st *Stream) Close() error {
 		case wire.MsgFramePush:
 			// Frames that were already in flight when we unsubscribed;
 			// discarded by choice — Recv before Close to keep them.
+		case wire.MsgLabelsApplied:
+			// A SetLabels acknowledgment that was in flight when we
+			// unsubscribed; queue it so the outcome is not lost.
+			if err := st.noteApplied(payload); err != nil {
+				return st.failTransport(err)
+			}
 		case wire.MsgAck:
 			st.finish(io.EOF)
 			return nil

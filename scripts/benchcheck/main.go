@@ -1,0 +1,114 @@
+// Command benchcheck gates hot-path allocation regressions in CI: it
+// compares a freshly measured BENCH_hotpath.json against the committed
+// baseline and fails when allocs/frame grew beyond tolerance.
+//
+// Only allocation counts are gated — they are deterministic properties of
+// the code, while FPS varies with the host and would flake. The tolerances:
+//
+//   - pooled path: candidate <= baseline + 1.0 allocs/frame (absolute).
+//     The pooled path's contract is ~0 allocs/frame in steady state, so a
+//     full extra allocation per frame is already a real regression; the
+//     slack absorbs pool warm-up noise at low frame counts.
+//   - baseline (copy-heavy) path: candidate <= baseline * 1.5 + 2.0. It is
+//     the reference arm, not a contract, but a blow-up there usually means
+//     a shared layer started allocating.
+//
+// Rows are matched by session count; candidate rows without a baseline
+// counterpart (or vice versa) are ignored, so a quick-scale candidate
+// (sessions 1, 8) checks cleanly against a full-scale baseline (1, 8, 64).
+//
+// Usage:
+//
+//	benchcheck -baseline BENCH_hotpath.json -candidate /tmp/BENCH_hotpath.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type hotpathDoc struct {
+	Experiment string `json:"experiment"`
+	Rows       []struct {
+		Sessions       int     `json:"sessions"`
+		BaselineAllocs float64 `json:"baseline_allocs_per_frame"`
+		PooledAllocs   float64 `json:"pooled_allocs_per_frame"`
+	} `json:"rows"`
+}
+
+func load(path string) (hotpathDoc, error) {
+	var doc hotpathDoc
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Rows) == 0 {
+		return doc, fmt.Errorf("%s: no rows", path)
+	}
+	return doc, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_hotpath.json", "committed baseline document")
+	candidatePath := flag.String("candidate", "", "freshly measured document")
+	pooledSlack := flag.Float64("pooled-slack", 1.0, "absolute allocs/frame slack on the pooled path")
+	flag.Parse()
+	if *candidatePath == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: -candidate is required")
+		os.Exit(2)
+	}
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	cand, err := load(*candidatePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	if base.Experiment != cand.Experiment {
+		fmt.Fprintf(os.Stderr, "benchcheck: experiment mismatch: baseline %q, candidate %q\n",
+			base.Experiment, cand.Experiment)
+		os.Exit(2)
+	}
+	baseBySessions := map[int]int{}
+	for i, r := range base.Rows {
+		baseBySessions[r.Sessions] = i
+	}
+	failed := false
+	compared := 0
+	for _, c := range cand.Rows {
+		bi, ok := baseBySessions[c.Sessions]
+		if !ok {
+			continue
+		}
+		b := base.Rows[bi]
+		compared++
+		if limit := b.PooledAllocs + *pooledSlack; c.PooledAllocs > limit {
+			fmt.Fprintf(os.Stderr, "benchcheck: REGRESSION sessions=%d pooled allocs/frame %.3f > %.3f (baseline %.3f + %.1f slack)\n",
+				c.Sessions, c.PooledAllocs, limit, b.PooledAllocs, *pooledSlack)
+			failed = true
+		}
+		if limit := b.BaselineAllocs*1.5 + 2.0; c.BaselineAllocs > limit {
+			fmt.Fprintf(os.Stderr, "benchcheck: REGRESSION sessions=%d baseline allocs/frame %.3f > %.3f (baseline %.3f * 1.5 + 2)\n",
+				c.Sessions, c.BaselineAllocs, limit, b.BaselineAllocs)
+			failed = true
+		}
+		fmt.Printf("benchcheck: sessions=%d pooled %.3f (baseline %.3f), copy-heavy %.3f (baseline %.3f)\n",
+			c.Sessions, c.PooledAllocs, b.PooledAllocs, c.BaselineAllocs, b.BaselineAllocs)
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: no comparable rows between baseline and candidate")
+		os.Exit(2)
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: OK (%d rows within tolerance)\n", compared)
+}

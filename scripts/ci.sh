@@ -1,164 +1,260 @@
 #!/usr/bin/env sh
-# Tier-1 gate: vet, build, and race-test the whole module.
-# Run from anywhere; operates on the repository root.
-set -eu
+# CI pipeline, split into named stages so local runs and the GitHub
+# workflow execute the exact same commands:
+#
+#   scripts/ci.sh                  # all stages, in order
+#   scripts/ci.sh tier1            # one stage
+#   scripts/ci.sh alloc fuzz       # a subset, in the order given
+#
+# Stages:
+#   tier1        go vet + go build + go test -race ./...
+#   alloc        steady-state zero-allocation gates (AllocsPerRun, no -race)
+#   fuzz         short fuzz budget per untrusted decode surface
+#   smoke        live binaries: faultnet matrix, rpxd admin, rpxgw
+#                relay/failover, and the rpxpolicy closed-loop smoke
+#   bench-check  rpxbench -exp hotpath vs the committed BENCH_hotpath.json
+#
+# Every requested stage runs even after a failure; the run ends with a
+# summary table and a nonzero exit if any stage failed.
+set -u
 
 cd "$(dirname "$0")/.."
 
-echo "== go vet ./..."
-go vet ./...
+# ---------------------------------------------------------------- tier1
 
-echo "== go build ./..."
-go build ./...
+stage_tier1() {
+    echo "== go vet ./..."
+    go vet ./...
 
-echo "== go test -race ./..."
-go test -race ./...
+    echo "== go build ./..."
+    go build ./...
 
-# Alloc gate: the steady-state zero-allocation contracts of the pooled hot
-# path (mask popcount, pooled encode, wire framing, capture). Deliberately
-# WITHOUT -race — the race runtime changes allocation counts, so these
+    echo "== go test -race ./..."
+    go test -race ./...
+}
+
+# ---------------------------------------------------------------- alloc
+
+# The steady-state zero-allocation contracts of the pooled hot path (mask
+# popcount, pooled encode, wire framing, capture). Deliberately WITHOUT
+# -race — the race runtime changes allocation counts, so these
 # testing.AllocsPerRun assertions are only meaningful in a plain build.
-echo "== alloc gate (AllocsPerRun, no -race)"
-go test -count=1 -run='^TestAllocs' \
-    ./internal/bitpack ./internal/core ./internal/wire ./rpx
-
-# Faultnet smoke: replay the client/server fault-injection matrix with a
-# pinned seed so any failure here reproduces bit-for-bit on a dev box with
-# the same FAULTNET_SEED.
-FAULTNET_SEED="${FAULTNET_SEED:-1234}"
-echo "== faultnet smoke (seed ${FAULTNET_SEED})"
-FAULTNET_SEED="$FAULTNET_SEED" go test -race -count=1 \
-    -run='^(TestFaultMatrix|TestReconnectRecoversWithLabelsReplayed|TestBrokenSessionAfterTimeout)$' \
-    ./rpx/client
-
-# Admin endpoint smoke: boot the real daemon binary with -admin on an
-# ephemeral port, then curl /healthz and /metrics. Fails on a non-200 reply
-# or an empty/placeholder metrics payload.
-echo "== admin endpoint smoke"
-RPXD_BIN="$(mktemp -d)/rpxd"
-RPXD_LOG="$(mktemp)"
-go build -o "$RPXD_BIN" ./cmd/rpxd
-"$RPXD_BIN" -addr 127.0.0.1:0 -admin 127.0.0.1:0 2>"$RPXD_LOG" &
-RPXD_PID=$!
-cleanup_rpxd() {
-    kill "$RPXD_PID" 2>/dev/null || true
-    wait "$RPXD_PID" 2>/dev/null || true
-    rm -rf "$(dirname "$RPXD_BIN")" "$RPXD_LOG"
+stage_alloc() {
+    echo "== alloc gate (AllocsPerRun, no -race)"
+    go test -count=1 -run='^TestAllocs' \
+        ./internal/bitpack ./internal/core ./internal/wire ./rpx
 }
-trap cleanup_rpxd EXIT INT TERM
-ADMIN_ADDR=""
-for _ in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
-    ADMIN_ADDR="$(sed -n 's/^rpxd: admin listening on //p' "$RPXD_LOG")"
-    [ -n "$ADMIN_ADDR" ] && break
-    sleep 0.25
-done
-if [ -z "$ADMIN_ADDR" ]; then
-    echo "ci: rpxd admin endpoint never came up" >&2
-    cat "$RPXD_LOG" >&2
-    exit 1
-fi
-HEALTH="$(curl -fsS "http://$ADMIN_ADDR/healthz")"
-case "$HEALTH" in
-    *ok*) ;;
-    *) echo "ci: unexpected /healthz body: $HEALTH" >&2; exit 1 ;;
-esac
-METRICS="$(curl -fsS "http://$ADMIN_ADDR/metrics")"
-case "$METRICS" in
-    *rpxd_sessions_open*) ;;
-    *) echo "ci: /metrics missing rpxd_ series:" >&2; echo "$METRICS" >&2; exit 1 ;;
-esac
-kill -TERM "$RPXD_PID"
-wait "$RPXD_PID"
-trap - EXIT INT TERM
-rm -rf "$(dirname "$RPXD_BIN")" "$RPXD_LOG"
-echo "admin endpoint smoke: OK (admin at $ADMIN_ADDR)"
 
-# Gateway smoke: boot 2 real rpxd backends and 1 rpxgw in front of them,
-# then run the live 4-session capture/decode matrix through the gateway while
-# SIGKILLing one backend mid-matrix. The test's candidate-set oracle asserts
-# recovery: every op returns correct bytes or a typed error, and sessions
-# resume on the survivor via HELLO + labels replay. Seed pinned so failures
-# reproduce.
-echo "== gateway smoke (seed ${FAULTNET_SEED})"
-GW_DIR="$(mktemp -d)"
-go build -o "$GW_DIR/rpxd" ./cmd/rpxd
-go build -o "$GW_DIR/rpxgw" ./cmd/rpxgw
-# Pre-create the logs: the address-extraction seds below may run before a
-# backgrounded daemon has opened its stderr redirect.
-: >"$GW_DIR/b1.log"; : >"$GW_DIR/b2.log"; : >"$GW_DIR/gw.log"
-"$GW_DIR/rpxd" -addr 127.0.0.1:0 -admin 127.0.0.1:0 2>"$GW_DIR/b1.log" &
-B1_PID=$!
-"$GW_DIR/rpxd" -addr 127.0.0.1:0 -admin 127.0.0.1:0 2>"$GW_DIR/b2.log" &
-B2_PID=$!
-GW_PID=""
-cleanup_gw() {
-    kill "$B1_PID" "$B2_PID" $GW_PID 2>/dev/null || true
-    wait "$B1_PID" "$B2_PID" $GW_PID 2>/dev/null || true
-    rm -rf "$GW_DIR"
-}
-trap cleanup_gw EXIT INT TERM
-rpxd_addr()  { sed -n 's/^rpxd: listening on \([^ ]*\).*/\1/p' "$1"; }
-rpxd_admin() { sed -n 's/^rpxd: admin listening on //p' "$1"; }
-B1_ADDR=""; B2_ADDR=""
-for _ in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
-    B1_ADDR="$(rpxd_addr "$GW_DIR/b1.log")"
-    B2_ADDR="$(rpxd_addr "$GW_DIR/b2.log")"
-    [ -n "$B1_ADDR" ] && [ -n "$B2_ADDR" ] && break
-    sleep 0.25
-done
-if [ -z "$B1_ADDR" ] || [ -z "$B2_ADDR" ]; then
-    echo "ci: rpxd backends never came up" >&2
-    cat "$GW_DIR/b1.log" "$GW_DIR/b2.log" >&2
-    exit 1
-fi
-"$GW_DIR/rpxgw" -addr 127.0.0.1:0 -admin 127.0.0.1:0 \
-    -backends "$B1_ADDR@$(rpxd_admin "$GW_DIR/b1.log"),$B2_ADDR@$(rpxd_admin "$GW_DIR/b2.log")" \
-    -health-interval 250ms 2>"$GW_DIR/gw.log" &
-GW_PID=$!
-GW_ADDR=""
-for _ in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
-    GW_ADDR="$(sed -n 's/^rpxgw: listening on \([^ ]*\).*/\1/p' "$GW_DIR/gw.log")"
-    [ -n "$GW_ADDR" ] && break
-    sleep 0.25
-done
-if [ -z "$GW_ADDR" ]; then
-    echo "ci: rpxgw never came up" >&2
-    cat "$GW_DIR/gw.log" >&2
-    exit 1
-fi
-# Streaming smoke first (while both backends are still alive): a v3 push
-# subscription relayed through the real rpxgw must deliver every frame in
-# order and unsubscribe cleanly back to request/reply.
-echo "== streaming smoke"
-RPXGW_ADDR="$GW_ADDR" \
-    go test -race -count=1 -run='^TestLiveGatewayStream$' ./cmd/rpxgw
-echo "streaming smoke: OK (push stream relayed through $GW_ADDR)"
-RPXGW_ADDR="$GW_ADDR" RPXGW_KILL_PID="$B2_PID" FAULTNET_SEED="$FAULTNET_SEED" \
-    go test -race -count=1 -run='^TestLiveGatewayMatrix$' ./cmd/rpxgw
-# The gateway must still be serving after losing a backend.
-GW_ADMIN="$(sed -n 's/^rpxgw: admin listening on //p' "$GW_DIR/gw.log")"
-GW_HEALTH="$(curl -fsS "http://$GW_ADMIN/healthz")"
-case "$GW_HEALTH" in
-    *ok*) ;;
-    *) echo "ci: rpxgw unhealthy after backend kill: $GW_HEALTH" >&2; exit 1 ;;
-esac
-kill -TERM "$GW_PID" "$B1_PID" 2>/dev/null || true
-wait "$GW_PID" "$B1_PID" 2>/dev/null || true
-wait "$B2_PID" 2>/dev/null || true
-trap - EXIT INT TERM
-rm -rf "$GW_DIR"
-echo "gateway smoke: OK (gateway at $GW_ADDR survived backend kill)"
+# ----------------------------------------------------------------- fuzz
 
-# Fuzz smoke: a short budget per untrusted decode surface. Regressions the
-# fuzzer finds land in testdata/fuzz/ seed corpora, which -race above then
+# A short budget per untrusted decode surface. Regressions the fuzzer
+# finds land in testdata/fuzz/ seed corpora, which tier1's -race run then
 # replays forever after.
-FUZZTIME="${FUZZTIME:-10s}"
-echo "== fuzz smoke (${FUZZTIME} per target)"
-go test -run='^$' -fuzz='^FuzzReadMessage$' -fuzztime="$FUZZTIME" ./internal/wire
-go test -run='^$' -fuzz='^FuzzReadSubscribe$' -fuzztime="$FUZZTIME" ./internal/wire
-go test -run='^$' -fuzz='^FuzzReadFramePush$' -fuzztime="$FUZZTIME" ./internal/wire
-go test -run='^$' -fuzz='^FuzzReadEncodedFrame$' -fuzztime="$FUZZTIME" ./internal/core
-go test -run='^$' -fuzz='^FuzzStreamReader$' -fuzztime="$FUZZTIME" ./internal/core
-go test -run='^$' -fuzz='^FuzzMaskCodec$' -fuzztime="$FUZZTIME" ./internal/bitpack
+stage_fuzz() {
+    FUZZTIME="${FUZZTIME:-10s}"
+    echo "== fuzz smoke (${FUZZTIME} per target)"
+    go test -run='^$' -fuzz='^FuzzReadMessage$' -fuzztime="$FUZZTIME" ./internal/wire
+    go test -run='^$' -fuzz='^FuzzReadSubscribe$' -fuzztime="$FUZZTIME" ./internal/wire
+    go test -run='^$' -fuzz='^FuzzReadFramePush$' -fuzztime="$FUZZTIME" ./internal/wire
+    go test -run='^$' -fuzz='^FuzzReadEncodedFrame$' -fuzztime="$FUZZTIME" ./internal/core
+    go test -run='^$' -fuzz='^FuzzStreamReader$' -fuzztime="$FUZZTIME" ./internal/core
+    go test -run='^$' -fuzz='^FuzzMaskCodec$' -fuzztime="$FUZZTIME" ./internal/bitpack
+}
 
+# ---------------------------------------------------------------- smoke
+
+stage_smoke() {
+    # Faultnet smoke: replay the client/server fault-injection matrix with
+    # a pinned seed so any failure here reproduces bit-for-bit on a dev
+    # box with the same FAULTNET_SEED.
+    FAULTNET_SEED="${FAULTNET_SEED:-1234}"
+    echo "== faultnet smoke (seed ${FAULTNET_SEED})"
+    FAULTNET_SEED="$FAULTNET_SEED" go test -race -count=1 \
+        -run='^(TestFaultMatrix|TestReconnectRecoversWithLabelsReplayed|TestBrokenSessionAfterTimeout)$' \
+        ./rpx/client
+
+    # Admin endpoint smoke: boot the real daemon binary with -admin on an
+    # ephemeral port, then curl /healthz and /metrics. Fails on a non-200
+    # reply or an empty/placeholder metrics payload.
+    echo "== admin endpoint smoke"
+    RPXD_BIN="$(mktemp -d)/rpxd"
+    RPXD_LOG="$(mktemp)"
+    go build -o "$RPXD_BIN" ./cmd/rpxd
+    "$RPXD_BIN" -addr 127.0.0.1:0 -admin 127.0.0.1:0 2>"$RPXD_LOG" &
+    RPXD_PID=$!
+    cleanup_rpxd() {
+        kill "$RPXD_PID" 2>/dev/null || true
+        wait "$RPXD_PID" 2>/dev/null || true
+        rm -rf "$(dirname "$RPXD_BIN")" "$RPXD_LOG"
+    }
+    trap cleanup_rpxd EXIT INT TERM
+    ADMIN_ADDR=""
+    for _ in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+        ADMIN_ADDR="$(sed -n 's/^rpxd: admin listening on //p' "$RPXD_LOG")"
+        [ -n "$ADMIN_ADDR" ] && break
+        sleep 0.25
+    done
+    if [ -z "$ADMIN_ADDR" ]; then
+        echo "ci: rpxd admin endpoint never came up" >&2
+        cat "$RPXD_LOG" >&2
+        exit 1
+    fi
+    HEALTH="$(curl -fsS "http://$ADMIN_ADDR/healthz")"
+    case "$HEALTH" in
+        *ok*) ;;
+        *) echo "ci: unexpected /healthz body: $HEALTH" >&2; exit 1 ;;
+    esac
+    METRICS="$(curl -fsS "http://$ADMIN_ADDR/metrics")"
+    case "$METRICS" in
+        *rpxd_sessions_open*) ;;
+        *) echo "ci: /metrics missing rpxd_ series:" >&2; echo "$METRICS" >&2; exit 1 ;;
+    esac
+    kill -TERM "$RPXD_PID"
+    wait "$RPXD_PID"
+    trap - EXIT INT TERM
+    rm -rf "$(dirname "$RPXD_BIN")" "$RPXD_LOG"
+    echo "admin endpoint smoke: OK (admin at $ADMIN_ADDR)"
+
+    # Gateway smoke: boot 2 real rpxd backends and 1 rpxgw in front of
+    # them, then run the live 4-session capture/decode matrix through the
+    # gateway while SIGKILLing one backend mid-matrix. The test's
+    # candidate-set oracle asserts recovery: every op returns correct
+    # bytes or a typed error, and sessions resume on the survivor via
+    # HELLO + labels replay. Seed pinned so failures reproduce.
+    echo "== gateway smoke (seed ${FAULTNET_SEED})"
+    GW_DIR="$(mktemp -d)"
+    go build -o "$GW_DIR/rpxd" ./cmd/rpxd
+    go build -o "$GW_DIR/rpxgw" ./cmd/rpxgw
+    go build -o "$GW_DIR/rpxpolicy" ./cmd/rpxpolicy
+    # Pre-create the logs: the address-extraction seds below may run
+    # before a backgrounded daemon has opened its stderr redirect.
+    : >"$GW_DIR/b1.log"; : >"$GW_DIR/b2.log"; : >"$GW_DIR/gw.log"
+    "$GW_DIR/rpxd" -addr 127.0.0.1:0 -admin 127.0.0.1:0 2>"$GW_DIR/b1.log" &
+    B1_PID=$!
+    "$GW_DIR/rpxd" -addr 127.0.0.1:0 -admin 127.0.0.1:0 2>"$GW_DIR/b2.log" &
+    B2_PID=$!
+    GW_PID=""
+    cleanup_gw() {
+        kill "$B1_PID" "$B2_PID" $GW_PID 2>/dev/null || true
+        wait "$B1_PID" "$B2_PID" $GW_PID 2>/dev/null || true
+        rm -rf "$GW_DIR"
+    }
+    trap cleanup_gw EXIT INT TERM
+    rpxd_addr()  { sed -n 's/^rpxd: listening on \([^ ]*\).*/\1/p' "$1"; }
+    rpxd_admin() { sed -n 's/^rpxd: admin listening on //p' "$1"; }
+    B1_ADDR=""; B2_ADDR=""
+    for _ in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+        B1_ADDR="$(rpxd_addr "$GW_DIR/b1.log")"
+        B2_ADDR="$(rpxd_addr "$GW_DIR/b2.log")"
+        [ -n "$B1_ADDR" ] && [ -n "$B2_ADDR" ] && break
+        sleep 0.25
+    done
+    if [ -z "$B1_ADDR" ] || [ -z "$B2_ADDR" ]; then
+        echo "ci: rpxd backends never came up" >&2
+        cat "$GW_DIR/b1.log" "$GW_DIR/b2.log" >&2
+        exit 1
+    fi
+    "$GW_DIR/rpxgw" -addr 127.0.0.1:0 -admin 127.0.0.1:0 \
+        -backends "$B1_ADDR@$(rpxd_admin "$GW_DIR/b1.log"),$B2_ADDR@$(rpxd_admin "$GW_DIR/b2.log")" \
+        -health-interval 250ms 2>"$GW_DIR/gw.log" &
+    GW_PID=$!
+    GW_ADDR=""
+    for _ in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+        GW_ADDR="$(sed -n 's/^rpxgw: listening on \([^ ]*\).*/\1/p' "$GW_DIR/gw.log")"
+        [ -n "$GW_ADDR" ] && break
+        sleep 0.25
+    done
+    if [ -z "$GW_ADDR" ]; then
+        echo "ci: rpxgw never came up" >&2
+        cat "$GW_DIR/gw.log" >&2
+        exit 1
+    fi
+    # Streaming smoke first (while both backends are still alive): a v3
+    # push subscription relayed through the real rpxgw must deliver every
+    # frame in order and unsubscribe cleanly back to request/reply.
+    echo "== streaming smoke"
+    RPXGW_ADDR="$GW_ADDR" \
+        go test -race -count=1 -run='^TestLiveGatewayStream$' ./cmd/rpxgw
+    echo "streaming smoke: OK (push stream relayed through $GW_ADDR)"
+    # Policy-loop smoke (also while both backends are alive): the real
+    # rpxpolicy binary subscribes to a producer session through the
+    # gateway, pushes labels back, and the test asserts the capture rhythm
+    # actually changed across >= 2 cycles while the decoded stream stays
+    # byte-identical to an oracle decoder fed the same encoded frames.
+    echo "== policy-loop smoke"
+    RPXPOLICY_ADDR="$GW_ADDR" RPXPOLICY_BIN="$GW_DIR/rpxpolicy" \
+        go test -race -count=1 -run='^TestLivePolicyLoop$' ./cmd/rpxpolicy
+    echo "policy-loop smoke: OK (rpxpolicy steered a session through $GW_ADDR)"
+    RPXGW_ADDR="$GW_ADDR" RPXGW_KILL_PID="$B2_PID" FAULTNET_SEED="$FAULTNET_SEED" \
+        go test -race -count=1 -run='^TestLiveGatewayMatrix$' ./cmd/rpxgw
+    # The gateway must still be serving after losing a backend.
+    GW_ADMIN="$(sed -n 's/^rpxgw: admin listening on //p' "$GW_DIR/gw.log")"
+    GW_HEALTH="$(curl -fsS "http://$GW_ADMIN/healthz")"
+    case "$GW_HEALTH" in
+        *ok*) ;;
+        *) echo "ci: rpxgw unhealthy after backend kill: $GW_HEALTH" >&2; exit 1 ;;
+    esac
+    kill -TERM "$GW_PID" "$B1_PID" 2>/dev/null || true
+    wait "$GW_PID" "$B1_PID" 2>/dev/null || true
+    wait "$B2_PID" 2>/dev/null || true
+    trap - EXIT INT TERM
+    rm -rf "$GW_DIR"
+    echo "gateway smoke: OK (gateway at $GW_ADDR survived backend kill)"
+}
+
+# ---------------------------------------------------------- bench-check
+
+# Allocation-regression gate: re-measure the hot path and compare against
+# the committed BENCH_hotpath.json baseline. Only allocs/frame are gated
+# (FPS varies with the host); tolerances are documented in
+# scripts/benchcheck/main.go.
+stage_bench_check() {
+    echo "== bench-check (hotpath allocs vs committed BENCH_hotpath.json)"
+    BC_DIR="$(mktemp -d)"
+    trap 'rm -rf "$BC_DIR"' EXIT INT TERM
+    go build -o "$BC_DIR/rpxbench" ./cmd/rpxbench
+    "$BC_DIR/rpxbench" -exp hotpath -scale quick -json "$BC_DIR"
+    go run ./scripts/benchcheck \
+        -baseline BENCH_hotpath.json -candidate "$BC_DIR/BENCH_hotpath.json"
+    trap - EXIT INT TERM
+    rm -rf "$BC_DIR"
+}
+
+# --------------------------------------------------------------- runner
+
+STAGES="${*:-tier1 alloc fuzz smoke bench-check}"
+SUMMARY=""
+FAILED=0
+for STAGE in $STAGES; do
+    case "$STAGE" in
+        tier1)       FN=stage_tier1 ;;
+        alloc)       FN=stage_alloc ;;
+        fuzz)        FN=stage_fuzz ;;
+        smoke)       FN=stage_smoke ;;
+        bench-check) FN=stage_bench_check ;;
+        *)
+            echo "ci: unknown stage '$STAGE' (want tier1|alloc|fuzz|smoke|bench-check)" >&2
+            exit 2
+            ;;
+    esac
+    echo "==== stage: $STAGE ===="
+    START="$(date +%s)"
+    if ( set -e; "$FN" ); then
+        RESULT="PASS"
+    else
+        RESULT="FAIL"
+        FAILED=1
+    fi
+    SUMMARY="${SUMMARY}$(printf '%-12s %-4s %4ss' "$STAGE" "$RESULT" "$(( $(date +%s) - START ))")
+"
+    echo "==== stage: $STAGE $RESULT ===="
+done
+
+echo ""
+echo "==== ci summary ===="
+printf '%s' "$SUMMARY"
+if [ "$FAILED" -ne 0 ]; then
+    echo "== ci: FAIL"
+    exit 1
+fi
 echo "== ci: OK"
